@@ -1,0 +1,129 @@
+//! The paper's closed-form bandwidth model (section 6.1).
+//!
+//! With the default intervals (30 s probes; 30 s RON routing; 15 s quorum
+//! routing) the paper states, in bits per second of combined incoming and
+//! outgoing traffic per node:
+//!
+//! * probing (either algorithm): `49.1·n`
+//! * RON full-mesh routing: `1.6·n² + 24.5·n`
+//! * quorum routing: `6.4·n·√n + 17.1·n + 196.3·√n`
+//!
+//! These close the loop between the wire format, the protocol intervals
+//! and figure 9's theory lines; `apor-linkstate`'s tests verify the same
+//! constants bottom-up from message sizes.
+
+/// Per-node probing traffic, bps (in + out).
+#[must_use]
+pub fn probing_bps(n: f64) -> f64 {
+    49.1 * n
+}
+
+/// Per-node RON (full-mesh) routing traffic, bps (in + out).
+#[must_use]
+pub fn ron_routing_bps(n: f64) -> f64 {
+    1.6 * n * n + 24.5 * n
+}
+
+/// Per-node quorum routing traffic, bps (in + out).
+#[must_use]
+pub fn quorum_routing_bps(n: f64) -> f64 {
+    6.4 * n * n.sqrt() + 17.1 * n + 196.3 * n.sqrt()
+}
+
+/// The smallest integer n at which quorum routing is cheaper than
+/// full-mesh routing — figure 9's crossover.
+#[must_use]
+pub fn crossover_n() -> usize {
+    (2..100_000)
+        .find(|&n| quorum_routing_bps(n as f64) < ron_routing_bps(n as f64))
+        .unwrap_or(usize::MAX)
+}
+
+/// Overlay size supportable within `budget_bps` of probing + routing
+/// traffic, for the given routing formula — the paper's capacity claim
+/// ("a RON with 56 Kbps … 165 → 300 nodes").
+#[must_use]
+pub fn capacity_at(budget_bps: f64, routing: fn(f64) -> f64) -> usize {
+    let mut best = 0;
+    for n in 1..100_000 {
+        let total = probing_bps(n as f64) + routing(n as f64);
+        if total <= budget_bps {
+            best = n;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_9_values_at_140() {
+        // "the routing traffic (incoming and outgoing) for 140 nodes would
+        // be 34.8 Kbps for the link-state algorithm, and 15.3 Kbps using
+        // ours."
+        let ron = ron_routing_bps(140.0);
+        assert!((ron / 1000.0 - 34.8).abs() < 0.3, "RON {ron}");
+        let q = quorum_routing_bps(140.0);
+        assert!((q / 1000.0 - 15.3).abs() < 0.3, "quorum {q}");
+    }
+
+    #[test]
+    fn crossover_in_expected_band() {
+        let x = crossover_n();
+        assert!(
+            (20..70).contains(&x),
+            "crossover at n={x}, expected a few dozen"
+        );
+    }
+
+    #[test]
+    fn capacity_claim_from_section_1() {
+        // "a RON with 56 Kbps of probing and routing traffic … would be
+        // able to support nearly twice as many nodes (from 165 to 300)".
+        let ron_cap = capacity_at(56_000.0, ron_routing_bps);
+        let quorum_cap = capacity_at(56_000.0, quorum_routing_bps);
+        assert!(
+            (150..=185).contains(&ron_cap),
+            "RON capacity {ron_cap}, paper says ~165"
+        );
+        assert!(
+            (270..=330).contains(&quorum_cap),
+            "quorum capacity {quorum_cap}, paper says ~300"
+        );
+        assert!(quorum_cap as f64 / ron_cap as f64 > 1.6);
+    }
+
+    #[test]
+    fn planetlab_416_sites_claim() {
+        // "an overlay running at each of the 416 PlanetLab sites would
+        // consume 86 Kbps … using prior systems … 307 Kbps."
+        let n = 416.0;
+        let ours = probing_bps(n) + quorum_routing_bps(n);
+        let prior = probing_bps(n) + ron_routing_bps(n);
+        assert!((ours / 1000.0 - 86.0).abs() < 6.0, "ours {ours}");
+        assert!((prior / 1000.0 - 307.0).abs() < 15.0, "prior {prior}");
+    }
+
+    #[test]
+    fn skype_scenario_50x_reduction() {
+        // Section 6: "On an overlay with 10,000 nodes our algorithm,
+        // modified appropriately, would give a 50-fold reduction in
+        // per-node communication." The Skype scenario optimizes average
+        // latency rather than failure recovery, so the quorum system would
+        // run at the *same* routing interval as full-mesh instead of half
+        // of it — doubling its advantage: 1.6n² / (6.4n√n / 2) = 0.5·√n =
+        // 50 at n = 10⁴.
+        let n = 10_000.0;
+        let equal_interval_quorum = quorum_routing_bps(n) / 2.0;
+        let ratio = ron_routing_bps(n) / equal_interval_quorum;
+        assert!((40.0..60.0).contains(&ratio), "ratio {ratio}");
+        // With the paper's default (halved) interval the reduction is
+        // still ~25× at this scale.
+        let default_ratio = ron_routing_bps(n) / quorum_routing_bps(n);
+        assert!((20.0..30.0).contains(&default_ratio), "{default_ratio}");
+    }
+}

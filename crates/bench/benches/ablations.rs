@@ -1,0 +1,116 @@
+//! CPU-cost ablations for the design choices DESIGN.md calls out.
+//! (The *metric* ablations — bandwidth/freshness trade-offs — live in
+//! `apor-experiments ablations`; these benches isolate the compute cost
+//! of each design variant.)
+
+use apor_bench::bench_topology;
+use apor_linkstate::{LinkEntry, Message, RecEntry, RecFormat, RecommendationMsg};
+use apor_quorum::{Grid, GridShape, NodeId};
+use apor_routing::{ProtocolConfig, QuorumRouter, RoutingAlgorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Compact (4 B) vs WithCost (6 B) recommendation codec.
+fn bench_rec_format(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rec_format");
+    for format in [RecFormat::Compact, RecFormat::WithCost] {
+        let msg = Message::Recommendations(RecommendationMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 1,
+            round: 3,
+            basis_ms: 0,
+            format,
+            recs: (0..24)
+                .map(|i| RecEntry {
+                    dst: NodeId(i),
+                    hop: NodeId(i * 3 % 140),
+                    cost_ms: 120,
+                })
+                .collect(),
+        });
+        let label = format!("{format:?}");
+        g.bench_with_input(BenchmarkId::new("roundtrip", &label), &msg, |b, msg| {
+            b.iter(|| {
+                let bytes = msg.encode();
+                Message::decode(black_box(&bytes)).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Paper grid shape vs wide and tall rectangles: rendezvous-set
+/// derivation cost (and, implicitly, degree).
+fn bench_grid_shapes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_grid_shape");
+    let n = 400;
+    let shapes = [
+        ("paper_20x20", GridShape::for_nodes(n)),
+        ("wide_10x40", GridShape::custom(n, 10, 40).unwrap()),
+        ("tall_40x10", GridShape::custom(n, 40, 10).unwrap()),
+    ];
+    for (label, shape) in shapes {
+        g.bench_with_input(BenchmarkId::new("derive_all", label), &shape, |b, &shape| {
+            b.iter(|| {
+                let grid = Grid::with_shape(n, shape);
+                let mut total = 0usize;
+                for i in 0..n {
+                    total += grid.rendezvous_servers(i).len();
+                }
+                black_box(total)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Per-tick CPU cost: quorum router vs the dominant cost driver (healthy
+/// vs half-failed fleet — failure management is the §4.1 machinery).
+fn bench_router_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_router_tick");
+    g.sample_size(20);
+    for n in [100usize, 196] {
+        let topo = bench_topology(n);
+        let healthy_row: Vec<LinkEntry> = (0..n)
+            .map(|j| LinkEntry::live(LinkEntry::quantize_latency(topo.latency.rtt(0, j)), 0.0))
+            .collect();
+        let mut degraded_row = healthy_row.clone();
+        for (j, e) in degraded_row.iter_mut().enumerate() {
+            if j % 2 == 1 {
+                *e = LinkEntry::dead();
+            }
+        }
+        for (label, row) in [("healthy", &healthy_row), ("half_failed", &degraded_row)] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("quorum_{label}"), n),
+                &n,
+                |b, &n| {
+                    b.iter_batched(
+                        || {
+                            (
+                                QuorumRouter::new(0, n, 1, ProtocolConfig::quorum()),
+                                ChaCha8Rng::seed_from_u64(1),
+                            )
+                        },
+                        |(mut router, mut rng)| {
+                            black_box(router.on_routing_tick(10.0, row, &mut rng))
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_rec_format,
+    bench_grid_shapes,
+    bench_router_tick
+);
+criterion_main!(ablations);

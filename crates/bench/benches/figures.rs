@@ -1,0 +1,93 @@
+//! Per-figure regeneration benches: each benchmark runs a reduced-scale
+//! version of the code path that regenerates one paper table or figure.
+//! (`cargo run -p apor-experiments` produces the full-scale numbers; these
+//! benches track the *cost* of regenerating them and protect the
+//! experiment pipeline from regressions.)
+
+use apor_experiments::deployment::{self, DeploymentParams};
+use apor_experiments::{fig1, fig9, lower_bound, multihop_exp};
+use apor_overlay::config::Algorithm;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Figure 1: detour study on a reduced host set.
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("detour_study_n120", |b| {
+        b.iter(|| {
+            fig1::run(black_box(&fig1::Fig1Params {
+                n: 120,
+                ..Default::default()
+            }))
+        });
+    });
+    g.finish();
+}
+
+/// Figure 9: one emulation point per algorithm at n = 49.
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    let params = fig9::Fig9Params {
+        sizes: vec![49],
+        duration_s: 120.0,
+        warmup_s: 30.0,
+        seed: 1,
+    };
+    g.bench_function("emulation_point_n49", |b| {
+        b.iter(|| black_box(fig9::run(&params)));
+    });
+    g.finish();
+}
+
+/// Figures 8/10–14: the deployment pipeline at miniature scale.
+fn bench_deployment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deployment");
+    g.sample_size(10);
+    let params = DeploymentParams {
+        n: 25,
+        minutes: 6.0,
+        warmup_s: 90.0,
+        seed: 2,
+        algorithm: Algorithm::Quorum,
+        ..Default::default()
+    };
+    g.bench_function("pipeline_n25_6min", |b| {
+        b.iter(|| black_box(deployment::run(&params)));
+    });
+    g.finish();
+}
+
+/// The multi-hop experiment (section 3 claims).
+fn bench_multihop_exp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multihop_exp");
+    g.sample_size(10);
+    let params = multihop_exp::MultiHopParams {
+        sizes: vec![64],
+        seed: 3,
+    };
+    g.bench_function("claims_n64", |b| {
+        b.iter(|| black_box(multihop_exp::run(&params)));
+    });
+    g.finish();
+}
+
+/// Appendix A table.
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lower_bound");
+    g.bench_function("table", |b| {
+        b.iter(|| black_box(lower_bound::run(&[16, 100, 400, 1600])));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig9,
+    bench_deployment,
+    bench_multihop_exp,
+    bench_lower_bound
+);
+criterion_main!(figures);

@@ -1,0 +1,134 @@
+//! Computational-kernel benchmarks: the hot paths a deployment exercises
+//! every routing interval.
+
+use apor_bench::{bench_topology, full_table};
+use apor_linkstate::{LinkEntry, LinkStateMsg, Message};
+use apor_quorum::{Grid, NodeId};
+use apor_routing::multihop::multihop_routes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Grid construction + full rendezvous-set derivation, as performed on
+/// every membership change.
+fn bench_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid");
+    for n in [100usize, 400, 1600, 10_000] {
+        g.bench_with_input(BenchmarkId::new("build_and_derive", n), &n, |b, &n| {
+            b.iter(|| {
+                let grid = Grid::new(black_box(n));
+                let mut total = 0usize;
+                for i in 0..n {
+                    total += grid.rendezvous_servers(i).len();
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The round-two kernel: best one-hop for one client pair over n
+/// candidate relays — executed ~4n times per node per routing interval.
+fn bench_best_one_hop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("best_one_hop");
+    for n in [100usize, 200, 400] {
+        let topo = bench_topology(n);
+        let table = full_table(&topo);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("pair", n), &n, |b, &n| {
+            b.iter(|| table.best_one_hop(black_box(1), black_box(n - 1), 0.0, 45.0));
+        });
+    }
+    g.finish();
+}
+
+/// A rendezvous node's full round-two duty: recommendations for every
+/// pair among 2√n clients.
+fn bench_round_two(c: &mut Criterion) {
+    let mut g = c.benchmark_group("round_two_full");
+    for n in [100usize, 196, 400] {
+        let topo = bench_topology(n);
+        let table = full_table(&topo);
+        let grid = Grid::new(n);
+        let clients = grid.rendezvous_clients(0);
+        g.bench_with_input(BenchmarkId::new("server_tick", n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for &a in &clients {
+                    for &d in &clients {
+                        if a != d && table.best_one_hop(a, d, 0.0, 45.0).is_some() {
+                            count += 1;
+                        }
+                    }
+                }
+                black_box(count)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Wire codec throughput for the dominant message type (link state).
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    for n in [140usize, 400, 1000] {
+        let msg = Message::LinkState(LinkStateMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 1,
+            round: 9,
+            basis_ms: 12345,
+            entries: (0..n)
+                .map(|i| LinkEntry::live((i % 500) as u16, 0.01))
+                .collect(),
+        });
+        g.throughput(Throughput::Bytes(msg.wire_size() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", n), &msg, |b, msg| {
+            b.iter(|| black_box(msg.encode()));
+        });
+        let bytes = msg.encode();
+        g.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
+            b.iter(|| Message::decode(black_box(bytes)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// One multi-hop iteration (the all-pairs splice) — the cost of the
+/// section 3 extension per doubling of path length.
+fn bench_multihop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multihop");
+    g.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let topo = bench_topology(n);
+        g.bench_with_input(BenchmarkId::new("two_hop_iteration", n), &n, |b, _| {
+            b.iter(|| multihop_routes(black_box(&topo.latency), 2));
+        });
+    }
+    g.finish();
+}
+
+/// Reference all-pairs shortest paths (Floyd–Warshall) for comparison
+/// with the protocol's distributed computation.
+fn bench_floyd_warshall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("floyd_warshall");
+    g.sample_size(10);
+    for n in [100usize, 200] {
+        let topo = bench_topology(n);
+        g.bench_with_input(BenchmarkId::new("apsp", n), &n, |b, _| {
+            b.iter(|| black_box(topo.latency.all_pairs_shortest()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_grid,
+    bench_best_one_hop,
+    bench_round_two,
+    bench_wire,
+    bench_multihop,
+    bench_floyd_warshall
+);
+criterion_main!(kernels);

@@ -1,0 +1,62 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Three bench suites live in `benches/`:
+//!
+//! * `kernels` — the computational hot paths: grid construction, the
+//!   round-two best-hop kernel, the wire codec, the multi-hop iteration.
+//! * `figures` — one benchmark per paper table/figure regeneration, at
+//!   reduced scale (the full-scale runs live in `apor-experiments`).
+//! * `ablations` — the design choices DESIGN.md calls out: routing
+//!   interval, recommendation format, grid shape, staleness window.
+
+#![forbid(unsafe_code)]
+
+use apor_linkstate::{LinkEntry, LinkStateTable};
+use apor_topology::{PlanetLabParams, Topology};
+
+/// A deterministic synthetic topology of `n` nodes.
+#[must_use]
+pub fn bench_topology(n: usize) -> Topology {
+    Topology::generate(&PlanetLabParams {
+        n,
+        seed: 0xBE7C4,
+        ..Default::default()
+    })
+}
+
+/// A fully populated link-state table derived from the topology's ground
+/// truth (all rows fresh at t = 0).
+#[must_use]
+pub fn full_table(topo: &Topology) -> LinkStateTable {
+    let n = topo.len();
+    let mut table = LinkStateTable::new(n);
+    for i in 0..n {
+        let row: Vec<LinkEntry> = (0..n)
+            .map(|j| {
+                if i == j {
+                    LinkEntry::live(0, 0.0)
+                } else {
+                    LinkEntry::live(
+                        LinkEntry::quantize_latency(topo.latency.rtt(i, j)),
+                        topo.latency.loss(i, j) as f32,
+                    )
+                }
+            })
+            .collect();
+        table.update_row(i, &row, 0.0);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_consistent() {
+        let t = bench_topology(49);
+        let table = full_table(&t);
+        assert_eq!(table.len(), 49);
+        assert!(table.best_one_hop(0, 48, 0.0, 45.0).is_some());
+    }
+}

@@ -1,0 +1,206 @@
+//! Metric ablations for the design choices DESIGN.md calls out.
+//!
+//! Each ablation runs the miniature deployment twice — once with the
+//! paper's choice, once with the variant — and reports the bandwidth /
+//! freshness / coverage consequences:
+//!
+//! 1. **Routing interval** (15 s vs 30 s for the quorum system): the paper
+//!    halves the interval to compensate for the extra routing round;
+//!    the cost is ~2× routing bandwidth, the benefit ~2× fresher routes.
+//! 2. **Recommendation format** (4-byte compact vs 6-byte with-cost):
+//!    footnote-9 territory — how much bandwidth the compact encoding buys.
+//! 3. **Staleness window** (3·r vs 1·r accepted measurement age): the
+//!    paper uses 3 routing intervals "to provide extra redundancy in case
+//!    of dropped link-state messages"; a tight window loses coverage
+//!    under loss.
+
+use crate::deployment::{self, DeploymentParams};
+use apor_analysis::{write_csv, Cdf, Table};
+use apor_linkstate::RecFormat;
+use apor_overlay::config::Algorithm;
+use apor_routing::ProtocolConfig;
+use serde::Serialize;
+
+/// Parameters shared by all ablations.
+#[derive(Debug, Clone)]
+pub struct AblationParams {
+    /// Overlay size.
+    pub n: usize,
+    /// Run length, minutes.
+    pub minutes: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for AblationParams {
+    fn default() -> Self {
+        AblationParams {
+            n: 49,
+            minutes: 20.0,
+            seed: 0xAB1A,
+        }
+    }
+}
+
+/// Outcome of one ablation arm.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationArm {
+    /// Which ablation and arm this is, e.g. `interval/r=15`.
+    pub label: String,
+    /// Fleet-mean routing bandwidth, bps.
+    pub routing_bps: f64,
+    /// Median (over pairs) of the median route freshness, seconds.
+    pub median_freshness_s: f64,
+    /// 97th percentile over pairs of the p97 freshness, seconds.
+    pub p97_freshness_s: f64,
+    /// Fraction of (src, dst, sample) observations with *no* routing
+    /// information at all.
+    pub no_route_fraction: f64,
+}
+
+fn run_arm(label: &str, params: &AblationParams, protocol: ProtocolConfig) -> AblationArm {
+    let data = deployment::run(&DeploymentParams {
+        n: params.n,
+        minutes: params.minutes,
+        warmup_s: 180.0,
+        seed: params.seed,
+        algorithm: Algorithm::Quorum,
+        protocol_override: Some(protocol),
+        ..Default::default()
+    });
+    let pairs = data.freshness.all_pairs();
+    let medians = Cdf::new(pairs.iter().map(|(_, s)| s.median).collect());
+    let p97s = Cdf::new(pairs.iter().map(|(_, s)| s.p97).collect());
+    // "No route" fraction: average of never_fraction over sampled pairs.
+    let n = data.n;
+    let mut never = 0.0;
+    let mut count = 0.0;
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                never += data.freshness.never_fraction(s, d);
+                count += 1.0;
+            }
+        }
+    }
+    AblationArm {
+        label: label.to_string(),
+        routing_bps: data.mean_routing_bps.iter().sum::<f64>() / n as f64,
+        median_freshness_s: medians.quantile(0.5),
+        p97_freshness_s: p97s.quantile(0.97),
+        no_route_fraction: never / count,
+    }
+}
+
+/// Run all ablations.
+#[must_use]
+pub fn run(params: &AblationParams) -> Vec<AblationArm> {
+    let mut arms = Vec::new();
+
+    // 1. Routing interval.
+    arms.push(run_arm("interval/r=15s (paper)", params, ProtocolConfig::quorum()));
+    let mut r30 = ProtocolConfig::quorum();
+    r30.routing_interval_s = 30.0;
+    arms.push(run_arm("interval/r=30s", params, r30));
+
+    // 2. Recommendation wire format.
+    let mut with_cost = ProtocolConfig::quorum();
+    with_cost.rec_format = RecFormat::WithCost;
+    arms.push(run_arm("rec-format/with-cost", params, with_cost));
+
+    // 3. Staleness window.
+    let mut tight = ProtocolConfig::quorum();
+    tight.staleness_intervals = 1.0;
+    arms.push(run_arm("staleness/1r", params, tight));
+
+    arms
+}
+
+/// Run, print and write `ablations.csv`.
+///
+/// # Errors
+/// Propagates CSV I/O errors.
+pub fn run_and_report(params: &AblationParams) -> std::io::Result<Vec<AblationArm>> {
+    let arms = run(params);
+    let mut t = Table::new(&[
+        "ablation arm",
+        "routing Kbps",
+        "median freshness",
+        "p97 freshness",
+        "no-route frac",
+    ]);
+    let mut csv = Vec::new();
+    for a in &arms {
+        t.row(vec![
+            a.label.clone(),
+            format!("{:.2}", a.routing_bps / 1000.0),
+            format!("{:.1}s", a.median_freshness_s),
+            format!("{:.1}s", a.p97_freshness_s),
+            format!("{:.4}", a.no_route_fraction),
+        ]);
+        csv.push(vec![
+            a.label.clone(),
+            format!("{:.1}", a.routing_bps),
+            format!("{:.2}", a.median_freshness_s),
+            format!("{:.2}", a.p97_freshness_s),
+            format!("{:.5}", a.no_route_fraction),
+        ]);
+    }
+    println!(
+        "Ablations — n={}, {} min deployment with failures",
+        params.n, params.minutes
+    );
+    println!("{}", t.render());
+    write_csv(
+        crate::results_path("ablations.csv"),
+        &[
+            "arm",
+            "routing_bps",
+            "median_freshness_s",
+            "p97_freshness_s",
+            "no_route_fraction",
+        ],
+        &csv,
+    )?;
+    Ok(arms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_directions_are_sane() {
+        let arms = run(&AblationParams {
+            n: 25,
+            minutes: 10.0,
+            seed: 11,
+        });
+        let by_label = |needle: &str| {
+            arms.iter()
+                .find(|a| a.label.contains(needle))
+                .unwrap_or_else(|| panic!("missing arm {needle}"))
+        };
+        let r15 = by_label("r=15");
+        let r30 = by_label("r=30");
+        // Halving the interval ~doubles routing bandwidth…
+        assert!(
+            r15.routing_bps > 1.5 * r30.routing_bps,
+            "r15 {} vs r30 {}",
+            r15.routing_bps,
+            r30.routing_bps
+        );
+        // …and buys clearly fresher routes.
+        assert!(
+            r15.median_freshness_s < r30.median_freshness_s,
+            "freshness {} vs {}",
+            r15.median_freshness_s,
+            r30.median_freshness_s
+        );
+        // WithCost strictly costs more bandwidth than compact.
+        let wc = by_label("with-cost");
+        assert!(wc.routing_bps > r15.routing_bps);
+        // The relative overhead is small (only round-2 grows).
+        assert!(wc.routing_bps < 1.25 * r15.routing_bps);
+    }
+}

@@ -1,0 +1,213 @@
+//! Figure 1: the one-hop detour study.
+//!
+//! "Comparison of RTT for pairs of PlanetLab hosts whose point-to-point
+//! latencies were larger than 400 ms." Four curves over those pairs:
+//! direct latency, best one-hop, and best one-hop after excluding the top
+//! 3 % / 50 % of intermediaries per pair. The paper's punchlines, which we
+//! check quantitatively:
+//!
+//! * at 400 ms, the best one-hop rescues ≥ 45 % of high-latency pairs
+//!   (vs 0 % for direct, by construction);
+//! * excluding just the top 3 % of one-hops loses a large share of that
+//!   improvement (good detours are few and specific);
+//! * excluding the top 50 % leaves almost nothing — a random intermediary
+//!   is useless for latency.
+
+use apor_analysis::{write_csv, Cdf, Table};
+use apor_routing::onehop;
+use apor_topology::{PlanetLabParams, Topology};
+use serde::Serialize;
+
+/// Parameters for the figure 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig1Params {
+    /// Number of hosts (paper: 359).
+    pub n: usize,
+    /// Topology seed.
+    pub seed: u64,
+    /// High-latency threshold, ms (paper: 400).
+    pub threshold_ms: f64,
+    /// Exclusion fractions to evaluate (paper: 3 % and 50 %).
+    pub exclusions: Vec<f64>,
+}
+
+impl Default for Fig1Params {
+    fn default() -> Self {
+        Fig1Params {
+            n: 359,
+            seed: 0xF161,
+            threshold_ms: 400.0,
+            exclusions: vec![0.03, 0.50],
+        }
+    }
+}
+
+/// One evaluated curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Curve {
+    /// Curve label as in the paper's legend.
+    pub label: String,
+    /// Fraction of high-latency pairs with resulting RTT ≤ 400 ms.
+    pub frac_below_400: f64,
+    /// Median resulting RTT, ms.
+    pub median_ms: f64,
+    /// The CDF grid `(latency ms, fraction of paths ≤)`.
+    #[serde(skip)]
+    pub grid: Vec<(f64, f64)>,
+}
+
+/// The experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Result {
+    /// Hosts evaluated.
+    pub n: usize,
+    /// Number of high-latency (> threshold) ordered pairs.
+    pub high_latency_pairs: usize,
+    /// All curves: direct, best one-hop, one per exclusion fraction.
+    pub curves: Vec<Curve>,
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run(params: &Fig1Params) -> Fig1Result {
+    let topo = Topology::generate(&PlanetLabParams {
+        n: params.n,
+        seed: params.seed,
+        ..Default::default()
+    });
+    let m = &topo.latency;
+    let pairs = onehop::high_latency_pairs(m, params.threshold_ms);
+
+    let mut curves = Vec::new();
+    let mut push_curve = |label: String, samples: Vec<f64>| {
+        let cdf = Cdf::new(samples);
+        curves.push(Curve {
+            label,
+            frac_below_400: cdf.fraction_at_most(params.threshold_ms),
+            median_ms: cdf.median().unwrap_or(f64::NAN),
+            grid: cdf.on_grid(150.0, 1000.0, 120),
+        });
+    };
+
+    // Direct point-to-point latencies.
+    push_curve(
+        "point-to-point".to_string(),
+        pairs.iter().map(|&(i, j)| m.rtt(i, j)).collect(),
+    );
+    // Best one-hop.
+    push_curve(
+        "best-1hop".to_string(),
+        pairs
+            .iter()
+            .map(|&(i, j)| {
+                onehop::effective_latency(m, i, j, onehop::best_one_hop_excluding_top(m, i, j, 0.0))
+            })
+            .collect(),
+    );
+    // Exclusion curves.
+    for &frac in &params.exclusions {
+        push_curve(
+            format!("excluding-top-{:.0}%", frac * 100.0),
+            pairs
+                .iter()
+                .map(|&(i, j)| {
+                    onehop::effective_latency(
+                        m,
+                        i,
+                        j,
+                        onehop::best_one_hop_excluding_top(m, i, j, frac),
+                    )
+                })
+                .collect(),
+        );
+    }
+
+    Fig1Result {
+        n: params.n,
+        high_latency_pairs: pairs.len(),
+        curves,
+    }
+}
+
+/// Run, print a summary table and write `fig1.csv`.
+///
+/// # Errors
+/// Propagates CSV I/O errors.
+pub fn run_and_report(params: &Fig1Params) -> std::io::Result<Fig1Result> {
+    let r = run(params);
+    let mut table = Table::new(&["curve", "frac ≤ 400ms", "median ms"]);
+    for c in &r.curves {
+        table.row(vec![
+            c.label.clone(),
+            format!("{:.3}", c.frac_below_400),
+            format!("{:.0}", c.median_ms),
+        ]);
+    }
+    println!(
+        "Figure 1 — {} hosts, {} high-latency ordered pairs (> 400 ms)",
+        r.n, r.high_latency_pairs
+    );
+    println!("{}", table.render());
+
+    // CSV: one row per grid x, one column per curve.
+    let mut rows = Vec::new();
+    let grid_len = r.curves[0].grid.len();
+    for gi in 0..grid_len {
+        let mut row = vec![format!("{:.1}", r.curves[0].grid[gi].0)];
+        for c in &r.curves {
+            row.push(format!("{:.5}", c.grid[gi].1));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["latency_ms"];
+    let labels: Vec<String> = r.curves.iter().map(|c| c.label.clone()).collect();
+    header.extend(labels.iter().map(String::as_str));
+    write_csv(crate::results_path("fig1.csv"), &header, &rows)?;
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Fig1Result {
+        run(&Fig1Params {
+            n: 180,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn qualitative_shape_matches_paper() {
+        let r = small();
+        assert!(r.high_latency_pairs > 50, "too few high-latency pairs");
+        let direct = &r.curves[0];
+        let best = &r.curves[1];
+        let excl3 = &r.curves[2];
+        let excl50 = &r.curves[3];
+        // Direct is 0 below threshold by construction.
+        assert_eq!(direct.frac_below_400, 0.0);
+        // Best one-hop rescues a large fraction (paper: ≥ 45 %).
+        assert!(best.frac_below_400 >= 0.40, "{}", best.frac_below_400);
+        // Exclusions strictly degrade, in order.
+        assert!(excl3.frac_below_400 < best.frac_below_400);
+        assert!(excl50.frac_below_400 <= excl3.frac_below_400);
+        // Excluding half the intermediaries leaves very little.
+        assert!(excl50.frac_below_400 < 0.25, "{}", excl50.frac_below_400);
+        // Medians order the same way.
+        assert!(best.median_ms <= excl3.median_ms);
+        assert!(excl3.median_ms <= excl50.median_ms + 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = Fig1Params {
+            n: 120,
+            ..Default::default()
+        };
+        let a = run(&p);
+        let b = run(&p);
+        assert_eq!(a.high_latency_pairs, b.high_latency_pairs);
+        assert_eq!(a.curves[1].frac_below_400, b.curves[1].frac_below_400);
+    }
+}

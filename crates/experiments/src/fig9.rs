@@ -1,0 +1,180 @@
+//! Figure 9: per-node routing traffic vs overlay size, emulation + theory.
+//!
+//! "Comparison of average per-node routing traffic (incoming and
+//! outgoing), for 5 minutes of running an emulation with no node or link
+//! failures." Two measured series (RON full-mesh and the quorum
+//! algorithm) plus the paper's closed-form curves. What must hold:
+//! measured ≈ theory for both algorithms, quorum ∝ n√n vs RON ∝ n², and
+//! the crossover in the tens of nodes.
+
+use apor_analysis::{theory, write_csv, Table};
+use apor_netsim::{Simulator, SimulatorConfig, TrafficClass};
+use apor_overlay::config::{Algorithm, NodeConfig};
+use apor_overlay::simnode::populate;
+use apor_quorum::NodeId;
+use apor_topology::{FailureParams, PlanetLabParams, Topology};
+use serde::Serialize;
+
+/// Parameters for the figure 9 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig9Params {
+    /// Overlay sizes to emulate (paper: up to ~200).
+    pub sizes: Vec<usize>,
+    /// Emulated run length, seconds (paper: 5 minutes).
+    pub duration_s: f64,
+    /// Warm-up excluded from the average, seconds.
+    pub warmup_s: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig9Params {
+    fn default() -> Self {
+        Fig9Params {
+            sizes: vec![9, 25, 49, 81, 121, 140, 169, 196],
+            duration_s: 300.0,
+            warmup_s: 60.0,
+            seed: 0xF169,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Point {
+    /// Overlay size.
+    pub n: usize,
+    /// Measured mean per-node routing bps (in + out).
+    pub measured_bps: f64,
+    /// The paper's closed-form prediction.
+    pub theory_bps: f64,
+}
+
+/// The sweep output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Result {
+    /// Full-mesh (RON) series.
+    pub ron: Vec<Fig9Point>,
+    /// Quorum series.
+    pub quorum: Vec<Fig9Point>,
+}
+
+fn measure(n: usize, algorithm: Algorithm, params: &Fig9Params) -> f64 {
+    let topo = Topology::generate(&PlanetLabParams {
+        n,
+        seed: params.seed ^ n as u64,
+        ..Default::default()
+    });
+    let mut sim = Simulator::new(
+        topo.latency,
+        FailureParams::none(n, params.duration_s + 60.0),
+        SimulatorConfig {
+            seed: params.seed,
+            ..Default::default()
+        },
+    );
+    let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
+    populate(&mut sim, n, 10.0, move |i| {
+        NodeConfig::new(NodeId(i as u16), NodeId(0), algorithm)
+            .with_static_members(members.clone())
+    });
+    sim.run_until(params.duration_s);
+    sim.stats()
+        .fleet_mean_bps(&[TrafficClass::Routing], params.warmup_s, params.duration_s)
+}
+
+/// Run the sweep.
+#[must_use]
+pub fn run(params: &Fig9Params) -> Fig9Result {
+    let mut ron = Vec::new();
+    let mut quorum = Vec::new();
+    for &n in &params.sizes {
+        ron.push(Fig9Point {
+            n,
+            measured_bps: measure(n, Algorithm::FullMesh, params),
+            theory_bps: theory::ron_routing_bps(n as f64),
+        });
+        quorum.push(Fig9Point {
+            n,
+            measured_bps: measure(n, Algorithm::Quorum, params),
+            theory_bps: theory::quorum_routing_bps(n as f64),
+        });
+    }
+    Fig9Result { ron, quorum }
+}
+
+/// Run, print and write `fig9.csv`.
+///
+/// # Errors
+/// Propagates CSV I/O errors.
+pub fn run_and_report(params: &Fig9Params) -> std::io::Result<Fig9Result> {
+    let r = run(params);
+    let mut table = Table::new(&[
+        "n",
+        "RON measured (Kbps)",
+        "RON theory",
+        "quorum measured (Kbps)",
+        "quorum theory",
+        "ratio",
+    ]);
+    let mut rows = Vec::new();
+    for (a, b) in r.ron.iter().zip(&r.quorum) {
+        table.row(vec![
+            a.n.to_string(),
+            format!("{:.1}", a.measured_bps / 1000.0),
+            format!("{:.1}", a.theory_bps / 1000.0),
+            format!("{:.1}", b.measured_bps / 1000.0),
+            format!("{:.1}", b.theory_bps / 1000.0),
+            format!("{:.2}", a.measured_bps / b.measured_bps.max(1.0)),
+        ]);
+        rows.push(vec![
+            a.n.to_string(),
+            format!("{:.1}", a.measured_bps),
+            format!("{:.1}", a.theory_bps),
+            format!("{:.1}", b.measured_bps),
+            format!("{:.1}", b.theory_bps),
+        ]);
+    }
+    println!("Figure 9 — per-node routing traffic (in+out), no failures");
+    println!("{}", table.render());
+    println!(
+        "theoretical crossover: n = {} (quorum cheaper beyond)",
+        theory::crossover_n()
+    );
+    write_csv(
+        crate::results_path("fig9.csv"),
+        &["n", "ron_bps", "ron_theory_bps", "quorum_bps", "quorum_theory_bps"],
+        &rows,
+    )?;
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_tracks_theory() {
+        let r = run(&Fig9Params {
+            sizes: vec![25, 81],
+            duration_s: 240.0,
+            warmup_s: 60.0,
+            seed: 3,
+        });
+        for p in r.ron.iter().chain(&r.quorum) {
+            let rel = (p.measured_bps - p.theory_bps).abs() / p.theory_bps;
+            assert!(
+                rel < 0.25,
+                "n={}: measured {} vs theory {} (rel {rel})",
+                p.n,
+                p.measured_bps,
+                p.theory_bps
+            );
+        }
+        // At n=81 quorum must already be clearly cheaper.
+        let ron81 = r.ron.iter().find(|p| p.n == 81).unwrap();
+        let q81 = r.quorum.iter().find(|p| p.n == 81).unwrap();
+        assert!(q81.measured_bps < 0.8 * ron81.measured_bps);
+        // At n=25 (below crossover) quorum is allowed to be costlier.
+    }
+}

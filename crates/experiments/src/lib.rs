@@ -1,0 +1,38 @@
+//! Experiment harness for the paper's evaluation.
+//!
+//! Each module regenerates one table or figure (see DESIGN.md's
+//! experiment index). All experiments are deterministic in their seeds
+//! and write CSV series plus a human-readable summary; the binary
+//! `apor-experiments` dispatches on the figure name.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig1`] | Figure 1 — one-hop detour study on the synthetic PlanetLab |
+//! | [`fig9`] | Figure 9 — per-node routing traffic vs n, RON vs quorum, emulation + theory |
+//! | [`deployment`] | the 140-node failure-laden deployment behind figures 8 and 10–14 |
+//! | [`multihop_exp`] | section 3's multi-hop extension: optimality + `Θ(n√n log n)` traffic |
+//! | [`lower_bound`] | Appendix A — diamond counting vs the quorum construction |
+//! | [`ablations`] | design-choice ablations: routing interval, rec format, staleness window |
+//! | [`theory_exp`] | section 6.1's closed-form capacity table |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod deployment;
+pub mod fig1;
+pub mod fig9;
+pub mod lower_bound;
+pub mod multihop_exp;
+pub mod theory_exp;
+
+/// Where experiment outputs land, relative to the workspace root.
+pub const RESULTS_DIR: &str = "results";
+
+/// Resolve an output path under [`RESULTS_DIR`] (honours the
+/// `APOR_RESULTS_DIR` environment variable for tests).
+#[must_use]
+pub fn results_path(file: &str) -> std::path::PathBuf {
+    let base = std::env::var("APOR_RESULTS_DIR").unwrap_or_else(|_| RESULTS_DIR.to_string());
+    std::path::Path::new(&base).join(file)
+}

@@ -1,0 +1,210 @@
+//! The multi-hop extension experiment (section 3, "Multi-hop routes").
+//!
+//! The paper has no figure for this, but makes three checkable claims:
+//! optimal paths of length ≤ l in `⌈log₂ l⌉` iterations; all-pairs
+//! shortest paths in `Θ(n√n·log n)` per-node communication (vs `Θ(n²)`
+//! for a full-mesh scheme); and "with just twice the communication this
+//! algorithm can find optimal 3-hop routes". This experiment verifies all
+//! three on synthetic topologies and reports the communication figures.
+
+use apor_analysis::{write_csv, Table};
+use apor_linkstate::{LINKSTATE_HEADER_SIZE, UDP_IP_OVERHEAD};
+use apor_routing::multihop::{bounded_shortest_paths, multihop_routes};
+use apor_topology::{PlanetLabParams, Topology};
+use serde::Serialize;
+
+/// Parameters for the multi-hop experiment.
+#[derive(Debug, Clone)]
+pub struct MultiHopParams {
+    /// Overlay sizes to evaluate.
+    pub sizes: Vec<usize>,
+    /// Topology seed.
+    pub seed: u64,
+}
+
+impl Default for MultiHopParams {
+    fn default() -> Self {
+        MultiHopParams {
+            sizes: vec![36, 100, 196, 400],
+            seed: 0x3407,
+        }
+    }
+}
+
+/// One row of the output.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiHopRow {
+    /// Overlay size.
+    pub n: usize,
+    /// Iterations used for all-pairs shortest paths.
+    pub iterations: usize,
+    /// Mean per-node kilobytes for all-pairs shortest paths (quorum).
+    pub quorum_kb: f64,
+    /// Mean per-node kilobytes a full-mesh iteration scheme would need.
+    pub fullmesh_kb: f64,
+    /// Fraction of pairs where 2 hops already achieve the shortest path.
+    pub two_hops_optimal: f64,
+    /// Mean relative latency excess of the best ≤2-hop path over the
+    /// unrestricted shortest path (how much is *lost* by stopping at one
+    /// intermediate hop).
+    pub two_hops_excess: f64,
+    /// Fraction of pairs where 4 hops (2× communication) achieve it.
+    pub four_hops_optimal: f64,
+}
+
+/// Run the experiment.
+///
+/// # Panics
+/// Panics if the protocol result ever disagrees with the reference
+/// dynamic program — that would be a correctness bug, not a data point.
+#[must_use]
+pub fn run(params: &MultiHopParams) -> Vec<MultiHopRow> {
+    let mut rows = Vec::new();
+    for &n in &params.sizes {
+        let topo = Topology::generate(&PlanetLabParams {
+            n,
+            seed: params.seed ^ n as u64,
+            ..Default::default()
+        });
+        let m = &topo.latency;
+        let full = multihop_routes(m, n.max(2));
+        // Correctness gate: protocol == reference DP at the same bound.
+        let reference = bounded_shortest_paths(m, full.max_hops);
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (full.cost_of(i, j) - reference[i * n + j]).abs() < 1e-6,
+                    "protocol diverged from reference at ({i},{j})"
+                );
+            }
+        }
+        let two = multihop_routes(m, 2);
+        let four = multihop_routes(m, 4);
+        let total_pairs = (n * (n - 1)) as f64;
+        let frac_optimal = |r: &apor_routing::MultiHopResult| {
+            let mut hit = 0usize;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && (r.cost_of(i, j) - full.cost_of(i, j)).abs() < 1e-6 {
+                        hit += 1;
+                    }
+                }
+            }
+            hit as f64 / total_pairs
+        };
+        let mut two_excess = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && full.cost_of(i, j).is_finite() {
+                    two_excess += (two.cost_of(i, j) - full.cost_of(i, j)) / full.cost_of(i, j);
+                }
+            }
+        }
+        let two_excess = two_excess / total_pairs;
+        // A full-mesh variant of the same iteration scheme sends each
+        // modified row to all n−1 nodes instead of 2√n rendezvous.
+        let per_iter_fullmesh =
+            (n - 1) as f64 * (LINKSTATE_HEADER_SIZE + 5 * n + UDP_IP_OVERHEAD) as f64;
+        rows.push(MultiHopRow {
+            n,
+            iterations: full.iterations,
+            quorum_kb: full.mean_bytes_sent() / 1024.0,
+            fullmesh_kb: per_iter_fullmesh * full.iterations as f64 / 1024.0,
+            two_hops_optimal: frac_optimal(&two),
+            two_hops_excess: two_excess,
+            four_hops_optimal: frac_optimal(&four),
+        });
+    }
+    rows
+}
+
+/// Run, print and write `multihop.csv`.
+///
+/// # Errors
+/// Propagates CSV I/O errors.
+pub fn run_and_report(params: &MultiHopParams) -> std::io::Result<Vec<MultiHopRow>> {
+    let rows = run(params);
+    let mut table = Table::new(&[
+        "n",
+        "iters",
+        "quorum KB/node",
+        "full-mesh KB/node",
+        "2-hop optimal",
+        "2-hop excess",
+        "4-hop optimal",
+    ]);
+    let mut csv = Vec::new();
+    for r in &rows {
+        table.row(vec![
+            r.n.to_string(),
+            r.iterations.to_string(),
+            format!("{:.1}", r.quorum_kb),
+            format!("{:.1}", r.fullmesh_kb),
+            format!("{:.3}", r.two_hops_optimal),
+            format!("{:.1}%", r.two_hops_excess * 100.0),
+            format!("{:.3}", r.four_hops_optimal),
+        ]);
+        csv.push(vec![
+            r.n.to_string(),
+            r.iterations.to_string(),
+            format!("{:.2}", r.quorum_kb),
+            format!("{:.2}", r.fullmesh_kb),
+            format!("{:.4}", r.two_hops_optimal),
+            format!("{:.5}", r.two_hops_excess),
+            format!("{:.4}", r.four_hops_optimal),
+        ]);
+    }
+    println!("Multi-hop extension — all-pairs shortest paths via log-iterated quorum rounds");
+    println!("{}", table.render());
+    write_csv(
+        crate::results_path("multihop.csv"),
+        &[
+            "n",
+            "iterations",
+            "quorum_kb_per_node",
+            "fullmesh_kb_per_node",
+            "two_hop_optimal_frac",
+            "two_hop_excess",
+            "four_hop_optimal_frac",
+        ],
+        &csv,
+    )?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold_on_small_worlds() {
+        let rows = run(&MultiHopParams {
+            sizes: vec![36, 100],
+            seed: 5,
+        });
+        for r in &rows {
+            // Quorum communication beats the full-mesh variant clearly.
+            assert!(
+                r.quorum_kb < 0.7 * r.fullmesh_kb,
+                "n={}: {} vs {}",
+                r.n,
+                r.quorum_kb,
+                r.fullmesh_kb
+            );
+            // "One-hop is sufficient" territory: 2 hops capture nearly
+            // all of the latency (mean excess over the unrestricted
+            // optimum below 10 %), and 4 hops — the paper's "twice the
+            // communication" point — are optimal for ≥ 99 % of pairs.
+            // (Our synthetic model slightly over-rewards extra hops
+            // compared to the PlanetLab data, where 2–3 hops captured
+            // everything; see EXPERIMENTS.md.)
+            assert!(r.two_hops_optimal > 0.5, "2-hop {}", r.two_hops_optimal);
+            assert!(r.two_hops_excess < 0.10, "2-hop excess {}", r.two_hops_excess);
+            assert!(r.four_hops_optimal > 0.99, "4-hop {}", r.four_hops_optimal);
+            assert!(r.four_hops_optimal >= r.two_hops_optimal);
+        }
+        // Scaling: per-node KB grows ~n^1.5·log n.
+        let ratio = rows[1].quorum_kb / rows[0].quorum_kb;
+        assert!((3.0..10.0).contains(&ratio), "scaling ratio {ratio}");
+    }
+}

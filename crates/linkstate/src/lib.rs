@@ -1,0 +1,35 @@
+//! Link-state machinery for the RON-like overlay (paper section 5).
+//!
+//! Three concerns live here, all I/O-free:
+//!
+//! * [`entry`] / [`table`] — the `n × n` partial link-state table each node
+//!   maintains: its own probed row plus the rows received from rendezvous
+//!   clients, with per-row receipt timestamps for the freshness rules of
+//!   section 6.2.2.
+//! * [`estimator`] — per-neighbour latency EWMA, loss window and the
+//!   5-consecutive-failed-probes liveness rule of RON.
+//! * [`wire`] — the compact binary message formats. The paper's section 6
+//!   bandwidth formulas (probing `49.1·n` bps; RON routing
+//!   `1.6·n² + 24.5·n` bps; quorum routing
+//!   `6.4·n·√n + 17.1·n + ~200·√n` bps) pin down the message sizes
+//!   exactly: 18-byte probes, `21 + 3n`-byte link-state messages,
+//!   `23 + 4·k`-byte recommendation messages, all riding on 28 bytes of
+//!   IP+UDP framing. The codec here reproduces those sizes byte-for-byte
+//!   and the tests assert them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod entry;
+pub mod estimator;
+pub mod table;
+pub mod wire;
+
+pub use entry::{Cost, LinkEntry};
+pub use estimator::{LinkEstimator, ProbeOutcome};
+pub use table::LinkStateTable;
+pub use wire::{
+    LINKSTATE_HEADER_SIZE, PROBE_WIRE_SIZE, REC_HEADER_SIZE,
+    LinkStateMsg, Message, ProbeMsg, ProbeReplyMsg, RecEntry, RecFormat, RecommendationMsg,
+    UDP_IP_OVERHEAD,
+};

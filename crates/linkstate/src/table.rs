@@ -1,0 +1,357 @@
+//! The partial `n × n` link-state table and the round-two best-hop kernel.
+
+use crate::entry::{Cost, LinkEntry, INFINITE_COST};
+use serde::{Deserialize, Serialize};
+
+/// A node's partial view of the full `n × n` link-state matrix.
+///
+/// Row `i` holds node `i`'s own measurements of its direct links. A node
+/// populates its own row from its probers and the other rows from the
+/// link-state messages of its rendezvous clients (or, in the full-mesh
+/// baseline, of everyone). Rows carry the receipt time so the round-two
+/// computation can ignore stale data — the paper accepts measurements
+/// "sent to it within the last 3 routing intervals" (section 6.2.2).
+///
+/// Indices are membership/grid indices, not raw [`NodeId`]s; the overlay
+/// layer owns that mapping and rebuilds tables on membership change.
+///
+/// [`NodeId`]: apor_quorum::NodeId
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkStateTable {
+    n: usize,
+    entries: Vec<LinkEntry>,
+    /// Receipt time (seconds) of each row; `None` = never received.
+    row_time: Vec<Option<f64>>,
+}
+
+impl LinkStateTable {
+    /// An empty table over `n` nodes (all entries dead, all rows unknown).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        LinkStateTable {
+            n,
+            entries: vec![LinkEntry::dead(); n * n],
+            row_time: vec![None; n],
+        }
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the table covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Replace row `origin` with `entries`, stamped at `now` seconds.
+    ///
+    /// # Panics
+    /// Panics if `entries.len() != n` or `origin ≥ n`.
+    pub fn update_row(&mut self, origin: usize, entries: &[LinkEntry], now: f64) {
+        assert!(origin < self.n, "row {origin} out of range");
+        assert_eq!(entries.len(), self.n, "row must have n entries");
+        self.entries[origin * self.n..(origin + 1) * self.n].copy_from_slice(entries);
+        self.row_time[origin] = Some(now);
+    }
+
+    /// Update a single entry of a row (used for the node's own row, which
+    /// its probers refresh incrementally).
+    pub fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64) {
+        assert!(origin < self.n && dst < self.n);
+        self.entries[origin * self.n + dst] = entry;
+        self.row_time[origin] = Some(now);
+    }
+
+    /// The entry `origin → dst`.
+    #[must_use]
+    pub fn entry(&self, origin: usize, dst: usize) -> LinkEntry {
+        self.entries[origin * self.n + dst]
+    }
+
+    /// Routing cost of `origin → dst` (infinite when dead/unknown).
+    #[must_use]
+    pub fn cost(&self, origin: usize, dst: usize) -> Cost {
+        if origin == dst {
+            return 0.0;
+        }
+        self.entry(origin, dst).cost()
+    }
+
+    /// Full row of `origin`.
+    #[must_use]
+    pub fn row(&self, origin: usize) -> &[LinkEntry] {
+        &self.entries[origin * self.n..(origin + 1) * self.n]
+    }
+
+    /// Receipt time of row `origin`.
+    #[must_use]
+    pub fn row_time(&self, origin: usize) -> Option<f64> {
+        self.row_time[origin]
+    }
+
+    /// Age of row `origin` at time `now`, if ever received.
+    #[must_use]
+    pub fn row_age(&self, origin: usize, now: f64) -> Option<f64> {
+        self.row_time[origin].map(|t| now - t)
+    }
+
+    /// Is row `origin` present and no older than `max_age` at `now`?
+    #[must_use]
+    pub fn row_fresh(&self, origin: usize, now: f64, max_age: f64) -> bool {
+        self.row_age(origin, now).is_some_and(|a| a <= max_age)
+    }
+
+    /// Forget a row (e.g. on membership change or client loss).
+    pub fn clear_row(&mut self, origin: usize) {
+        for e in &mut self.entries[origin * self.n..(origin + 1) * self.n] {
+            *e = LinkEntry::dead();
+        }
+        self.row_time[origin] = None;
+    }
+
+    /// **The round-two kernel.** Best one-hop path `a → h → b` (or the
+    /// direct link, represented as `h == b`) computable from rows `a` and
+    /// `b`, both of which must be fresh (≤ `max_age` at `now`).
+    ///
+    /// Link costs are assumed symmetric (paper section 3), so the path
+    /// cost is `row_a[h] + row_b[h]`; the direct cost is the *minimum* of
+    /// the two directions' estimates (they may disagree transiently).
+    /// Ties prefer the direct link, then the lowest hop index, making the
+    /// recommendation deterministic across rendezvous servers with
+    /// identical data.
+    ///
+    /// Returns `None` when either row is missing/stale or no finite path
+    /// exists.
+    #[must_use]
+    pub fn best_one_hop(&self, a: usize, b: usize, now: f64, max_age: f64) -> Option<(usize, Cost)> {
+        if a == b || !self.row_fresh(a, now, max_age) || !self.row_fresh(b, now, max_age) {
+            return None;
+        }
+        let row_a = self.row(a);
+        let row_b = self.row(b);
+        let direct = row_a[b].cost().min(row_b[a].cost());
+        let mut best_hop = b;
+        let mut best_cost = direct;
+        for h in 0..self.n {
+            if h == a || h == b {
+                continue;
+            }
+            let c = row_a[h].cost() + row_b[h].cost();
+            if c < best_cost {
+                best_cost = c;
+                best_hop = h;
+            }
+        }
+        best_cost.is_finite().then_some((best_hop, best_cost))
+    }
+
+    /// All one-hop options from `a` to `b` with finite cost, sorted by
+    /// cost (the §4.2 "redundant link-state information" scavenging uses
+    /// this over the rows a node happens to hold).
+    #[must_use]
+    pub fn one_hop_options(&self, a: usize, b: usize, now: f64, max_age: f64) -> Vec<(usize, Cost)> {
+        if a == b || !self.row_fresh(a, now, max_age) {
+            return Vec::new();
+        }
+        let row_a = self.row(a);
+        let mut out = Vec::new();
+        for h in 0..self.n {
+            if h == a || h == b {
+                continue;
+            }
+            if !self.row_fresh(h, now, max_age) {
+                continue;
+            }
+            let c = row_a[h].cost() + self.cost(h, b);
+            if c.is_finite() {
+                out.push((h, c));
+            }
+        }
+        out.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap().then(x.0.cmp(&y.0)));
+        out
+    }
+
+    /// Does any fresh row report `dst` as alive? (Used to decide whether a
+    /// destination has failed outright — section 4.1's "check if any of
+    /// its rendezvous clients' link-state tables show that Dst is
+    /// reachable".)
+    #[must_use]
+    pub fn anyone_reaches(&self, dst: usize, now: f64, max_age: f64) -> bool {
+        (0..self.n).any(|origin| {
+            origin != dst
+                && self.row_fresh(origin, now, max_age)
+                && self.entry(origin, dst).alive
+        })
+    }
+
+    /// The cost of the path `a → h → b` using current rows; infinite when
+    /// anything is missing. `h == b` means the direct link.
+    #[must_use]
+    pub fn path_cost(&self, a: usize, h: usize, b: usize) -> Cost {
+        if h == b {
+            return self.cost(a, b);
+        }
+        let c = self.cost(a, h) + self.cost(h, b);
+        if c.is_finite() {
+            c
+        } else {
+            INFINITE_COST
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live_row(costs: &[u16]) -> Vec<LinkEntry> {
+        costs.iter().map(|&c| LinkEntry::live(c, 0.0)).collect()
+    }
+
+    /// A 4-node world where 0→3 direct is 500 ms but 0→1→3 is 150 ms.
+    fn detour_table() -> LinkStateTable {
+        let mut t = LinkStateTable::new(4);
+        t.update_row(0, &live_row(&[0, 50, 200, 500]), 10.0);
+        t.update_row(1, &live_row(&[50, 0, 80, 100]), 10.0);
+        t.update_row(2, &live_row(&[200, 80, 0, 90]), 10.0);
+        t.update_row(3, &live_row(&[500, 100, 90, 0]), 10.0);
+        t
+    }
+
+    #[test]
+    fn best_one_hop_finds_detour() {
+        let t = detour_table();
+        let (hop, cost) = t.best_one_hop(0, 3, 11.0, 45.0).unwrap();
+        assert_eq!(hop, 1);
+        assert_eq!(cost, 150.0);
+    }
+
+    #[test]
+    fn best_one_hop_prefers_direct_on_tie() {
+        let mut t = LinkStateTable::new(3);
+        t.update_row(0, &live_row(&[0, 50, 100]), 0.0);
+        t.update_row(1, &live_row(&[50, 0, 50]), 0.0);
+        t.update_row(2, &live_row(&[100, 50, 0]), 0.0);
+        // 0→2 direct = 100 = 0→1→2; prefer direct (hop == dst).
+        let (hop, cost) = t.best_one_hop(0, 2, 1.0, 45.0).unwrap();
+        assert_eq!(hop, 2);
+        assert_eq!(cost, 100.0);
+    }
+
+    #[test]
+    fn best_one_hop_requires_fresh_rows() {
+        let t = detour_table();
+        // Rows stamped at t=10; at now=100 with max_age=45 they're stale.
+        assert!(t.best_one_hop(0, 3, 100.0, 45.0).is_none());
+        assert!(t.best_one_hop(0, 3, 55.0, 45.0).is_some());
+    }
+
+    #[test]
+    fn best_one_hop_missing_row_is_none() {
+        let mut t = LinkStateTable::new(3);
+        t.update_row(0, &live_row(&[0, 10, 10]), 0.0);
+        assert!(t.best_one_hop(0, 2, 0.0, 45.0).is_none());
+    }
+
+    #[test]
+    fn best_one_hop_skips_dead_links() {
+        let mut t = detour_table();
+        // Kill 0→1 (in 0's row): detour must shift to hop 2 (200+90=290).
+        t.update_entry(0, 1, LinkEntry::dead(), 10.0);
+        let (hop, cost) = t.best_one_hop(0, 3, 11.0, 45.0).unwrap();
+        assert_eq!(hop, 2);
+        assert_eq!(cost, 290.0);
+    }
+
+    #[test]
+    fn best_one_hop_uses_min_direction_for_direct() {
+        let mut t = LinkStateTable::new(2);
+        t.update_row(0, &live_row(&[0, 300]), 0.0);
+        t.update_row(1, &live_row(&[200, 0]), 0.0);
+        let (hop, cost) = t.best_one_hop(0, 1, 0.0, 45.0).unwrap();
+        assert_eq!(hop, 1);
+        assert_eq!(cost, 200.0);
+    }
+
+    #[test]
+    fn all_dead_returns_none() {
+        let mut t = LinkStateTable::new(3);
+        t.update_row(0, &[LinkEntry::dead(), LinkEntry::dead(), LinkEntry::dead()], 0.0);
+        t.update_row(2, &[LinkEntry::dead(), LinkEntry::dead(), LinkEntry::dead()], 0.0);
+        assert!(t.best_one_hop(0, 2, 0.0, 45.0).is_none());
+    }
+
+    #[test]
+    fn one_hop_options_sorted() {
+        let t = detour_table();
+        let opts = t.one_hop_options(0, 3, 11.0, 45.0);
+        assert_eq!(opts.len(), 2);
+        assert_eq!(opts[0], (1, 150.0));
+        assert_eq!(opts[1], (2, 290.0));
+    }
+
+    #[test]
+    fn one_hop_options_skip_stale_relays() {
+        let mut t = detour_table();
+        t.clear_row(1);
+        let opts = t.one_hop_options(0, 3, 11.0, 45.0);
+        assert_eq!(opts, vec![(2, 290.0)]);
+    }
+
+    #[test]
+    fn anyone_reaches_sees_live_entries() {
+        let mut t = LinkStateTable::new(3);
+        assert!(!t.anyone_reaches(2, 0.0, 45.0));
+        t.update_row(1, &live_row(&[10, 0, 10]), 0.0);
+        assert!(t.anyone_reaches(2, 1.0, 45.0));
+        // Staleness disqualifies.
+        assert!(!t.anyone_reaches(2, 100.0, 45.0));
+        // A dead entry doesn't count.
+        let mut dead_row = live_row(&[10, 0, 10]);
+        dead_row[2] = LinkEntry::dead();
+        t.update_row(1, &dead_row, 200.0);
+        assert!(!t.anyone_reaches(2, 201.0, 45.0));
+    }
+
+    #[test]
+    fn clear_row_resets() {
+        let mut t = detour_table();
+        t.clear_row(0);
+        assert!(t.row_time(0).is_none());
+        assert!(t.cost(0, 1).is_infinite());
+        assert_eq!(t.cost(0, 0), 0.0);
+    }
+
+    #[test]
+    fn path_cost_direct_and_relayed() {
+        let t = detour_table();
+        assert_eq!(t.path_cost(0, 3, 3), 500.0);
+        assert_eq!(t.path_cost(0, 1, 3), 150.0);
+    }
+
+    #[test]
+    fn row_age_tracking() {
+        let mut t = LinkStateTable::new(2);
+        assert_eq!(t.row_age(0, 5.0), None);
+        t.update_row(0, &live_row(&[0, 5]), 3.0);
+        assert_eq!(t.row_age(0, 5.0), Some(2.0));
+        assert!(t.row_fresh(0, 5.0, 2.0));
+        assert!(!t.row_fresh(0, 5.1, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_row_bounds_checked() {
+        LinkStateTable::new(2).update_row(2, &live_row(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n entries")]
+    fn update_row_length_checked() {
+        LinkStateTable::new(3).update_row(0, &live_row(&[0, 1]), 0.0);
+    }
+}

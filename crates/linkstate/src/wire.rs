@@ -1,0 +1,694 @@
+//! The compact binary wire format (section 5, "Table Exchange").
+//!
+//! The paper stresses that the original RON's verbose link-state encoding
+//! made routing messages "about twice as large as necessary" (footnote 9)
+//! and replaces it with a compact representation: 3 bytes per link-state
+//! entry and 4 bytes per one-hop recommendation. The message sizes here
+//! are chosen so that, with the default 30 s probe / 30 s (RON) or 15 s
+//! (quorum) routing intervals, the theoretical bandwidth formulas of
+//! section 6 come out with the paper's constants:
+//!
+//! * probe / probe-reply: **18 B** payload (+28 B IP/UDP) — probing traffic
+//!   `49.1·n` bps;
+//! * link-state message: **21 B** header + `3·n` B — RON routing traffic
+//!   `1.6·n² + 24.5·n` bps;
+//! * recommendation message: **23 B** header + `4·k` B for `k` entries —
+//!   quorum routing traffic `6.4·n√n + 17.1·n + Θ(√n)` bps.
+//!
+//! Encoding is hand-rolled big-endian over [`bytes`]; no serde on the hot
+//! path. Membership-service messages (join/leave/view) share the same
+//! envelope but are rare, so their size is not calibrated.
+
+use crate::entry::LinkEntry;
+use apor_quorum::NodeId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes of IP + UDP framing accounted per packet in bandwidth figures.
+pub const UDP_IP_OVERHEAD: usize = 28;
+
+/// Wire size of a probe or probe-reply payload.
+pub const PROBE_WIRE_SIZE: usize = 18;
+/// Wire size of the link-state message header (entries add `3·n`).
+pub const LINKSTATE_HEADER_SIZE: usize = 21;
+/// Wire size of the recommendation message header (entries add 4 or 6 each).
+pub const REC_HEADER_SIZE: usize = 23;
+
+/// Message type tags.
+const T_PROBE: u8 = 1;
+const T_PROBE_REPLY: u8 = 2;
+const T_LINKSTATE: u8 = 3;
+const T_RECOMMENDATIONS: u8 = 4;
+const T_JOIN: u8 = 5;
+const T_LEAVE: u8 = 6;
+const T_VIEW: u8 = 7;
+
+/// Errors from [`Message::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// Unknown message-type tag.
+    BadType(u8),
+    /// A length field disagrees with the buffer.
+    BadLength,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadType(t) => write!(f, "unknown message type {t}"),
+            WireError::BadLength => write!(f, "inconsistent length field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A probe (ping) message. 18 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeMsg {
+    /// Sender.
+    pub from: NodeId,
+    /// Destination.
+    pub to: NodeId,
+    /// Sender's membership view version.
+    pub view: u32,
+    /// Probe sequence number (per sender–receiver pair).
+    pub seq: u32,
+    /// Sender clock at transmission, milliseconds (echoed by the reply).
+    pub sent_ms: u32,
+}
+
+/// A probe reply. 18 bytes; echoes `seq` and `sent_ms`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeReplyMsg {
+    /// Sender of the reply (the probed node).
+    pub from: NodeId,
+    /// The original prober.
+    pub to: NodeId,
+    /// Replier's membership view version.
+    pub view: u32,
+    /// Echoed probe sequence number.
+    pub seq: u32,
+    /// Echoed sender clock from the probe.
+    pub echo_sent_ms: u32,
+}
+
+/// A round-one link-state message: the origin's full measured row.
+/// `21 + 3·n` bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkStateMsg {
+    /// Origin (the measuring node).
+    pub from: NodeId,
+    /// Addressed rendezvous server.
+    pub to: NodeId,
+    /// Origin's membership view version. Receivers drop rows from other
+    /// views: grid indices are only meaningful within one view.
+    pub view: u32,
+    /// Routing round counter at the origin.
+    pub round: u32,
+    /// Origin clock (ms) when the row was snapshotted.
+    pub basis_ms: u32,
+    /// One entry per grid index (length = view size).
+    pub entries: Vec<LinkEntry>,
+}
+
+/// One best-hop recommendation: "to reach `dst`, forward via `hop`"
+/// (`hop == dst` means the direct link is best). 4 bytes, or 6 with the
+/// optional cost (the `WithCost` ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecEntry {
+    /// Destination this recommendation is about.
+    pub dst: NodeId,
+    /// Best first hop towards `dst`.
+    pub hop: NodeId,
+    /// Path cost (ms) as computed by the rendezvous; only on the wire in
+    /// [`RecFormat::WithCost`]. `u16::MAX` when absent.
+    pub cost_ms: u16,
+}
+
+/// Wire format of recommendation entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RecFormat {
+    /// The paper's 4-byte `(dst, hop)` entries.
+    #[default]
+    Compact,
+    /// 6-byte `(dst, hop, cost)` entries — an ablation that spends
+    /// bandwidth to let clients arbitrate recommendations by cost.
+    WithCost,
+}
+
+impl RecFormat {
+    /// Bytes per recommendation entry.
+    #[must_use]
+    pub fn entry_size(self) -> usize {
+        match self {
+            RecFormat::Compact => 4,
+            RecFormat::WithCost => 6,
+        }
+    }
+}
+
+/// A round-two recommendation message from a rendezvous server to one of
+/// its clients. `23 + entry_size·k` bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendationMsg {
+    /// The rendezvous server.
+    pub from: NodeId,
+    /// The client these recommendations are for.
+    pub to: NodeId,
+    /// Server's membership view version.
+    pub view: u32,
+    /// Server's routing round counter.
+    pub round: u32,
+    /// Server clock (ms) when the recommendations were computed.
+    pub basis_ms: u32,
+    /// Entry encoding.
+    pub format: RecFormat,
+    /// Best-hop recommendations, one per destination the server covers.
+    pub recs: Vec<RecEntry>,
+}
+
+/// Membership view broadcast by the coordinator: the sorted member list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewMsg {
+    /// The coordinator.
+    pub from: NodeId,
+    /// Addressee.
+    pub to: NodeId,
+    /// Monotonic view version.
+    pub view: u32,
+    /// Sorted member IDs; grid index = position in this list.
+    pub members: Vec<NodeId>,
+}
+
+/// Any overlay message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Link probe.
+    Probe(ProbeMsg),
+    /// Probe reply.
+    ProbeReply(ProbeReplyMsg),
+    /// Round-one link-state row.
+    LinkState(LinkStateMsg),
+    /// Round-two recommendations.
+    Recommendations(RecommendationMsg),
+    /// Membership: join request to the coordinator.
+    Join {
+        /// Joining node.
+        from: NodeId,
+        /// Coordinator.
+        to: NodeId,
+    },
+    /// Membership: leave notice to the coordinator.
+    Leave {
+        /// Leaving node.
+        from: NodeId,
+        /// Coordinator.
+        to: NodeId,
+    },
+    /// Membership: view broadcast.
+    View(ViewMsg),
+}
+
+impl Message {
+    /// The sender.
+    #[must_use]
+    pub fn from(&self) -> NodeId {
+        match self {
+            Message::Probe(m) => m.from,
+            Message::ProbeReply(m) => m.from,
+            Message::LinkState(m) => m.from,
+            Message::Recommendations(m) => m.from,
+            Message::Join { from, .. } | Message::Leave { from, .. } => *from,
+            Message::View(m) => m.from,
+        }
+    }
+
+    /// The addressee.
+    #[must_use]
+    pub fn to(&self) -> NodeId {
+        match self {
+            Message::Probe(m) => m.to,
+            Message::ProbeReply(m) => m.to,
+            Message::LinkState(m) => m.to,
+            Message::Recommendations(m) => m.to,
+            Message::Join { to, .. } | Message::Leave { to, .. } => *to,
+            Message::View(m) => m.to,
+        }
+    }
+
+    /// Serialize to bytes.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_size());
+        match self {
+            Message::Probe(m) => {
+                b.put_u8(T_PROBE);
+                b.put_u16(m.from.0);
+                b.put_u16(m.to.0);
+                b.put_u32(m.view);
+                b.put_u32(m.seq);
+                b.put_u32(m.sent_ms);
+                b.put_u8(0); // flags
+            }
+            Message::ProbeReply(m) => {
+                b.put_u8(T_PROBE_REPLY);
+                b.put_u16(m.from.0);
+                b.put_u16(m.to.0);
+                b.put_u32(m.view);
+                b.put_u32(m.seq);
+                b.put_u32(m.echo_sent_ms);
+                b.put_u8(0); // flags
+            }
+            Message::LinkState(m) => {
+                b.put_u8(T_LINKSTATE);
+                b.put_u16(m.from.0);
+                b.put_u16(m.to.0);
+                b.put_u32(m.view);
+                b.put_u32(m.round);
+                b.put_u16(m.entries.len() as u16);
+                b.put_u32(m.basis_ms);
+                b.put_u16(0); // flags
+                for e in &m.entries {
+                    b.put_slice(&e.encode());
+                }
+            }
+            Message::Recommendations(m) => {
+                b.put_u8(T_RECOMMENDATIONS);
+                b.put_u16(m.from.0);
+                b.put_u16(m.to.0);
+                b.put_u32(m.view);
+                b.put_u32(m.round);
+                b.put_u16(m.recs.len() as u16);
+                b.put_u32(m.basis_ms);
+                let flags: u32 = match m.format {
+                    RecFormat::Compact => 0,
+                    RecFormat::WithCost => 1,
+                };
+                b.put_u32(flags);
+                for r in &m.recs {
+                    b.put_u16(r.dst.0);
+                    b.put_u16(r.hop.0);
+                    if m.format == RecFormat::WithCost {
+                        b.put_u16(r.cost_ms);
+                    }
+                }
+            }
+            Message::Join { from, to } => {
+                b.put_u8(T_JOIN);
+                b.put_u16(from.0);
+                b.put_u16(to.0);
+            }
+            Message::Leave { from, to } => {
+                b.put_u8(T_LEAVE);
+                b.put_u16(from.0);
+                b.put_u16(to.0);
+            }
+            Message::View(m) => {
+                b.put_u8(T_VIEW);
+                b.put_u16(m.from.0);
+                b.put_u16(m.to.0);
+                b.put_u32(m.view);
+                b.put_u16(m.members.len() as u16);
+                for id in &m.members {
+                    b.put_u16(id.0);
+                }
+            }
+        }
+        b.freeze()
+    }
+
+    /// Deserialize from bytes.
+    ///
+    /// # Errors
+    /// Returns a [`WireError`] on truncation, bad type tags or length
+    /// mismatches. Never panics on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+        let mut b = bytes;
+        if b.remaining() < 5 {
+            return Err(WireError::Truncated);
+        }
+        let typ = b.get_u8();
+        let from = NodeId(b.get_u16());
+        let to = NodeId(b.get_u16());
+        match typ {
+            T_PROBE | T_PROBE_REPLY => {
+                if b.remaining() < PROBE_WIRE_SIZE - 5 {
+                    return Err(WireError::Truncated);
+                }
+                let view = b.get_u32();
+                let seq = b.get_u32();
+                let ts = b.get_u32();
+                let _flags = b.get_u8();
+                Ok(if typ == T_PROBE {
+                    Message::Probe(ProbeMsg {
+                        from,
+                        to,
+                        view,
+                        seq,
+                        sent_ms: ts,
+                    })
+                } else {
+                    Message::ProbeReply(ProbeReplyMsg {
+                        from,
+                        to,
+                        view,
+                        seq,
+                        echo_sent_ms: ts,
+                    })
+                })
+            }
+            T_LINKSTATE => {
+                if b.remaining() < LINKSTATE_HEADER_SIZE - 5 {
+                    return Err(WireError::Truncated);
+                }
+                let view = b.get_u32();
+                let round = b.get_u32();
+                let count = b.get_u16() as usize;
+                let basis_ms = b.get_u32();
+                let _flags = b.get_u16();
+                if b.remaining() != count * LinkEntry::WIRE_SIZE {
+                    return Err(WireError::BadLength);
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let raw = [b.get_u8(), b.get_u8(), b.get_u8()];
+                    entries.push(LinkEntry::decode(raw));
+                }
+                Ok(Message::LinkState(LinkStateMsg {
+                    from,
+                    to,
+                    view,
+                    round,
+                    basis_ms,
+                    entries,
+                }))
+            }
+            T_RECOMMENDATIONS => {
+                if b.remaining() < REC_HEADER_SIZE - 5 {
+                    return Err(WireError::Truncated);
+                }
+                let view = b.get_u32();
+                let round = b.get_u32();
+                let count = b.get_u16() as usize;
+                let basis_ms = b.get_u32();
+                let flags = b.get_u32();
+                let format = if flags & 1 == 1 {
+                    RecFormat::WithCost
+                } else {
+                    RecFormat::Compact
+                };
+                if b.remaining() != count * format.entry_size() {
+                    return Err(WireError::BadLength);
+                }
+                let mut recs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let dst = NodeId(b.get_u16());
+                    let hop = NodeId(b.get_u16());
+                    let cost_ms = if format == RecFormat::WithCost {
+                        b.get_u16()
+                    } else {
+                        u16::MAX
+                    };
+                    recs.push(RecEntry { dst, hop, cost_ms });
+                }
+                Ok(Message::Recommendations(RecommendationMsg {
+                    from,
+                    to,
+                    view,
+                    round,
+                    basis_ms,
+                    format,
+                    recs,
+                }))
+            }
+            T_JOIN => Ok(Message::Join { from, to }),
+            T_LEAVE => Ok(Message::Leave { from, to }),
+            T_VIEW => {
+                if b.remaining() < 6 {
+                    return Err(WireError::Truncated);
+                }
+                let view = b.get_u32();
+                let count = b.get_u16() as usize;
+                if b.remaining() != count * 2 {
+                    return Err(WireError::BadLength);
+                }
+                let mut members = Vec::with_capacity(count);
+                for _ in 0..count {
+                    members.push(NodeId(b.get_u16()));
+                }
+                Ok(Message::View(ViewMsg {
+                    from,
+                    to,
+                    view,
+                    members,
+                }))
+            }
+            other => Err(WireError::BadType(other)),
+        }
+    }
+
+    /// Serialized size in bytes (application payload, no IP/UDP framing).
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::Probe(_) | Message::ProbeReply(_) => PROBE_WIRE_SIZE,
+            Message::LinkState(m) => {
+                LINKSTATE_HEADER_SIZE + m.entries.len() * LinkEntry::WIRE_SIZE
+            }
+            Message::Recommendations(m) => {
+                REC_HEADER_SIZE + m.recs.len() * m.format.entry_size()
+            }
+            Message::Join { .. } | Message::Leave { .. } => 5,
+            Message::View(m) => 11 + 2 * m.members.len(),
+        }
+    }
+
+    /// Size including IP+UDP framing, as accounted in bandwidth figures.
+    #[must_use]
+    pub fn wire_size_with_overhead(&self) -> usize {
+        self.wire_size() + UDP_IP_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: &Message) -> Message {
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), m.wire_size(), "declared size must match");
+        Message::decode(&bytes).expect("decode")
+    }
+
+    #[test]
+    fn probe_roundtrip_and_size() {
+        let m = Message::Probe(ProbeMsg {
+            from: NodeId(3),
+            to: NodeId(9),
+            view: 7,
+            seq: 123456,
+            sent_ms: 42_000,
+        });
+        assert_eq!(m.wire_size(), 18);
+        assert_eq!(m.wire_size_with_overhead(), 46);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn probe_reply_roundtrip() {
+        let m = Message::ProbeReply(ProbeReplyMsg {
+            from: NodeId(9),
+            to: NodeId(3),
+            view: 7,
+            seq: 123456,
+            echo_sent_ms: 42_000,
+        });
+        assert_eq!(m.wire_size(), 18);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn linkstate_roundtrip_and_size() {
+        let n = 140;
+        let entries: Vec<LinkEntry> = (0..n)
+            .map(|i| {
+                if i % 7 == 0 {
+                    LinkEntry::dead()
+                } else {
+                    LinkEntry::live(i as u16 * 3, 0.01)
+                }
+            })
+            .collect();
+        let m = Message::LinkState(LinkStateMsg {
+            from: NodeId(5),
+            to: NodeId(17),
+            view: 2,
+            round: 99,
+            basis_ms: 1_000_000,
+            entries,
+        });
+        // 21 + 3·140 = 441 bytes: the paper's "at most 3·n bytes" payload.
+        assert_eq!(m.wire_size(), 21 + 3 * n);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn recommendations_compact_roundtrip() {
+        let recs: Vec<RecEntry> = (0..24)
+            .map(|i| RecEntry {
+                dst: NodeId(i),
+                hop: NodeId((i * 3) % 140),
+                cost_ms: u16::MAX, // absent in compact form
+            })
+            .collect();
+        let m = Message::Recommendations(RecommendationMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 4,
+            round: 11,
+            basis_ms: 500,
+            format: RecFormat::Compact,
+            recs,
+        });
+        // 23 + 4·24: the paper's 4·(2√n) byte recommendation body for n=144.
+        assert_eq!(m.wire_size(), 23 + 4 * 24);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn recommendations_with_cost_roundtrip() {
+        let recs = vec![
+            RecEntry {
+                dst: NodeId(7),
+                hop: NodeId(7),
+                cost_ms: 250,
+            },
+            RecEntry {
+                dst: NodeId(8),
+                hop: NodeId(3),
+                cost_ms: 90,
+            },
+        ];
+        let m = Message::Recommendations(RecommendationMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 4,
+            round: 11,
+            basis_ms: 500,
+            format: RecFormat::WithCost,
+            recs,
+        });
+        assert_eq!(m.wire_size(), 23 + 6 * 2);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn membership_messages_roundtrip() {
+        let join = Message::Join {
+            from: NodeId(30),
+            to: NodeId(0),
+        };
+        assert_eq!(roundtrip(&join), join);
+        let leave = Message::Leave {
+            from: NodeId(30),
+            to: NodeId(0),
+        };
+        assert_eq!(roundtrip(&leave), leave);
+        let view = Message::View(ViewMsg {
+            from: NodeId(0),
+            to: NodeId(30),
+            view: 12,
+            members: vec![NodeId(0), NodeId(5), NodeId(30)],
+        });
+        assert_eq!(roundtrip(&view), view);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Message::decode(&[1, 2]), Err(WireError::Truncated));
+        assert_eq!(
+            Message::decode(&[200, 0, 0, 0, 0]),
+            Err(WireError::BadType(200))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncated_bodies() {
+        let m = Message::LinkState(LinkStateMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 0,
+            round: 0,
+            basis_ms: 0,
+            entries: vec![LinkEntry::live(5, 0.0); 10],
+        });
+        let bytes = m.encode();
+        for cut in 1..bytes.len() {
+            let r = Message::decode(&bytes[..cut]);
+            assert!(r.is_err(), "decode of {cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_length_mismatch() {
+        let m = Message::Recommendations(RecommendationMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 0,
+            round: 0,
+            basis_ms: 0,
+            format: RecFormat::Compact,
+            recs: vec![RecEntry {
+                dst: NodeId(3),
+                hop: NodeId(4),
+                cost_ms: u16::MAX,
+            }],
+        });
+        let mut bytes = m.encode().to_vec();
+        bytes.extend_from_slice(&[0, 0]); // trailing junk
+        assert_eq!(Message::decode(&bytes), Err(WireError::BadLength));
+    }
+
+    /// The bandwidth-formula calibration (section 6): with the default
+    /// intervals the per-node traffic derived from these wire sizes must
+    /// match the paper's published constants.
+    #[test]
+    fn section_6_bandwidth_constants() {
+        let n: f64 = 140.0;
+        let probe_pkt = (PROBE_WIRE_SIZE + UDP_IP_OVERHEAD) as f64;
+        // Probing: each node sends and receives probes and replies to/from
+        // n−1 peers every 30 s: 4·(n−1) packets per 30 s.
+        let probing_bps = 4.0 * (n - 1.0) * probe_pkt * 8.0 / 30.0;
+        let paper_probing = 49.1 * n;
+        assert!(
+            (probing_bps - paper_probing).abs() / paper_probing < 0.03,
+            "probing {probing_bps} vs paper {paper_probing}"
+        );
+
+        // RON routing: LS to n−1 peers every 30 s, in + out.
+        let ls_pkt = (LINKSTATE_HEADER_SIZE + 3 * n as usize + UDP_IP_OVERHEAD) as f64;
+        let ron_bps = 2.0 * (n - 1.0) * ls_pkt * 8.0 / 30.0;
+        let paper_ron = 1.6 * n * n + 24.5 * n;
+        assert!(
+            (ron_bps - paper_ron).abs() / paper_ron < 0.03,
+            "RON routing {ron_bps} vs paper {paper_ron}"
+        );
+
+        // Quorum routing: LS to ~2√n servers + recs (2√n entries) to ~2√n
+        // clients every 15 s, in + out.
+        let sq = n.sqrt();
+        let rec_pkt = (REC_HEADER_SIZE + UDP_IP_OVERHEAD) as f64 + 4.0 * 2.0 * sq;
+        let quorum_bps = (2.0 * 2.0 * sq * ls_pkt + 2.0 * 2.0 * sq * rec_pkt) * 8.0 / 15.0;
+        let paper_quorum = 6.4 * n * sq + 17.1 * n + 196.3 * sq;
+        assert!(
+            (quorum_bps - paper_quorum).abs() / paper_quorum < 0.06,
+            "quorum routing {quorum_bps} vs paper {paper_quorum}"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! The paper evaluates its system twice: in an *emulation* ("the emulated
+//! nodes run on one physical machine … the emulation uses the same
+//! implementation as the one deployed on the Internet", section 6.1) and
+//! in a real PlanetLab deployment. This crate is the emulation half: the
+//! same sans-io overlay node that runs on tokio UDP sockets runs here
+//! against a simulated network with
+//!
+//! * per-pair latency from a [`LatencyMatrix`](apor_topology::LatencyMatrix),
+//! * per-pair Bernoulli packet loss,
+//! * link/node failure injection from a
+//!   [`FailureSchedule`](apor_topology::FailureSchedule),
+//! * and per-packet, per-class, time-bucketed **bandwidth accounting** —
+//!   the measurement behind figures 9 and 10.
+//!
+//! Determinism: events are processed in `(time, sequence)` order and all
+//! randomness flows from one seeded ChaCha stream, so a run is a pure
+//! function of `(topology, schedule, behaviors, seed)`.
+//!
+//! The simulator transports opaque byte buffers: nodes hand it *encoded*
+//! messages, so every simulated run also exercises the real wire codec.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod sim;
+mod stats;
+
+pub use sim::{Ctx, NodeBehavior, Simulator, SimulatorConfig};
+pub use stats::{Direction, TrafficClass, TrafficStats};

@@ -1,0 +1,657 @@
+//! The simulator core: event loop, network model and node harness.
+
+use crate::queue::EventQueue;
+use crate::stats::{Direction, TrafficClass, TrafficStats};
+use apor_topology::{FailureSchedule, LatencyMatrix};
+use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Simulator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SimulatorConfig {
+    /// Master seed; the run is a pure function of it (plus inputs).
+    pub seed: u64,
+    /// Per-packet delay jitter as a fraction of the one-way delay
+    /// (uniform in `±jitter_frac`). Desynchronizes otherwise lock-stepped
+    /// nodes, like real networks do.
+    pub jitter_frac: f64,
+    /// Width of the traffic-accounting buckets (60 s = figure 10's
+    /// 1-minute windows).
+    pub bucket_secs: f64,
+    /// Safety valve: abort after this many events.
+    pub max_events: u64,
+    /// Bytes of IP+UDP framing accounted per packet.
+    pub per_packet_overhead: usize,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        SimulatorConfig {
+            seed: 1,
+            jitter_frac: 0.03,
+            bucket_secs: 60.0,
+            max_events: 200_000_000,
+            per_packet_overhead: apor_linkstate_overhead(),
+        }
+    }
+}
+
+/// Kept as a function so `netsim` does not depend on the linkstate crate;
+/// the value mirrors `apor_linkstate::wire::UDP_IP_OVERHEAD`.
+const fn apor_linkstate_overhead() -> usize {
+    28
+}
+
+/// What a node may do during a callback. Commands are buffered and applied
+/// by the simulator after the callback returns.
+enum Command {
+    Send {
+        to: usize,
+        class: TrafficClass,
+        payload: Bytes,
+    },
+    Timer {
+        delay_s: f64,
+        token: u64,
+    },
+}
+
+/// The callback context handed to node behaviors.
+///
+/// Mirrors a sans-io driver: a node can learn the time, send packets, arm
+/// timers and draw randomness — nothing else. The identical behavior can
+/// therefore be driven by the tokio UDP transport instead.
+pub struct Ctx<'a> {
+    now: f64,
+    node: usize,
+    n: usize,
+    rng: &'a mut ChaCha8Rng,
+    cmds: &'a mut Vec<Command>,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time, seconds.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// This node's index.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Number of nodes in the simulation.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Send an encoded message to `to`. Self-sends are ignored (a real
+    /// socket could loop back, but the overlay never needs it).
+    pub fn send(&mut self, to: usize, class: TrafficClass, payload: Bytes) {
+        if to == self.node {
+            return;
+        }
+        self.cmds.push(Command::Send { to, class, payload });
+    }
+
+    /// Arm a one-shot timer that fires `delay_s` from now with `token`.
+    /// There is no cancellation: handlers must ignore stale tokens.
+    pub fn set_timer(&mut self, delay_s: f64, token: u64) {
+        assert!(delay_s >= 0.0, "timer delay must be non-negative");
+        self.cmds.push(Command::Timer {
+            delay_s,
+            token,
+        });
+    }
+
+    /// Deterministic per-run randomness (jitter, random failover picks).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        self.rng
+    }
+}
+
+/// A simulated node: a pure event-driven state machine.
+pub trait NodeBehavior {
+    /// Called once when the node starts.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>);
+    /// Called when a packet addressed to this node arrives.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: usize, payload: &[u8]);
+    /// Called when a timer armed with `token` fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+    /// Downcast hook so experiment harnesses can inspect node state after
+    /// a run (`sim.node(i).as_any().downcast_ref::<MyNode>()`).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+enum Event {
+    Start {
+        node: usize,
+    },
+    Deliver {
+        from: usize,
+        to: usize,
+        class: TrafficClass,
+        payload: Bytes,
+    },
+    Timer {
+        node: usize,
+        token: u64,
+    },
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    nodes: Vec<Box<dyn NodeBehavior>>,
+    latency: LatencyMatrix,
+    schedule: FailureSchedule,
+    config: SimulatorConfig,
+    queue: EventQueue<Event>,
+    now: f64,
+    rng: ChaCha8Rng,
+    stats: TrafficStats,
+    events_processed: u64,
+    cmd_buf: Vec<Command>,
+}
+
+impl Simulator {
+    /// Create a simulator over the given network. Nodes are added with
+    /// [`add_node`](Self::add_node) and start at their given offsets.
+    #[must_use]
+    pub fn new(
+        latency: LatencyMatrix,
+        schedule: FailureSchedule,
+        config: SimulatorConfig,
+    ) -> Self {
+        let n = latency.len();
+        assert_eq!(
+            schedule.len(),
+            n,
+            "failure schedule and latency matrix disagree on n"
+        );
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let stats = TrafficStats::new(n, config.bucket_secs);
+        Simulator {
+            nodes: Vec::with_capacity(n),
+            latency,
+            schedule,
+            config,
+            queue: EventQueue::new(),
+            now: 0.0,
+            rng,
+            stats,
+            events_processed: 0,
+            cmd_buf: Vec::new(),
+        }
+    }
+
+    /// Add the next node (index = insertion order), starting at
+    /// `start_at_s`.
+    ///
+    /// # Panics
+    /// Panics if more nodes are added than the latency matrix covers.
+    pub fn add_node(&mut self, behavior: Box<dyn NodeBehavior>, start_at_s: f64) {
+        let idx = self.nodes.len();
+        assert!(idx < self.latency.len(), "more nodes than matrix rows");
+        self.nodes.push(behavior);
+        self.queue.push(start_at_s, Event::Start { node: idx });
+    }
+
+    /// Current simulation time, seconds.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The traffic accounting so far.
+    #[must_use]
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Borrow a node's behavior (for post-run inspection).
+    #[must_use]
+    pub fn node(&self, i: usize) -> &dyn NodeBehavior {
+        self.nodes[i].as_ref()
+    }
+
+    /// The failure schedule driving this run.
+    #[must_use]
+    pub fn schedule(&self) -> &FailureSchedule {
+        &self.schedule
+    }
+
+    /// The latency matrix driving this run.
+    #[must_use]
+    pub fn latency(&self) -> &LatencyMatrix {
+        &self.latency
+    }
+
+    /// Run until the queue is empty or simulated time reaches `until_s`.
+    ///
+    /// # Panics
+    /// Panics when the `max_events` safety valve trips (a runaway
+    /// behavior, not a normal condition).
+    pub fn run_until(&mut self, until_s: f64) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until_s {
+                break;
+            }
+            let scheduled = self.queue.pop().expect("peeked event");
+            self.now = scheduled.time.max(self.now);
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.config.max_events,
+                "event budget exceeded: runaway behavior?"
+            );
+            self.dispatch(scheduled.event);
+        }
+        self.now = self.now.max(until_s);
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        debug_assert!(self.cmd_buf.is_empty());
+        let node_idx;
+        match event {
+            Event::Start { node } => {
+                node_idx = node;
+                let mut ctx = Ctx {
+                    now: self.now,
+                    node,
+                    n: self.latency.len(),
+                    rng: &mut self.rng,
+                    cmds: &mut self.cmd_buf,
+                };
+                self.nodes[node].on_start(&mut ctx);
+            }
+            Event::Deliver {
+                from,
+                to,
+                class,
+                payload,
+            } => {
+                node_idx = to;
+                // A crashed receiver takes no delivery.
+                if !self.schedule.is_node_up(to, self.now) {
+                    return;
+                }
+                self.stats.record(
+                    to,
+                    class,
+                    Direction::In,
+                    payload.len() + self.config.per_packet_overhead,
+                    self.now,
+                );
+                let mut ctx = Ctx {
+                    now: self.now,
+                    node: to,
+                    n: self.latency.len(),
+                    rng: &mut self.rng,
+                    cmds: &mut self.cmd_buf,
+                };
+                self.nodes[to].on_packet(&mut ctx, from, &payload);
+            }
+            Event::Timer { node, token } => {
+                node_idx = node;
+                let mut ctx = Ctx {
+                    now: self.now,
+                    node,
+                    n: self.latency.len(),
+                    rng: &mut self.rng,
+                    cmds: &mut self.cmd_buf,
+                };
+                self.nodes[node].on_timer(&mut ctx, token);
+            }
+        }
+        self.apply_commands(node_idx);
+    }
+
+    fn apply_commands(&mut self, from: usize) {
+        let cmds = std::mem::take(&mut self.cmd_buf);
+        for cmd in cmds {
+            match cmd {
+                Command::Send { to, class, payload } => self.transmit(from, to, class, payload),
+                Command::Timer { delay_s, token } => {
+                    self.queue
+                        .push(self.now + delay_s, Event::Timer { node: from, token });
+                }
+            }
+        }
+    }
+
+    /// The network model: account the transmission, then decide loss and
+    /// delay.
+    fn transmit(&mut self, from: usize, to: usize, class: TrafficClass, payload: Bytes) {
+        let size = payload.len() + self.config.per_packet_overhead;
+        // The sender pays for the transmission whether or not it arrives.
+        self.stats.record(from, class, Direction::Out, size, self.now);
+
+        // A down link (or endpoint) swallows the packet.
+        if !self.schedule.is_link_up(from, to, self.now) {
+            return;
+        }
+        if !self.latency.reachable(from, to) {
+            return;
+        }
+        // Bernoulli loss.
+        if self.latency.loss(from, to) > 0.0 && self.rng.gen::<f64>() < self.latency.loss(from, to)
+        {
+            return;
+        }
+        let base = self.latency.one_way(from, to) / 1000.0; // ms → s
+        let jitter = if self.config.jitter_frac > 0.0 {
+            1.0 + self.config.jitter_frac * self.rng.gen_range(-1.0..1.0)
+        } else {
+            1.0
+        };
+        let arrival = self.now + (base * jitter).max(0.0);
+        self.queue.push(
+            arrival,
+            Event::Deliver {
+                from,
+                to,
+                class,
+                payload,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apor_topology::FailureParams;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Node 0 pings node 1 on start; node 1 echoes; node 0 records the RTT.
+    struct Pinger {
+        peer: usize,
+        sent_at: f64,
+        log: Rc<RefCell<Vec<f64>>>,
+    }
+
+    impl NodeBehavior for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.sent_at = ctx.now();
+            ctx.send(self.peer, TrafficClass::Probing, Bytes::from_static(b"ping"));
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: usize, payload: &[u8]) {
+            if payload == b"pong" {
+                self.log.borrow_mut().push(ctx.now() - self.sent_at);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    struct Echoer;
+    impl NodeBehavior for Echoer {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: usize, payload: &[u8]) {
+            if payload == b"ping" {
+                ctx.send(from, TrafficClass::Probing, Bytes::from_static(b"pong"));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    fn no_jitter_config(seed: u64) -> SimulatorConfig {
+        SimulatorConfig {
+            seed,
+            jitter_frac: 0.0,
+            ..Default::default()
+        }
+    }
+
+    fn two_node_sim(rtt_ms: f64, seed: u64) -> (Simulator, Rc<RefCell<Vec<f64>>>) {
+        let m = LatencyMatrix::uniform(2, rtt_ms);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, FailureParams::none(2, 1e6), no_jitter_config(seed));
+        sim.add_node(
+            Box::new(Pinger {
+                peer: 1,
+                sent_at: 0.0,
+                log: Rc::clone(&log),
+            }),
+            0.0,
+        );
+        sim.add_node(Box::new(Echoer), 0.0);
+        (sim, log)
+    }
+
+    #[test]
+    fn ping_rtt_matches_matrix() {
+        let (mut sim, log) = two_node_sim(80.0, 7);
+        sim.run_until(10.0);
+        let rtts = log.borrow();
+        assert_eq!(rtts.len(), 1);
+        // 80 ms RTT = 0.080 s round trip.
+        assert!((rtts[0] - 0.080).abs() < 1e-9, "rtt {}", rtts[0]);
+    }
+
+    #[test]
+    fn stats_account_both_directions_with_overhead() {
+        let (mut sim, _log) = two_node_sim(10.0, 7);
+        sim.run_until(10.0);
+        let s = sim.stats();
+        // ping out of 0: 4 bytes + 28; pong out of 1: same.
+        assert_eq!(
+            s.total_bytes(0, &[TrafficClass::Probing], &[Direction::Out], 0.0, 10.0),
+            32
+        );
+        assert_eq!(
+            s.total_bytes(0, &[TrafficClass::Probing], &[Direction::In], 0.0, 10.0),
+            32
+        );
+        assert_eq!(
+            s.total_bytes(1, &[TrafficClass::Probing], &[Direction::In], 0.0, 10.0),
+            32
+        );
+    }
+
+    #[test]
+    fn total_loss_blocks_delivery() {
+        let mut m = LatencyMatrix::uniform(2, 10.0);
+        m.set_loss(0, 1, 1.0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, FailureParams::none(2, 1e6), no_jitter_config(3));
+        sim.add_node(
+            Box::new(Pinger {
+                peer: 1,
+                sent_at: 0.0,
+                log: Rc::clone(&log),
+            }),
+            0.0,
+        );
+        sim.add_node(Box::new(Echoer), 0.0);
+        sim.run_until(10.0);
+        assert!(log.borrow().is_empty());
+        // Sender still paid for the transmission.
+        assert_eq!(
+            sim.stats()
+                .total_bytes(0, &[TrafficClass::Probing], &[Direction::Out], 0.0, 10.0),
+            32
+        );
+    }
+
+    #[test]
+    fn unreachable_pair_never_delivers() {
+        let m = LatencyMatrix::unreachable(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, FailureParams::none(2, 1e6), no_jitter_config(3));
+        sim.add_node(
+            Box::new(Pinger {
+                peer: 1,
+                sent_at: 0.0,
+                log: Rc::clone(&log),
+            }),
+            0.0,
+        );
+        sim.add_node(Box::new(Echoer), 0.0);
+        sim.run_until(10.0);
+        assert!(log.borrow().is_empty());
+    }
+
+    #[test]
+    fn failure_schedule_blocks_link() {
+        use apor_topology::failures::NodeOutage;
+        let m = LatencyMatrix::uniform(2, 10.0);
+        let mut params = FailureParams::with_n(2);
+        params.median_concurrent = 1e-9;
+        params.duration_s = 1e6;
+        params.node_outages = vec![NodeOutage {
+            node: 1,
+            start_s: 0.0,
+            end_s: 100.0,
+        }];
+        let schedule = apor_topology::FailureSchedule::generate(&params);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, schedule, no_jitter_config(3));
+        sim.add_node(
+            Box::new(Pinger {
+                peer: 1,
+                sent_at: 0.0,
+                log: Rc::clone(&log),
+            }),
+            0.0, // pings while node 1 is down
+        );
+        sim.add_node(Box::new(Echoer), 0.0);
+        sim.run_until(200.0);
+        assert!(log.borrow().is_empty(), "ping during outage must be lost");
+    }
+
+    /// Timers fire in order and re-arming works.
+    struct Ticker {
+        ticks: Rc<RefCell<Vec<f64>>>,
+        period: f64,
+        remaining: u32,
+    }
+    impl NodeBehavior for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.period, 1);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: usize, _payload: &[u8]) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            assert_eq!(token, 1);
+            self.ticks.borrow_mut().push(ctx.now());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer(self.period, 1);
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn periodic_timers() {
+        let m = LatencyMatrix::uniform(1, 1.0);
+        let ticks = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, FailureParams::none(1, 1e6), no_jitter_config(1));
+        sim.add_node(
+            Box::new(Ticker {
+                ticks: Rc::clone(&ticks),
+                period: 5.0,
+                remaining: 3,
+            }),
+            0.0,
+        );
+        sim.run_until(100.0);
+        assert_eq!(*ticks.borrow(), vec![5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let m = LatencyMatrix::uniform(1, 1.0);
+        let ticks = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, FailureParams::none(1, 1e6), no_jitter_config(1));
+        sim.add_node(
+            Box::new(Ticker {
+                ticks: Rc::clone(&ticks),
+                period: 10.0,
+                remaining: u32::MAX,
+            }),
+            0.0,
+        );
+        sim.run_until(35.0);
+        assert_eq!(ticks.borrow().len(), 3);
+        assert_eq!(sim.now(), 35.0);
+        sim.run_until(45.0);
+        assert_eq!(ticks.borrow().len(), 4);
+    }
+
+    #[test]
+    fn deterministic_event_counts() {
+        let run = |seed| {
+            let t = apor_topology::Topology::generate(&apor_topology::PlanetLabParams {
+                n: 10,
+                ..Default::default()
+            });
+            let mut sim = Simulator::new(
+                t.latency,
+                FailureParams::none(10, 1e6),
+                SimulatorConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..10 {
+                if i == 0 {
+                    sim.add_node(
+                        Box::new(Pinger {
+                            peer: 5,
+                            sent_at: 0.0,
+                            log: Rc::clone(&log),
+                        }),
+                        0.0,
+                    );
+                } else {
+                    sim.add_node(Box::new(Echoer), 0.0);
+                }
+            }
+            sim.run_until(60.0);
+            let rtts = log.borrow().clone();
+            (sim.events_processed(), rtts)
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn self_send_is_ignored() {
+        struct SelfSender;
+        impl NodeBehavior for SelfSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let me = ctx.node();
+                ctx.send(me, TrafficClass::Probing, Bytes::from_static(b"x"));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: usize, _payload: &[u8]) {
+                panic!("self-delivery must not happen");
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let m = LatencyMatrix::uniform(1, 1.0);
+        let mut sim = Simulator::new(m, FailureParams::none(1, 1e6), no_jitter_config(1));
+        sim.add_node(Box::new(SelfSender), 0.0);
+        sim.run_until(10.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulator invariants under randomized workloads.
+
+use apor_netsim::{Ctx, NodeBehavior, Simulator, SimulatorConfig, TrafficClass};
+use apor_topology::{FailureParams, LatencyMatrix, PlanetLabParams, Topology};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+/// A chatty node: every second, sends a payload to a rotating peer.
+struct Chatter {
+    payload: usize,
+    received: u64,
+}
+
+impl NodeBehavior for Chatter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(1.0, 1);
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: usize, payload: &[u8]) {
+        assert_eq!(payload.len(), self.payload, "payload corrupted in flight");
+        self.received += 1;
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let n = ctx.node_count();
+        let to = (ctx.node() + 1 + (ctx.now() as usize)) % n;
+        ctx.send(to, TrafficClass::Routing, Bytes::from(vec![0u8; self.payload]));
+        ctx.set_timer(1.0, 1);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+fn run_chatter(n: usize, seed: u64, loss: f64, payload: usize) -> (u64, u64, u64) {
+    let mut m = LatencyMatrix::uniform(n, 50.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            m.set_loss(i, j, loss);
+        }
+    }
+    let mut sim = Simulator::new(
+        m,
+        FailureParams::none(n, 1e9),
+        SimulatorConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    for _ in 0..n {
+        sim.add_node(
+            Box::new(Chatter {
+                payload,
+                received: 0,
+            }),
+            0.0,
+        );
+    }
+    sim.run_until(120.0);
+    let sent: u64 = (0..n)
+        .map(|i| {
+            sim.stats().total_bytes(
+                i,
+                &[TrafficClass::Routing],
+                &[apor_netsim::Direction::Out],
+                0.0,
+                130.0,
+            )
+        })
+        .sum();
+    let received: u64 = (0..n)
+        .map(|i| {
+            sim.stats().total_bytes(
+                i,
+                &[TrafficClass::Routing],
+                &[apor_netsim::Direction::In],
+                0.0,
+                130.0,
+            )
+        })
+        .sum();
+    let delivered: u64 = (0..n)
+        .map(|i| {
+            sim.node(i)
+                .as_any()
+                .downcast_ref::<Chatter>()
+                .unwrap()
+                .received
+        })
+        .sum();
+    (sent, received, delivered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Conservation: bytes received never exceed bytes sent; with zero
+    /// loss they match exactly (all packets delivered within horizon +
+    /// in-flight slack handled by the margin in send cadence).
+    #[test]
+    fn byte_conservation(n in 2usize..10, seed in any::<u64>(), payload in 1usize..500) {
+        let (sent, received, _delivered) = run_chatter(n, seed, 0.0, payload);
+        prop_assert!(sent > 0);
+        // Packets in flight at the horizon may be unreceived; allow one
+        // packet per node of slack.
+        let slack = (n * (payload + 28)) as u64;
+        prop_assert!(received <= sent, "received {received} > sent {sent}");
+        prop_assert!(sent - received <= slack, "lost {} bytes with zero loss", sent - received);
+    }
+
+    /// With total loss, nothing is delivered but sending is still charged.
+    #[test]
+    fn total_loss_charges_sender_only(n in 2usize..8, seed in any::<u64>()) {
+        let (sent, received, delivered) = run_chatter(n, seed, 1.0, 64);
+        prop_assert!(sent > 0);
+        prop_assert_eq!(received, 0);
+        prop_assert_eq!(delivered, 0);
+    }
+
+    /// Bit-determinism: identical seeds give identical traffic and event
+    /// counts on an arbitrary synthetic topology.
+    #[test]
+    fn determinism(seed in any::<u64>(), n in 3usize..12) {
+        let run = || {
+            let topo = Topology::generate(&PlanetLabParams { n, seed: 1, ..Default::default() });
+            let mut sim = Simulator::new(
+                topo.latency,
+                FailureParams::none(n, 1e9),
+                SimulatorConfig { seed, ..Default::default() },
+            );
+            for _ in 0..n {
+                sim.add_node(Box::new(Chatter { payload: 32, received: 0 }), 0.0);
+            }
+            sim.run_until(60.0);
+            let events = sim.events_processed();
+            let bytes: Vec<u64> = (0..n)
+                .map(|i| sim.stats().total_bytes(
+                    i,
+                    &TrafficClass::ALL,
+                    &[apor_netsim::Direction::In, apor_netsim::Direction::Out],
+                    0.0,
+                    70.0,
+                ))
+                .collect();
+            (events, bytes)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

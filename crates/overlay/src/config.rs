@@ -1,0 +1,113 @@
+//! Per-node overlay configuration.
+
+use apor_quorum::NodeId;
+use apor_routing::ProtocolConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which routing algorithm the node runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// RON's original full-mesh link-state broadcast (`Θ(n²)`).
+    FullMesh,
+    /// The paper's two-round grid-quorum algorithm (`Θ(n√n)`).
+    Quorum,
+}
+
+impl Algorithm {
+    /// The paper's default protocol parameters for this algorithm
+    /// (30 s routing interval for full-mesh, 15 s for quorum).
+    #[must_use]
+    pub fn default_protocol(self) -> ProtocolConfig {
+        match self {
+            Algorithm::FullMesh => ProtocolConfig::ron(),
+            Algorithm::Quorum => ProtocolConfig::quorum(),
+        }
+    }
+}
+
+/// Configuration of one overlay node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// This node's stable identity.
+    pub id: NodeId,
+    /// The membership coordinator's identity.
+    pub coordinator: NodeId,
+    /// Routing algorithm to run.
+    pub algorithm: Algorithm,
+    /// Protocol timing parameters.
+    pub protocol: ProtocolConfig,
+    /// Seed for this node's local randomness (failover picks, phases).
+    pub seed: u64,
+    /// Join retry period while not yet in the membership view, seconds.
+    pub join_retry_s: f64,
+    /// Keepalive (re-join) period towards the coordinator, seconds.
+    pub keepalive_s: f64,
+    /// Coordinator-side membership timeout (paper: 30 minutes), seconds.
+    pub member_timeout_s: f64,
+    /// Pre-installed membership (skips the join dance). Used by the
+    /// steady-state experiments, where the paper measures "after all
+    /// nodes have joined".
+    pub static_members: Option<Vec<NodeId>>,
+}
+
+impl NodeConfig {
+    /// A node configuration with the paper's defaults.
+    #[must_use]
+    pub fn new(id: NodeId, coordinator: NodeId, algorithm: Algorithm) -> Self {
+        NodeConfig {
+            id,
+            coordinator,
+            algorithm,
+            protocol: algorithm.default_protocol(),
+            seed: 0x5EED ^ u64::from(id.0),
+            join_retry_s: 5.0,
+            keepalive_s: 600.0,
+            member_timeout_s: 30.0 * 60.0,
+            static_members: None,
+        }
+    }
+
+    /// Pre-install a static membership view (no join traffic).
+    #[must_use]
+    pub fn with_static_members(mut self, members: Vec<NodeId>) -> Self {
+        self.static_members = Some(members);
+        self
+    }
+
+    /// Is this node the membership coordinator?
+    #[must_use]
+    pub fn is_coordinator(&self) -> bool {
+        self.id == self.coordinator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_table() {
+        let q = NodeConfig::new(NodeId(3), NodeId(0), Algorithm::Quorum);
+        assert_eq!(q.protocol.routing_interval_s, 15.0);
+        assert_eq!(q.protocol.probe_interval_s, 30.0);
+        assert!(!q.is_coordinator());
+        assert_eq!(q.member_timeout_s, 1800.0);
+        let r = NodeConfig::new(NodeId(0), NodeId(0), Algorithm::FullMesh);
+        assert_eq!(r.protocol.routing_interval_s, 30.0);
+        assert!(r.is_coordinator());
+    }
+
+    #[test]
+    fn seeds_differ_per_node() {
+        let a = NodeConfig::new(NodeId(1), NodeId(0), Algorithm::Quorum);
+        let b = NodeConfig::new(NodeId(2), NodeId(0), Algorithm::Quorum);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn static_members_installed() {
+        let c = NodeConfig::new(NodeId(1), NodeId(0), Algorithm::Quorum)
+            .with_static_members(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(c.static_members.as_ref().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! The RON-like overlay node (paper section 5).
+//!
+//! Three components, exactly as the paper's design section lays out:
+//!
+//! * **membership service** ([`membership`]) — a centralized coordinator
+//!   that assigns a monotonically versioned, sorted member list; every
+//!   node with the same view derives the identical quorum grid.
+//! * **link monitoring** — the prober from `apor-routing`, wired to the
+//!   probe/probe-reply wire messages.
+//! * **router** — either the full-mesh baseline or the two-round quorum
+//!   algorithm, selected per node.
+//!
+//! The node itself ([`node::OverlayNode`]) is a sans-io state machine:
+//! `on_start` / `on_packet` / `on_timer` in, `(send, set_timer)` commands
+//! out. Two drivers run it unchanged:
+//!
+//! * [`simnode::SimNode`] adapts it to the deterministic
+//!   [`netsim`](apor_netsim) simulator (the paper's emulation);
+//! * [`udp`] runs it on real tokio UDP sockets (the paper's deployment),
+//!   with a clean shutdown path per the structured-concurrency guidance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod membership;
+pub mod node;
+pub mod simnode;
+pub mod udp;
+
+pub use config::{Algorithm, NodeConfig};
+pub use membership::{MembershipView, Coordinator};
+pub use node::{Outbox, OverlayNode};
+pub use simnode::SimNode;

@@ -1,0 +1,744 @@
+//! The sans-io overlay node: membership client, prober and router glued
+//! into one event-driven state machine.
+//!
+//! The node reacts to exactly three stimuli — `on_start`, `on_packet`,
+//! `on_timer` — and responds by filling an [`Outbox`] with packets to send
+//! and timers to arm. It never touches sockets or clocks, so the netsim
+//! driver ([`SimNode`](crate::simnode::SimNode)) and the tokio UDP driver
+//! ([`udp`](crate::udp)) run the identical protocol logic; this is how the
+//! paper can claim its emulation and deployment share one implementation.
+//!
+//! ## Index vs identity
+//!
+//! Routers and probers operate in *grid-index space* (positions in the
+//! current sorted membership view). The wire carries *identities*
+//! ([`NodeId`]). This module owns the translation at the boundary, in
+//! both directions, including the `dst`/`hop` fields inside
+//! recommendation messages.
+
+use crate::config::{Algorithm, NodeConfig};
+use crate::membership::{Coordinator, MembershipView};
+use apor_linkstate::{Message, ProbeMsg, ProbeReplyMsg};
+use apor_netsim::TrafficClass;
+use apor_quorum::NodeId;
+use apor_routing::{
+    FullMeshRouter, ProbeAction, Prober, QuorumRouter, RoutingAlgorithm,
+};
+
+/// The concrete router running inside a node.
+enum RouterBox {
+    /// RON's full-mesh baseline.
+    FullMesh(FullMeshRouter),
+    /// The paper's grid-quorum router.
+    Quorum(QuorumRouter),
+}
+
+impl RouterBox {
+    fn as_dyn(&self) -> &dyn RoutingAlgorithm {
+        match self {
+            RouterBox::FullMesh(r) => r,
+            RouterBox::Quorum(r) => r,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn RoutingAlgorithm {
+        match self {
+            RouterBox::FullMesh(r) => r,
+            RouterBox::Quorum(r) => r,
+        }
+    }
+}
+use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Timer token: prober poll loop.
+pub const TOKEN_PROBE: u64 = 1;
+/// Timer token: routing interval tick.
+pub const TOKEN_ROUTING: u64 = 2;
+/// Timer token: join retry / keepalive.
+pub const TOKEN_JOIN: u64 = 3;
+/// Timer token: coordinator membership-expiry sweep.
+pub const TOKEN_EXPIRE: u64 = 4;
+
+/// How often the prober's poll loop runs, seconds.
+const PROBE_POLL_S: f64 = 0.5;
+/// Coordinator expiry sweep period, seconds.
+const EXPIRE_SWEEP_S: f64 = 60.0;
+
+/// Commands produced by one callback.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    /// Packets to transmit: `(destination, class, encoded bytes)`.
+    pub sends: Vec<(NodeId, TrafficClass, Bytes)>,
+    /// Timers to arm: `(delay seconds, token)`.
+    pub timers: Vec<(f64, u64)>,
+}
+
+impl Outbox {
+    fn send(&mut self, to: NodeId, msg: &Message) {
+        self.sends.push((to, class_of(msg), msg.encode()));
+    }
+
+    fn timer(&mut self, delay_s: f64, token: u64) {
+        self.timers.push((delay_s, token));
+    }
+}
+
+/// Traffic class of a message, matching the paper's bandwidth breakdown.
+#[must_use]
+pub fn class_of(msg: &Message) -> TrafficClass {
+    match msg {
+        Message::Probe(_) | Message::ProbeReply(_) => TrafficClass::Probing,
+        Message::LinkState(_) | Message::Recommendations(_) => TrafficClass::Routing,
+        Message::Join { .. } | Message::Leave { .. } | Message::View(_) => {
+            TrafficClass::Membership
+        }
+    }
+}
+
+/// The overlay node state machine.
+pub struct OverlayNode {
+    cfg: NodeConfig,
+    rng: ChaCha8Rng,
+    view: Option<MembershipView>,
+    my_index: Option<usize>,
+    prober: Option<Prober>,
+    router: Option<RouterBox>,
+    coordinator: Option<Coordinator>,
+    routing_tick_armed: bool,
+}
+
+impl OverlayNode {
+    /// Build a node from its configuration.
+    #[must_use]
+    pub fn new(cfg: NodeConfig) -> Self {
+        cfg.protocol.validate();
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        OverlayNode {
+            cfg,
+            rng,
+            view: None,
+            my_index: None,
+            prober: None,
+            router: None,
+            coordinator: None,
+            routing_tick_armed: false,
+        }
+    }
+
+    /// This node's identity.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.cfg.id
+    }
+
+    /// The installed membership view.
+    #[must_use]
+    pub fn view(&self) -> Option<&MembershipView> {
+        self.view.as_ref()
+    }
+
+    /// This node's grid index in the current view.
+    #[must_use]
+    pub fn my_index(&self) -> Option<usize> {
+        self.my_index
+    }
+
+    /// Is the node a functioning overlay member (view installed, prober
+    /// and router running)?
+    #[must_use]
+    pub fn is_member(&self) -> bool {
+        self.my_index.is_some() && self.router.is_some()
+    }
+
+    /// The node's configuration.
+    #[must_use]
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    /// Node start-up.
+    pub fn on_start(&mut self, now: f64, out: &mut Outbox) {
+        if self.cfg.is_coordinator() {
+            self.coordinator = Some(Coordinator::new(
+                self.cfg.id,
+                now,
+                self.cfg.member_timeout_s,
+            ));
+            out.timer(EXPIRE_SWEEP_S, TOKEN_EXPIRE);
+        }
+        if let Some(members) = self.cfg.static_members.clone() {
+            let view = MembershipView::new(1, members);
+            self.install_view(view, now, out);
+        } else if self.cfg.is_coordinator() {
+            let view = self.coordinator.as_ref().expect("just built").view();
+            self.install_view(view, now, out);
+            out.timer(self.cfg.keepalive_s, TOKEN_JOIN);
+        } else {
+            out.send(
+                self.cfg.coordinator,
+                &Message::Join {
+                    from: self.cfg.id,
+                    to: self.cfg.coordinator,
+                },
+            );
+            out.timer(self.cfg.join_retry_s, TOKEN_JOIN);
+        }
+        out.timer(PROBE_POLL_S, TOKEN_PROBE);
+    }
+
+    /// A timer armed with `token` fired.
+    pub fn on_timer(&mut self, now: f64, token: u64, out: &mut Outbox) {
+        match token {
+            TOKEN_PROBE => {
+                out.timer(PROBE_POLL_S, TOKEN_PROBE);
+                self.run_prober(now, out);
+            }
+            TOKEN_ROUTING => {
+                out.timer(self.cfg.protocol.routing_interval_s, TOKEN_ROUTING);
+                self.run_routing_tick(now, out);
+            }
+            TOKEN_JOIN => {
+                if self.cfg.is_coordinator() {
+                    if let Some(c) = &mut self.coordinator {
+                        c.heartbeat_self(self.cfg.id, now);
+                    }
+                    out.timer(self.cfg.keepalive_s, TOKEN_JOIN);
+                } else if self.cfg.static_members.is_none() {
+                    // Retry fast until in a view, then keepalive slowly.
+                    out.send(
+                        self.cfg.coordinator,
+                        &Message::Join {
+                            from: self.cfg.id,
+                            to: self.cfg.coordinator,
+                        },
+                    );
+                    let delay = if self.is_member() {
+                        self.cfg.keepalive_s
+                    } else {
+                        self.cfg.join_retry_s
+                    };
+                    out.timer(delay, TOKEN_JOIN);
+                }
+            }
+            TOKEN_EXPIRE => {
+                out.timer(EXPIRE_SWEEP_S, TOKEN_EXPIRE);
+                if let Some(c) = &mut self.coordinator {
+                    c.heartbeat_self(self.cfg.id, now);
+                    if c.expire(now) {
+                        let view = c.view();
+                        self.broadcast_view(&view, out);
+                        self.install_view(view, now, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A packet arrived.
+    pub fn on_packet(&mut self, now: f64, payload: &[u8], out: &mut Outbox) {
+        let Ok(msg) = Message::decode(payload) else {
+            return; // malformed datagrams are dropped silently
+        };
+        match &msg {
+            Message::Probe(p) => {
+                // Liveness works at identity level, independent of views.
+                out.send(
+                    p.from,
+                    &Message::ProbeReply(ProbeReplyMsg {
+                        from: self.cfg.id,
+                        to: p.from,
+                        view: p.view,
+                        seq: p.seq,
+                        echo_sent_ms: p.sent_ms,
+                    }),
+                );
+            }
+            Message::ProbeReply(r) => {
+                if let (Some(view), Some(prober)) = (&self.view, &mut self.prober) {
+                    if let Some(idx) = view.index_of(r.from) {
+                        prober.on_reply(idx, r.seq, now);
+                    }
+                }
+            }
+            Message::LinkState(_) | Message::Recommendations(_) => {
+                if let Some(inner) = self.wire_to_index(&msg) {
+                    let replies = match &mut self.router {
+                        Some(router) => router.as_dyn_mut().on_message(now, &inner),
+                        None => Vec::new(),
+                    };
+                    for reply in replies {
+                        self.send_index_msg(&reply, out);
+                    }
+                }
+            }
+            Message::Join { from, .. } => {
+                if let Some(c) = &mut self.coordinator {
+                    let changed = c.on_join(*from, now);
+                    let view = c.view();
+                    if changed {
+                        self.broadcast_view(&view, out);
+                        self.install_view(view, now, out);
+                    } else {
+                        // Keepalive: refresh the sender's copy of the view.
+                        out.send(
+                            *from,
+                            &Message::View(apor_linkstate::wire::ViewMsg {
+                                from: self.cfg.id,
+                                to: *from,
+                                view: view.version,
+                                members: view.members,
+                            }),
+                        );
+                    }
+                }
+            }
+            Message::Leave { from, .. } => {
+                if let Some(c) = &mut self.coordinator {
+                    if c.on_leave(*from) {
+                        let view = c.view();
+                        self.broadcast_view(&view, out);
+                        self.install_view(view, now, out);
+                    }
+                }
+            }
+            Message::View(v) => {
+                let view = MembershipView::new(v.view, v.members.clone());
+                self.install_view(view, now, out);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics / inspection (used by experiments)
+    // ------------------------------------------------------------------
+
+    /// Best first hop towards `dst` (`Some(dst)` ⇒ direct link).
+    #[must_use]
+    pub fn best_hop(&self, dst: NodeId, now: f64) -> Option<NodeId> {
+        let view = self.view.as_ref()?;
+        let router = self.router.as_ref()?;
+        let idx = view.index_of(dst)?;
+        let hop = router.as_dyn().best_hop(idx, now)?;
+        view.id_of(hop)
+    }
+
+    /// Seconds since the last routing information about `dst` arrived.
+    #[must_use]
+    pub fn route_age(&self, dst: NodeId, now: f64) -> Option<f64> {
+        let view = self.view.as_ref()?;
+        let router = self.router.as_ref()?;
+        router.as_dyn().route_age(view.index_of(dst)?, now)
+    }
+
+    /// Destinations currently under a double rendezvous failure
+    /// (figure 11's metric; 0 for the full-mesh baseline).
+    #[must_use]
+    pub fn double_rendezvous_failures(&self, now: f64) -> usize {
+        self.router
+            .as_ref()
+            .map_or(0, |r| r.as_dyn().double_rendezvous_failures(now))
+    }
+
+    /// Concurrent direct-link failures as seen by this node's prober
+    /// (figure 8's metric).
+    #[must_use]
+    pub fn concurrent_link_failures(&self) -> usize {
+        self.prober.as_ref().map_or(0, Prober::concurrent_failures)
+    }
+
+    /// Measured (EWMA) RTT to `dst`, ms.
+    #[must_use]
+    pub fn measured_latency_ms(&self, dst: NodeId) -> Option<f64> {
+        let view = self.view.as_ref()?;
+        self.prober.as_ref()?.latency_ms(view.index_of(dst)?)
+    }
+
+    /// Borrow the quorum router, when running the quorum algorithm.
+    #[must_use]
+    pub fn quorum_router(&self) -> Option<&QuorumRouter> {
+        match self.router.as_ref()? {
+            RouterBox::Quorum(r) => Some(r),
+            RouterBox::FullMesh(_) => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn install_view(&mut self, view: MembershipView, now: f64, out: &mut Outbox) {
+        if let Some(current) = &self.view {
+            if view.version <= current.version {
+                return;
+            }
+        }
+        let my_index = view.index_of(self.cfg.id);
+        let old = self.view.take();
+        let old_prober = self.prober.take();
+        self.my_index = my_index;
+        self.router = None;
+        self.prober = None;
+
+        if let Some(me) = my_index {
+            let n = view.len();
+            let mut prober = Prober::new(me, n, self.cfg.protocol.clone(), now);
+            // Carry estimator history across the view change so a
+            // membership bump doesn't blind the overlay for a probing
+            // interval.
+            if let (Some(old_view), Some(old_prober)) = (&old, &old_prober) {
+                for (new_idx, id) in view.members.iter().enumerate() {
+                    if new_idx == me {
+                        continue;
+                    }
+                    if let Some(old_idx) = old_view.index_of(*id) {
+                        prober.set_estimator(new_idx, old_prober.estimator(old_idx).clone());
+                    }
+                }
+            }
+            self.prober = Some(prober);
+            self.router = Some(match self.cfg.algorithm {
+                Algorithm::FullMesh => RouterBox::FullMesh(FullMeshRouter::new(
+                    me,
+                    n,
+                    view.version,
+                    self.cfg.protocol.clone(),
+                )),
+                Algorithm::Quorum => RouterBox::Quorum(QuorumRouter::new(
+                    me,
+                    n,
+                    view.version,
+                    self.cfg.protocol.clone(),
+                )),
+            });
+            if !self.routing_tick_armed {
+                // Desynchronize routing ticks across the fleet.
+                let phase = self.rng.gen_range(0.0..self.cfg.protocol.routing_interval_s);
+                out.timer(phase, TOKEN_ROUTING);
+                self.routing_tick_armed = true;
+            }
+        }
+        self.view = Some(view);
+    }
+
+    fn broadcast_view(&self, view: &MembershipView, out: &mut Outbox) {
+        for &m in &view.members {
+            if m == self.cfg.id {
+                continue;
+            }
+            out.send(
+                m,
+                &Message::View(apor_linkstate::wire::ViewMsg {
+                    from: self.cfg.id,
+                    to: m,
+                    view: view.version,
+                    members: view.members.clone(),
+                }),
+            );
+        }
+    }
+
+    fn run_prober(&mut self, now: f64, out: &mut Outbox) {
+        let (Some(view), Some(prober)) = (&self.view, &mut self.prober) else {
+            return;
+        };
+        let Some(_me) = self.my_index else { return };
+        let version = view.version;
+        for action in prober.poll(now) {
+            let ProbeAction::SendProbe { to, seq } = action;
+            let Some(to_id) = view.id_of(to) else { continue };
+            out.send(
+                to_id,
+                &Message::Probe(ProbeMsg {
+                    from: self.cfg.id,
+                    to: to_id,
+                    view: version,
+                    seq,
+                    sent_ms: (now * 1000.0) as u32,
+                }),
+            );
+        }
+    }
+
+    fn run_routing_tick(&mut self, now: f64, out: &mut Outbox) {
+        let (Some(prober), Some(router)) = (&self.prober, &mut self.router) else {
+            return;
+        };
+        let row = prober.own_row();
+        let msgs = router.as_dyn_mut().on_routing_tick(now, &row, &mut self.rng);
+        for m in msgs {
+            self.send_index_msg(&m, out);
+        }
+    }
+
+    /// Translate a router-produced (index-space) message to identity space
+    /// and queue it.
+    fn send_index_msg(&self, msg: &Message, out: &mut Outbox) {
+        let Some(view) = &self.view else { return };
+        let map = |idx_id: NodeId| view.id_of(idx_id.index());
+        match msg {
+            Message::LinkState(ls) => {
+                let (Some(from), Some(to)) = (map(ls.from), map(ls.to)) else {
+                    return;
+                };
+                let mut wire = ls.clone();
+                wire.from = from;
+                wire.to = to;
+                out.send(to, &Message::LinkState(wire));
+            }
+            Message::Recommendations(rm) => {
+                let (Some(from), Some(to)) = (map(rm.from), map(rm.to)) else {
+                    return;
+                };
+                let mut wire = rm.clone();
+                wire.from = from;
+                wire.to = to;
+                wire.recs.retain(|r| map(r.dst).is_some() && map(r.hop).is_some());
+                for r in &mut wire.recs {
+                    r.dst = map(r.dst).expect("retained");
+                    r.hop = map(r.hop).expect("retained");
+                }
+                out.send(to, &Message::Recommendations(wire));
+            }
+            other => {
+                out.send(other.to(), other);
+            }
+        }
+    }
+
+    /// Translate an incoming identity-space routing message into index
+    /// space; `None` when the sender (or any referenced id) is not in the
+    /// current view.
+    fn wire_to_index(&self, msg: &Message) -> Option<Message> {
+        let view = self.view.as_ref()?;
+        let me = self.my_index?;
+        let map = |id: NodeId| view.index_of(id).map(NodeId::from_index);
+        match msg {
+            Message::LinkState(ls) => {
+                let mut inner = ls.clone();
+                inner.from = map(ls.from)?;
+                inner.to = NodeId::from_index(me);
+                Some(Message::LinkState(inner))
+            }
+            Message::Recommendations(rm) => {
+                let mut inner = rm.clone();
+                inner.from = map(rm.from)?;
+                inner.to = NodeId::from_index(me);
+                inner.recs.retain(|r| map(r.dst).is_some() && map(r.hop).is_some());
+                for r in &mut inner.recs {
+                    r.dst = map(r.dst).expect("retained");
+                    r.hop = map(r.hop).expect("retained");
+                }
+                Some(Message::Recommendations(inner))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn static_node(id: u16, n: u16, algo: Algorithm) -> OverlayNode {
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        OverlayNode::new(
+            NodeConfig::new(NodeId(id), NodeId(0), algo).with_static_members(members),
+        )
+    }
+
+    #[test]
+    fn static_member_starts_ready() {
+        let mut node = static_node(2, 9, Algorithm::Quorum);
+        let mut out = Outbox::default();
+        node.on_start(0.0, &mut out);
+        assert!(node.is_member());
+        assert_eq!(node.my_index(), Some(2));
+        // Probe poll and routing timers armed.
+        let tokens: Vec<u64> = out.timers.iter().map(|&(_, t)| t).collect();
+        assert!(tokens.contains(&TOKEN_PROBE));
+        assert!(tokens.contains(&TOKEN_ROUTING));
+    }
+
+    #[test]
+    fn probe_and_reply_measure_latency() {
+        let mut a = static_node(0, 2, Algorithm::Quorum);
+        let mut b = static_node(1, 2, Algorithm::Quorum);
+        let mut out_a = Outbox::default();
+        let mut out_b = Outbox::default();
+        a.on_start(0.0, &mut out_a);
+        b.on_start(0.0, &mut out_b);
+        // Drive a's probe poll until it emits a probe for b.
+        let mut probe: Option<Bytes> = None;
+        let mut t = 0.0;
+        while probe.is_none() && t < 40.0 {
+            let mut out = Outbox::default();
+            a.on_timer(t, TOKEN_PROBE, &mut out);
+            for (to, class, bytes) in out.sends {
+                if to == NodeId(1) && class == TrafficClass::Probing {
+                    probe = Some(bytes);
+                }
+            }
+            t += 0.5;
+        }
+        let probe = probe.expect("probe emitted");
+        let sent_at = t - 0.5;
+        // b replies.
+        let mut out = Outbox::default();
+        b.on_packet(sent_at + 0.02, &probe, &mut out);
+        let (to, class, reply) = out.sends.pop().expect("probe reply");
+        assert_eq!(to, NodeId(0));
+        assert_eq!(class, TrafficClass::Probing);
+        // a ingests the reply 40 ms after sending.
+        let mut out = Outbox::default();
+        a.on_packet(sent_at + 0.04, &reply, &mut out);
+        let l = a.measured_latency_ms(NodeId(1)).expect("latency measured");
+        assert!((l - 40.0).abs() < 1.0, "latency {l}");
+    }
+
+    #[test]
+    fn join_dance_converges() {
+        let mut coord = OverlayNode::new(NodeConfig::new(
+            NodeId(0),
+            NodeId(0),
+            Algorithm::Quorum,
+        ));
+        let mut joiner = OverlayNode::new(NodeConfig::new(
+            NodeId(7),
+            NodeId(0),
+            Algorithm::Quorum,
+        ));
+        let mut out_c = Outbox::default();
+        let mut out_j = Outbox::default();
+        coord.on_start(0.0, &mut out_c);
+        joiner.on_start(0.0, &mut out_j);
+        assert!(coord.is_member(), "coordinator is its own first view");
+        assert!(!joiner.is_member());
+        // The joiner sent a Join to node 0.
+        let (to, class, join_bytes) = out_j
+            .sends
+            .iter()
+            .find(|(_, c, _)| *c == TrafficClass::Membership)
+            .cloned()
+            .expect("join sent");
+        assert_eq!(to, NodeId(0));
+        assert_eq!(class, TrafficClass::Membership);
+        // Coordinator processes the join and broadcasts a view.
+        let mut out = Outbox::default();
+        coord.on_packet(0.5, &join_bytes, &mut out);
+        let view_msg = out
+            .sends
+            .iter()
+            .find(|(to, _, _)| *to == NodeId(7))
+            .cloned()
+            .expect("view broadcast to joiner");
+        // Joiner installs the view.
+        let mut out = Outbox::default();
+        joiner.on_packet(0.6, &view_msg.2, &mut out);
+        assert!(joiner.is_member());
+        assert_eq!(joiner.view().unwrap().members, vec![NodeId(0), NodeId(7)]);
+        assert_eq!(joiner.my_index(), Some(1));
+        assert_eq!(coord.view().unwrap().version, joiner.view().unwrap().version);
+    }
+
+    #[test]
+    fn sparse_ids_translate_correctly() {
+        // Members {3, 10, 200}: identity ≠ index. Node 10 (index 1) sends
+        // link state; the wire message must carry identities.
+        let members = vec![NodeId(3), NodeId(10), NodeId(200)];
+        let mut node = OverlayNode::new(
+            NodeConfig::new(NodeId(10), NodeId(3), Algorithm::Quorum)
+                .with_static_members(members),
+        );
+        let mut out = Outbox::default();
+        node.on_start(0.0, &mut out);
+        assert_eq!(node.my_index(), Some(1));
+        let mut out = Outbox::default();
+        node.on_timer(20.0, TOKEN_ROUTING, &mut out);
+        assert!(!out.sends.is_empty(), "routing tick must emit link state");
+        for (to, class, bytes) in &out.sends {
+            assert_eq!(*class, TrafficClass::Routing);
+            assert!(
+                [NodeId(3), NodeId(200)].contains(to),
+                "wire destination must be an identity, got {to}"
+            );
+            let m = Message::decode(bytes).unwrap();
+            assert_eq!(m.from(), NodeId(10), "wire sender must be identity");
+        }
+    }
+
+    #[test]
+    fn malformed_packets_ignored() {
+        let mut node = static_node(0, 4, Algorithm::Quorum);
+        let mut out = Outbox::default();
+        node.on_start(0.0, &mut out);
+        let mut out = Outbox::default();
+        node.on_packet(1.0, &[0xFF, 1, 2], &mut out);
+        node.on_packet(1.0, &[], &mut out);
+        assert!(out.sends.is_empty());
+        assert!(node.is_member());
+    }
+
+    #[test]
+    fn non_member_routing_messages_dropped() {
+        let mut node = static_node(0, 4, Algorithm::Quorum);
+        let mut out = Outbox::default();
+        node.on_start(0.0, &mut out);
+        // A link-state message from an unknown identity 99.
+        let bogus = Message::LinkState(apor_linkstate::LinkStateMsg {
+            from: NodeId(99),
+            to: NodeId(0),
+            view: 1,
+            round: 1,
+            basis_ms: 0,
+            entries: vec![apor_linkstate::LinkEntry::dead(); 4],
+        });
+        let mut out = Outbox::default();
+        node.on_packet(1.0, &bogus.encode(), &mut out);
+        assert!(out.sends.is_empty());
+        // The table must not have been touched: route_age for all real
+        // members is still None.
+        for id in 1..4u16 {
+            assert_eq!(node.route_age(NodeId(id), 2.0), None);
+        }
+    }
+
+    #[test]
+    fn full_mesh_algorithm_selectable() {
+        let mut node = static_node(1, 9, Algorithm::FullMesh);
+        let mut out = Outbox::default();
+        node.on_start(0.0, &mut out);
+        let mut out = Outbox::default();
+        node.on_timer(35.0, TOKEN_ROUTING, &mut out);
+        // Full mesh broadcasts to all 8 peers.
+        let ls = out
+            .sends
+            .iter()
+            .filter(|(_, c, _)| *c == TrafficClass::Routing)
+            .count();
+        assert_eq!(ls, 8);
+        assert!(node.quorum_router().is_none());
+    }
+
+    #[test]
+    fn quorum_algorithm_talks_to_2_sqrt_n() {
+        let mut node = static_node(1, 100, Algorithm::Quorum);
+        let mut out = Outbox::default();
+        node.on_start(0.0, &mut out);
+        let mut out = Outbox::default();
+        node.on_timer(20.0, TOKEN_ROUTING, &mut out);
+        let ls = out
+            .sends
+            .iter()
+            .filter(|(_, c, _)| *c == TrafficClass::Routing)
+            .count();
+        assert!(ls <= 20, "quorum node sent {ls} routing messages, ~2√100 expected");
+        assert!(node.quorum_router().is_some());
+    }
+}

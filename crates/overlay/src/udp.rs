@@ -1,0 +1,282 @@
+//! The tokio UDP driver — the "deployment" half of the paper's evaluation.
+//!
+//! Runs the identical [`OverlayNode`] state machine as the simulator, but
+//! against a real socket and the real clock. One task per node owns the
+//! socket and the timer wheel; shutdown is explicit (a watch channel), per
+//! the structured-concurrency guidance: the driver task never outlives
+//! [`UdpOverlay::shutdown`], which joins it and hands the node state back.
+
+use crate::node::{Outbox, OverlayNode};
+use apor_quorum::NodeId;
+use parking_lot::Mutex;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::watch;
+use tokio::time::{Duration, Instant};
+
+/// Peer address book: identity → UDP address.
+pub type PeerMap = HashMap<NodeId, SocketAddr>;
+
+/// A timer entry: fire time + token, min-ordered.
+#[derive(PartialEq, Eq)]
+struct TimerEntry {
+    fire_at: Instant,
+    seq: u64,
+    token: u64,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap.
+        other
+            .fire_at
+            .cmp(&self.fire_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A running overlay node on a real UDP socket.
+pub struct UdpOverlay {
+    node: Arc<Mutex<OverlayNode>>,
+    local_addr: SocketAddr,
+    shutdown_tx: watch::Sender<bool>,
+    task: tokio::task::JoinHandle<std::io::Result<()>>,
+}
+
+impl UdpOverlay {
+    /// Start a node on an already-bound socket with a static peer address
+    /// book.
+    ///
+    /// # Errors
+    /// Returns any socket error surfaced while starting.
+    pub async fn spawn(
+        node: OverlayNode,
+        socket: UdpSocket,
+        peers: PeerMap,
+    ) -> std::io::Result<UdpOverlay> {
+        let local_addr = socket.local_addr()?;
+        let node = Arc::new(Mutex::new(node));
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let task = tokio::spawn(drive(Arc::clone(&node), socket, peers, shutdown_rx));
+        Ok(UdpOverlay {
+            node,
+            local_addr,
+            shutdown_tx,
+            task,
+        })
+    }
+
+    /// The bound local address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared handle to the node state (lock briefly; the driver holds the
+    /// lock during each callback).
+    #[must_use]
+    pub fn node(&self) -> Arc<Mutex<OverlayNode>> {
+        Arc::clone(&self.node)
+    }
+
+    /// Stop the driver task, wait for it to finish, and return any socket
+    /// error it hit.
+    ///
+    /// # Errors
+    /// Propagates driver I/O errors.
+    ///
+    /// # Panics
+    /// Panics if the driver task itself panicked.
+    pub async fn shutdown(self) -> std::io::Result<()> {
+        let _ = self.shutdown_tx.send(true);
+        self.task.await.expect("driver task panicked")
+    }
+}
+
+async fn drive(
+    node: Arc<Mutex<OverlayNode>>,
+    socket: UdpSocket,
+    peers: PeerMap,
+    mut shutdown: watch::Receiver<bool>,
+) -> std::io::Result<()> {
+    let t0 = Instant::now();
+    let now_s = |at: Instant| at.duration_since(t0).as_secs_f64();
+    let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+    let mut buf = vec![0u8; 64 * 1024];
+
+    let flush = |out: Outbox,
+                     timers: &mut BinaryHeap<TimerEntry>,
+                     timer_seq: &mut u64,
+                     at: Instant|
+     -> Vec<(SocketAddr, bytes::Bytes)> {
+        let mut sends = Vec::new();
+        for (to, _class, payload) in out.sends {
+            if let Some(&addr) = peers.get(&to) {
+                sends.push((addr, payload));
+            }
+        }
+        for (delay_s, token) in out.timers {
+            *timer_seq += 1;
+            timers.push(TimerEntry {
+                fire_at: at + Duration::from_secs_f64(delay_s),
+                seq: *timer_seq,
+                token,
+            });
+        }
+        sends
+    };
+
+    // Start the node.
+    {
+        let mut out = Outbox::default();
+        let at = Instant::now();
+        node.lock().on_start(now_s(at), &mut out);
+        for (addr, payload) in flush(out, &mut timers, &mut timer_seq, at) {
+            let _ = socket.send_to(&payload, addr).await;
+        }
+    }
+
+    loop {
+        let next_deadline = timers
+            .peek()
+            .map_or_else(|| Instant::now() + Duration::from_secs(3600), |t| t.fire_at);
+        tokio::select! {
+            _ = shutdown.changed() => {
+                if *shutdown.borrow() {
+                    return Ok(());
+                }
+            }
+            () = tokio::time::sleep_until(next_deadline) => {
+                let at = Instant::now();
+                // Fire every due timer.
+                while timers.peek().is_some_and(|t| t.fire_at <= at) {
+                    let entry = timers.pop().expect("peeked");
+                    let mut out = Outbox::default();
+                    node.lock().on_timer(now_s(at), entry.token, &mut out);
+                    for (addr, payload) in flush(out, &mut timers, &mut timer_seq, at) {
+                        let _ = socket.send_to(&payload, addr).await;
+                    }
+                }
+            }
+            recv = socket.recv_from(&mut buf) => {
+                let (len, _from) = recv?;
+                let at = Instant::now();
+                let mut out = Outbox::default();
+                node.lock().on_packet(now_s(at), &buf[..len], &mut out);
+                for (addr, payload) in flush(out, &mut timers, &mut timer_seq, at) {
+                    let _ = socket.send_to(&payload, addr).await;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, NodeConfig};
+    use apor_routing::ProtocolConfig;
+
+    /// Protocol constants scaled ~60× down so the test runs in seconds.
+    fn fast_protocol() -> ProtocolConfig {
+        let mut p = ProtocolConfig::quorum();
+        p.probe_interval_s = 0.6;
+        p.probe_timeout_s = 0.05;
+        p.rapid_probe_interval_s = 0.1;
+        p.routing_interval_s = 0.4;
+        p
+    }
+
+    async fn spawn_cluster(n: u16, algo: Algorithm) -> Vec<UdpOverlay> {
+        // Bind all sockets first so the peer map is complete before any
+        // node starts.
+        let mut sockets = Vec::new();
+        let mut peers = PeerMap::new();
+        for i in 0..n {
+            let s = UdpSocket::bind("127.0.0.1:0").await.expect("bind");
+            peers.insert(NodeId(i), s.local_addr().expect("addr"));
+            sockets.push(s);
+        }
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut overlays = Vec::new();
+        for (i, socket) in sockets.into_iter().enumerate() {
+            let mut cfg = NodeConfig::new(NodeId(i as u16), NodeId(0), algo)
+                .with_static_members(members.clone());
+            cfg.protocol = fast_protocol();
+            let node = OverlayNode::new(cfg);
+            overlays.push(UdpOverlay::spawn(node, socket, peers.clone()).await.unwrap());
+        }
+        overlays
+    }
+
+    /// Real sockets, real clock: a 4-node quorum overlay measures latency,
+    /// exchanges link state / recommendations and knows routes to all
+    /// destinations — then shuts down cleanly.
+    #[tokio::test(flavor = "multi_thread")]
+    async fn udp_overlay_end_to_end() {
+        let overlays = spawn_cluster(4, Algorithm::Quorum).await;
+        tokio::time::sleep(Duration::from_secs(4)).await;
+
+        {
+            let node0 = overlays[0].node();
+            let n0 = node0.lock();
+            assert!(n0.is_member());
+            // Loopback latency is sub-millisecond → quantized near 0.
+            for id in 1..4u16 {
+                let l = n0
+                    .measured_latency_ms(NodeId(id))
+                    .unwrap_or_else(|| panic!("no latency to {id}"));
+                assert!(l < 50.0, "loopback latency {l} ms");
+            }
+            // Every destination has a route (direct, on loopback).
+            let now = 4.0;
+            for id in 1..4u16 {
+                assert!(
+                    n0.best_hop(NodeId(id), now).is_some(),
+                    "no route to {id}"
+                );
+            }
+        }
+
+        for o in overlays {
+            o.shutdown().await.expect("clean shutdown");
+        }
+    }
+
+    /// The same binary logic drives full-mesh mode over UDP.
+    #[tokio::test(flavor = "multi_thread")]
+    async fn udp_fullmesh_smoke() {
+        let overlays = spawn_cluster(3, Algorithm::FullMesh).await;
+        tokio::time::sleep(Duration::from_secs(3)).await;
+        let node = overlays[1].node();
+        {
+            let n = node.lock();
+            assert!(n.is_member());
+            assert!(n.best_hop(NodeId(0), 3.0).is_some());
+            assert_eq!(n.double_rendezvous_failures(3.0), 0);
+        }
+        for o in overlays {
+            o.shutdown().await.unwrap();
+        }
+    }
+
+    /// Shutdown is prompt even with timers pending.
+    #[tokio::test(flavor = "multi_thread")]
+    async fn shutdown_is_prompt() {
+        let overlays = spawn_cluster(2, Algorithm::Quorum).await;
+        let started = std::time::Instant::now();
+        for o in overlays {
+            o.shutdown().await.unwrap();
+        }
+        assert!(started.elapsed() < Duration::from_secs(2), "slow shutdown");
+    }
+}

@@ -1,0 +1,161 @@
+//! The diamond-counting argument of Appendix A.
+//!
+//! The paper lower-bounds the per-node communication of any algorithm that
+//! finds optimal one-hop routes by *comparing* alternative one-hop paths.
+//! Each comparison of two alternative one-hop paths between a pair of nodes
+//! corresponds to a **diamond** — a 4-cycle `a−b−c−d` — whose four edge
+//! weights must all be known at some node.
+//!
+//! * Lemma 2: the complete graph on `n` nodes contains `3·C(n,4)` distinct
+//!   diamonds (each 4-subset yields the square, hourglass and bow-tie).
+//! * Lemma 3: any set of `e` edges contains at most `e²` diamonds.
+//! * Theorem 4: if every node receives `e` edges, all nodes together cover
+//!   at most `n·e²` diamonds; covering all `Θ(n⁴)` requires
+//!   `e = Ω(n·√n)` — matching the grid-quorum algorithm's cost.
+//!
+//! [`count_diamonds`] enumerates diamonds in an explicit edge set so the
+//! property tests can check Lemma 3 directly on random graphs.
+
+use std::collections::HashSet;
+
+/// Number of distinct diamonds (4-cycles) in the complete graph on `n`
+/// nodes: `3·C(n,4)` (Lemma 2).
+///
+/// Returns `u128` because the count grows as `n⁴`.
+#[must_use]
+pub fn unique_diamonds_in_complete_graph(n: usize) -> u128 {
+    if n < 4 {
+        return 0;
+    }
+    let n = n as u128;
+    // 3 · n(n−1)(n−2)(n−3)/24 = n(n−1)(n−2)(n−3)/8
+    n * (n - 1) * (n - 2) * (n - 3) / 8
+}
+
+/// Lemma 3's bound: `e` edges form at most `e²` diamonds.
+#[must_use]
+pub fn diamonds_upper_bound(edges: usize) -> u128 {
+    (edges as u128) * (edges as u128)
+}
+
+/// Count the diamonds (4-cycles, as undirected subgraphs) present in an
+/// explicit edge set.
+///
+/// A diamond `a−b−c−d` requires edges `(a,b)`, `(b,c)`, `(c,d)`, `(d,a)`.
+/// Two diamonds are the same when they consist of the same 4 edges.
+/// Enumeration is `O(p²)` in the number `p` of connected wedges, intended
+/// for the small graphs used in tests and the lower-bound demo — not for
+/// production-sized inputs.
+#[must_use]
+pub fn count_diamonds(edges: &[(usize, usize)]) -> u128 {
+    // Canonicalize edges, dropping self-loops and duplicates.
+    let edge_set: HashSet<(usize, usize)> = edges
+        .iter()
+        .filter(|&&(a, b)| a != b)
+        .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+        .collect();
+    let has = |a: usize, b: usize| edge_set.contains(&if a < b { (a, b) } else { (b, a) });
+
+    let nodes: Vec<usize> = {
+        let mut s: Vec<usize> = edge_set.iter().flat_map(|&(a, b)| [a, b]).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+
+    // A 4-cycle a−b−c−d is determined by its two "diagonal" pairs {a, c}
+    // and {b, d}: a and c are the endpoints of one diagonal, b and d of the
+    // other. Enumerate diagonal pairs {a, c} (a < c) and count common
+    // neighbours; each unordered pair of common neighbours {b, d} closes
+    // one diamond. Each diamond has exactly two diagonals, so summing
+    // C(common, 2) over all diagonals counts every diamond twice.
+    let mut twice = 0u128;
+    for (ai, &a) in nodes.iter().enumerate() {
+        for &c in nodes.iter().skip(ai + 1) {
+            let common = nodes
+                .iter()
+                .filter(|&&b| b != a && b != c && has(a, b) && has(c, b))
+                .count() as u128;
+            twice += common * common.saturating_sub(1) / 2;
+        }
+    }
+    twice / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_graph(n: usize) -> Vec<(usize, usize)> {
+        let mut e = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                e.push((i, j));
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn lemma_2_matches_enumeration() {
+        for n in 0..=9 {
+            let formula = unique_diamonds_in_complete_graph(n);
+            let enumerated = count_diamonds(&complete_graph(n));
+            assert_eq!(formula, enumerated, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn lemma_2_known_values() {
+        assert_eq!(unique_diamonds_in_complete_graph(3), 0);
+        // C(4,4) = 1 subset × 3 diamonds.
+        assert_eq!(unique_diamonds_in_complete_graph(4), 3);
+        // 3 · C(5,4) = 15.
+        assert_eq!(unique_diamonds_in_complete_graph(5), 15);
+        // 3 · C(6,4) = 45.
+        assert_eq!(unique_diamonds_in_complete_graph(6), 45);
+    }
+
+    #[test]
+    fn single_square_counts_once() {
+        let square = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        assert_eq!(count_diamonds(&square), 1);
+    }
+
+    #[test]
+    fn four_edges_at_most_one_diamond() {
+        // Lemma 3 base case: any 4 edges form at most 1 diamond — and a
+        // path of 4 edges forms none.
+        let path = [(0, 1), (1, 2), (2, 3), (3, 4)];
+        assert_eq!(count_diamonds(&path), 0);
+    }
+
+    #[test]
+    fn duplicate_and_loop_edges_ignored() {
+        let noisy = [(0, 1), (1, 0), (1, 1), (1, 2), (2, 3), (3, 0)];
+        assert_eq!(count_diamonds(&noisy), 1);
+    }
+
+    #[test]
+    fn lemma_3_on_complete_graphs() {
+        for n in 4..=9 {
+            let edges = complete_graph(n);
+            assert!(
+                count_diamonds(&edges) <= diamonds_upper_bound(edges.len()),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_4_quorum_edges_suffice_in_aggregate() {
+        // Sanity check on the counting argument's arithmetic: with each of
+        // the n nodes receiving e = Θ(n√n) edge weights (as in the quorum
+        // algorithm), n·e² dominates the 3·C(n,4) ≈ n⁴/8 diamonds.
+        for n in [16usize, 64, 144, 400] {
+            let e = 2 * (n as f64).sqrt() as usize * n; // 2√n link-state rows of n entries
+            let coverage = (n as u128) * diamonds_upper_bound(e);
+            assert!(coverage >= unique_diamonds_in_complete_graph(n), "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Overlay node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compact overlay node identifier.
+///
+/// The paper's wire format (section 5, "Table Exchange") encodes node IDs
+/// as 2-byte integers, which bounds the overlay at 65 536 nodes — far above
+/// the "hundreds of nodes" the system targets and the 10 000-node Skype
+/// scenario of section 2.
+///
+/// `NodeId` is the *stable identity* of a node across membership changes.
+/// It is distinct from the node's *grid index*: the membership service
+/// sorts the current member IDs and places them row-major into the grid, so
+/// the same `NodeId` may occupy different grid cells as membership evolves.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The number of bytes a `NodeId` occupies on the wire.
+    pub const WIRE_SIZE: usize = 2;
+
+    /// Construct from a raw index, panicking if it exceeds the 16-bit space.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index <= u16::MAX as usize, "node index {index} exceeds u16");
+        NodeId(index as u16)
+    }
+
+    /// The identifier as a `usize`, convenient for table indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u16 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn from_index_roundtrip() {
+        let id = NodeId::from_index(512);
+        assert_eq!(id.index(), 512);
+        assert_eq!(u16::from(id), 512);
+        assert_eq!(NodeId::from(512u16), id);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u16")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn ordering_matches_raw() {
+        assert!(NodeId(3) < NodeId(4));
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+}

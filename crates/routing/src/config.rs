@@ -1,0 +1,182 @@
+//! Protocol configuration — the parameter table of section 5.
+//!
+//! | Configuration parameter | Full-mesh (RON) | Quorum system |
+//! |---|---|---|
+//! | routing interval (r)    | 30 s | 15 s |
+//! | probing interval (p)    | 30 s | 30 s |
+//! | #probes for failure     | 5    | 5    |
+//!
+//! The quorum system halves the routing interval because, absent
+//! rendezvous failures, it takes two routing intervals to propagate fresh
+//! probe data into optimal one-hop routes (section 4, "Comparison to n²
+//! link-state failover").
+
+use apor_linkstate::RecFormat;
+use serde::{Deserialize, Serialize};
+
+/// All protocol timing and format knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Routing interval `r`, seconds: how often link state / recommendations
+    /// are exchanged.
+    pub routing_interval_s: f64,
+    /// Probing interval `p`, seconds.
+    pub probe_interval_s: f64,
+    /// Consecutive failed probes that mark a link dead (RON: 5).
+    pub probes_for_failure: u32,
+    /// Per-probe reply timeout, seconds.
+    pub probe_timeout_s: f64,
+    /// Accelerated probing interval after a first loss (RON's rapid
+    /// failure detection), seconds. Must allow `probes_for_failure`
+    /// losses within one probing interval.
+    pub rapid_probe_interval_s: f64,
+    /// Measurement age a rendezvous server will still base recommendations
+    /// on: the paper uses 3 routing intervals (section 6.2.2).
+    pub staleness_intervals: f64,
+    /// Age after which a *received* route recommendation is no longer
+    /// trusted for forwarding (falls back to §4.2 scavenging).
+    pub route_expiry_intervals: f64,
+    /// Missing-recommendation time after which a remote rendezvous failure
+    /// is declared for a destination, in routing intervals. The paper's
+    /// analysis allows up to one interval of detection delay; we use 2.5
+    /// to ride out one lost message.
+    pub remote_failure_intervals: f64,
+    /// Grace period after first sending link state to a server before
+    /// remote-failure detection starts, in routing intervals.
+    pub server_grace_intervals: f64,
+    /// Recommendation entry wire format.
+    pub rec_format: RecFormat,
+    /// EWMA weight of new latency samples.
+    pub ewma_alpha: f64,
+}
+
+impl ProtocolConfig {
+    /// The paper's full-mesh (RON baseline) configuration: r = 30 s.
+    #[must_use]
+    pub fn ron() -> Self {
+        ProtocolConfig {
+            routing_interval_s: 30.0,
+            ..Self::base()
+        }
+    }
+
+    /// The paper's quorum-system configuration: r = 15 s.
+    #[must_use]
+    pub fn quorum() -> Self {
+        ProtocolConfig {
+            routing_interval_s: 15.0,
+            ..Self::base()
+        }
+    }
+
+    fn base() -> Self {
+        ProtocolConfig {
+            routing_interval_s: 30.0,
+            probe_interval_s: 30.0,
+            probes_for_failure: 5,
+            probe_timeout_s: 3.0,
+            rapid_probe_interval_s: 5.0,
+            staleness_intervals: 3.0,
+            route_expiry_intervals: 4.0,
+            remote_failure_intervals: 2.5,
+            server_grace_intervals: 2.0,
+            rec_format: RecFormat::Compact,
+            ewma_alpha: 0.3,
+        }
+    }
+
+    /// The staleness window in seconds (3·r by default).
+    #[must_use]
+    pub fn staleness_s(&self) -> f64 {
+        self.staleness_intervals * self.routing_interval_s
+    }
+
+    /// The route-expiry window in seconds.
+    #[must_use]
+    pub fn route_expiry_s(&self) -> f64 {
+        self.route_expiry_intervals * self.routing_interval_s
+    }
+
+    /// Remote-failure timeout in seconds.
+    #[must_use]
+    pub fn remote_failure_s(&self) -> f64 {
+        self.remote_failure_intervals * self.routing_interval_s
+    }
+
+    /// Server grace period in seconds.
+    #[must_use]
+    pub fn server_grace_s(&self) -> f64 {
+        self.server_grace_intervals * self.routing_interval_s
+    }
+
+    /// Sanity-check the invariants the failure-detection analysis needs.
+    ///
+    /// # Panics
+    /// Panics when rapid probing cannot detect a failure within one
+    /// probing interval, or intervals are non-positive.
+    pub fn validate(&self) {
+        assert!(self.routing_interval_s > 0.0);
+        assert!(self.probe_interval_s > 0.0);
+        assert!(self.probes_for_failure >= 1);
+        assert!(
+            f64::from(self.probes_for_failure) * self.rapid_probe_interval_s
+                <= self.probe_interval_s,
+            "rapid probing must fit {} probes inside one probing interval",
+            self.probes_for_failure
+        );
+        assert!(self.probe_timeout_s < self.rapid_probe_interval_s + self.probe_timeout_s);
+        assert!(self.staleness_intervals > 0.0);
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        Self::quorum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameter_table() {
+        let ron = ProtocolConfig::ron();
+        assert_eq!(ron.routing_interval_s, 30.0);
+        assert_eq!(ron.probe_interval_s, 30.0);
+        assert_eq!(ron.probes_for_failure, 5);
+        let q = ProtocolConfig::quorum();
+        assert_eq!(q.routing_interval_s, 15.0);
+        assert_eq!(q.probe_interval_s, 30.0);
+        assert_eq!(q.probes_for_failure, 5);
+    }
+
+    #[test]
+    fn staleness_is_three_routing_intervals() {
+        assert_eq!(ProtocolConfig::quorum().staleness_s(), 45.0);
+        assert_eq!(ProtocolConfig::ron().staleness_s(), 90.0);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        ProtocolConfig::ron().validate();
+        ProtocolConfig::quorum().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rapid probing")]
+    fn validate_rejects_slow_rapid_probing() {
+        let mut c = ProtocolConfig::quorum();
+        c.rapid_probe_interval_s = 10.0; // 5 × 10 s > 30 s probing interval
+        c.validate();
+    }
+
+    #[test]
+    fn rapid_detection_within_one_probing_interval() {
+        // The paper: "our implementation detects failures within 1 probing
+        // period". With the defaults, 5 rapid probes take 25 s ≤ 30 s.
+        let c = ProtocolConfig::quorum();
+        let detect = f64::from(c.probes_for_failure) * c.rapid_probe_interval_s;
+        assert!(detect <= c.probe_interval_s);
+    }
+}

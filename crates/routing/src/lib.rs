@@ -1,0 +1,72 @@
+//! Sans-io routing protocol cores for the all-pairs overlay.
+//!
+//! Everything here is a pure state machine: handlers take the current
+//! time and decoded messages, and return messages to transmit. No sockets,
+//! no clocks, no tasks — the `apor-netsim` driver and the tokio
+//! UDP driver in `apor-overlay` both run the same code, which is the
+//! property the paper leans on when it claims its emulation "uses the same
+//! implementation as the one deployed on the Internet" (section 6.1).
+//!
+//! * [`config`] — the protocol constants of section 5's parameter table.
+//! * [`prober`] — RON link monitoring: 30 s probes, rapid re-probe after a
+//!   first loss, 5-failure death, EWMA latency.
+//! * [`fullmesh`] — the baseline: broadcast link state to everyone,
+//!   `Θ(n²)` per-node communication.
+//! * [`quorum_router`] — the paper's contribution: the two-round grid
+//!   quorum protocol (section 3) with rapid rendezvous failover, remote
+//!   failure detection, dead-destination suppression and §4.2 local route
+//!   scavenging.
+//! * [`multihop`] — the `log l` iteration scheme for optimal routes of
+//!   length ≤ l (section 3, "Multi-hop routes"), with the `Sec` next-hop
+//!   recovery trick, plus its communication accounting.
+//! * [`onehop`] — offline reference computations for the figure 1 detour
+//!   study (best one-hop, best-after-excluding-top-n%).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fullmesh;
+pub mod multihop;
+pub mod onehop;
+pub mod prober;
+pub mod quorum_router;
+
+pub use config::ProtocolConfig;
+pub use fullmesh::FullMeshRouter;
+pub use multihop::{multihop_routes, MultiHopResult};
+pub use prober::{Prober, ProbeAction};
+pub use quorum_router::QuorumRouter;
+
+use apor_linkstate::Message;
+
+/// The routing-side behaviour shared by the full-mesh baseline and the
+/// quorum router, so the overlay node runtime is algorithm-agnostic.
+pub trait RoutingAlgorithm {
+    /// Called every routing interval with the node's freshly measured own
+    /// link-state row. Returns the messages to transmit.
+    fn on_routing_tick(
+        &mut self,
+        now: f64,
+        own_row: &[apor_linkstate::LinkEntry],
+        rng: &mut rand_chacha::ChaCha8Rng,
+    ) -> Vec<Message>;
+
+    /// Called for every routing-class message addressed to this node.
+    /// May return immediate transmissions (e.g. link state to a freshly
+    /// selected failover rendezvous).
+    fn on_message(&mut self, now: f64, msg: &Message) -> Vec<Message>;
+
+    /// The current best first hop towards `dst` (`hop == dst` ⇒ direct),
+    /// or `None` when the node knows no route.
+    fn best_hop(&self, dst: usize, now: f64) -> Option<usize>;
+
+    /// Seconds since this node last received routing information about
+    /// `dst` (the freshness metric of figures 12–14).
+    fn route_age(&self, dst: usize, now: f64) -> Option<f64>;
+
+    /// Number of destinations currently experiencing a *double rendezvous
+    /// failure* from this node's perspective (figure 11). Zero for the
+    /// full-mesh baseline, which has no rendezvous.
+    fn double_rendezvous_failures(&self, now: f64) -> usize;
+}

@@ -1,0 +1,882 @@
+//! The two-round grid-quorum router — the paper's contribution.
+//!
+//! Round one: send the measured link-state row to the rendezvous servers
+//! (the node's grid row and column, ~`2√n` nodes) plus any active failover
+//! servers. Round two (in the same tick, as a *server*): for every pair of
+//! fresh rendezvous clients compute the optimal one-hop path and return
+//! per-client recommendation messages. Every pair of nodes shares at least
+//! two rendezvous servers, so every node keeps learning its optimal
+//! one-hop route to every destination with `Θ(n√n)` per-node traffic.
+//!
+//! Section 4's failure machinery is implemented in full:
+//!
+//! * **proximal failures** — my own probes say the server is dead;
+//! * **remote failures** — the server is alive but stopped recommending a
+//!   destination (it must have lost that destination's link state);
+//! * **rapid rendezvous failover** — on a double failure, pick a random
+//!   reachable node from the destination's row/column, send it link state
+//!   immediately, and watch whether its recommendations cover the
+//!   destination; retry otherwise;
+//! * **dead-destination suppression** — after the first failover attempt,
+//!   only keep trying while somebody's link-state table still reaches the
+//!   destination;
+//! * **reversion** — the failover server is dropped as soon as a default
+//!   rendezvous works again;
+//! * **§4.2 scavenging** — with no usable recommendation, route through
+//!   the best of the `2√n` neighbour tables the node already holds.
+
+use crate::config::ProtocolConfig;
+use crate::RoutingAlgorithm;
+use apor_linkstate::{
+    LinkEntry, LinkStateMsg, LinkStateTable, Message, RecEntry, RecommendationMsg,
+};
+use apor_quorum::{Grid, NodeId};
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+
+/// A received best-hop recommendation for one destination.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteEntry {
+    /// Recommended first hop (`hop == dst` ⇒ direct link).
+    pub hop: usize,
+    /// The rendezvous server that sent it.
+    pub from_server: usize,
+    /// When it arrived, seconds.
+    pub received_at: f64,
+    /// Path cost as computed by the server, ms (`u16::MAX` = not on wire).
+    pub cost_ms: u16,
+}
+
+/// Per-destination failover state (section 4.1).
+#[derive(Debug, Clone, Default)]
+struct FailoverState {
+    /// The active failover rendezvous, if any.
+    current: Option<usize>,
+    /// Candidates already tried (and failed) in this episode.
+    tried: BTreeSet<usize>,
+    /// Set when the destination itself is believed dead.
+    gave_up: bool,
+}
+
+/// Counters for experiments and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuorumMetrics {
+    /// Failover rendezvous selections performed.
+    pub failovers_selected: u64,
+    /// Link-state messages sent.
+    pub ls_sent: u64,
+    /// Recommendation messages sent.
+    pub recs_sent: u64,
+    /// Recommendation entries received.
+    pub rec_entries_received: u64,
+}
+
+/// The per-node quorum routing state machine.
+pub struct QuorumRouter {
+    me: usize,
+    n: usize,
+    grid: Grid,
+    view: u32,
+    round: u32,
+    config: ProtocolConfig,
+    table: LinkStateTable,
+    own_row: Vec<LinkEntry>,
+    /// Cached: my default rendezvous servers (grid row + column).
+    my_servers: Vec<usize>,
+    /// Cached per destination: the default rendezvous pair for (me, dst).
+    default_pair: Vec<Vec<usize>>,
+    /// Cached per destination: failover candidates (dst's row + column).
+    candidates: Vec<Vec<usize>>,
+    /// Latest accepted recommendation per destination.
+    routes: Vec<Option<RouteEntry>>,
+    /// `rec_seen[s]` (keyed by server) → per-dst last time `s` recommended
+    /// any route for dst.
+    rec_seen: std::collections::HashMap<usize, Vec<f64>>,
+    /// When I first sent link state to a server (grace-period anchor).
+    serving_since: std::collections::HashMap<usize, f64>,
+    /// Per-destination failover machinery.
+    failover: Vec<FailoverState>,
+    /// Event counters.
+    metrics: QuorumMetrics,
+}
+
+impl QuorumRouter {
+    /// A quorum router for node `me` under membership `view` of size `n`.
+    #[must_use]
+    pub fn new(me: usize, n: usize, view: u32, config: ProtocolConfig) -> Self {
+        assert!(me < n);
+        let grid = Grid::new(n);
+        let my_servers = grid.rendezvous_servers(me);
+        let default_pair = (0..n)
+            .map(|dst| {
+                if dst == me {
+                    Vec::new()
+                } else {
+                    grid.default_rendezvous_pair(me, dst)
+                }
+            })
+            .collect();
+        let candidates = (0..n)
+            .map(|dst| {
+                if dst == me {
+                    Vec::new()
+                } else {
+                    grid.failover_candidates(dst)
+                        .into_iter()
+                        .filter(|&c| c != me)
+                        .collect()
+                }
+            })
+            .collect();
+        QuorumRouter {
+            me,
+            n,
+            grid,
+            view,
+            round: 0,
+            config,
+            table: LinkStateTable::new(n),
+            own_row: vec![LinkEntry::dead(); n],
+            my_servers,
+            default_pair,
+            candidates,
+            routes: vec![None; n],
+            rec_seen: std::collections::HashMap::new(),
+            serving_since: std::collections::HashMap::new(),
+            failover: vec![FailoverState::default(); n],
+            metrics: QuorumMetrics::default(),
+        }
+    }
+
+    /// The grid this router derives its quorum from.
+    #[must_use]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The link-state table (for inspection).
+    #[must_use]
+    pub fn table(&self) -> &LinkStateTable {
+        &self.table
+    }
+
+    /// Event counters.
+    #[must_use]
+    pub fn metrics(&self) -> QuorumMetrics {
+        self.metrics
+    }
+
+    /// The latest recommendation stored for `dst`.
+    #[must_use]
+    pub fn route_entry(&self, dst: usize) -> Option<RouteEntry> {
+        self.routes[dst]
+    }
+
+    /// The currently active failover server for `dst`, if any.
+    #[must_use]
+    pub fn active_failover(&self, dst: usize) -> Option<usize> {
+        self.failover[dst].current
+    }
+
+    /// Last time server `s` recommended any route to `dst`.
+    fn last_rec(&self, s: usize, dst: usize) -> Option<f64> {
+        self.rec_seen.get(&s).and_then(|v| {
+            let t = v[dst];
+            (t >= 0.0).then_some(t)
+        })
+    }
+
+    /// Has rendezvous server `s` failed *for destination `dst`*, judged at
+    /// `now`? Covers proximal failures (my link to `s` is dead), remote
+    /// failures (`s` stopped recommending `dst`), and the degenerate cases
+    /// where `s` is me or the destination itself.
+    fn server_failed(&self, s: usize, dst: usize, now: f64) -> bool {
+        if s == self.me {
+            // I am my own rendezvous for same-row/column destinations; I
+            // have "failed" when I no longer hold fresh link state for dst.
+            return !self.table.row_fresh(dst, now, self.config.staleness_s());
+        }
+        if s == dst {
+            // The destination can only vouch for itself over a live link.
+            return !self.own_row[s].alive;
+        }
+        // Proximal rendezvous failure.
+        if !self.own_row[s].alive {
+            return true;
+        }
+        // Remote rendezvous failure: no recommendation for dst recently.
+        let Some(since) = self.serving_since.get(&s).copied() else {
+            // Never even sent them link state yet — not failed, just young.
+            return false;
+        };
+        let anchor = self
+            .last_rec(s, dst)
+            .unwrap_or(since + self.config.server_grace_s() - self.config.remote_failure_s());
+        now - anchor > self.config.remote_failure_s()
+    }
+
+    fn both_defaults_failed(&self, dst: usize, now: f64) -> bool {
+        let pair = &self.default_pair[dst];
+        !pair.is_empty() && pair.iter().all(|&s| self.server_failed(s, dst, now))
+    }
+
+    /// Run the section 4.1 failover state machine for every destination;
+    /// returns servers newly selected this tick (they get link state
+    /// immediately).
+    fn manage_failovers(&mut self, now: f64, rng: &mut ChaCha8Rng) -> Vec<usize> {
+        let mut newly_selected = Vec::new();
+        for dst in 0..self.n {
+            if dst == self.me {
+                continue;
+            }
+            // Reversion: a working default rendezvous ends the episode.
+            if !self.both_defaults_failed(dst, now) {
+                let st = &mut self.failover[dst];
+                st.current = None;
+                st.tried.clear();
+                st.gave_up = false;
+                continue;
+            }
+            // Double rendezvous failure. Is the current failover healthy?
+            if let Some(f) = self.failover[dst].current {
+                if !self.server_failed(f, dst, now) {
+                    continue;
+                }
+                self.failover[dst].tried.insert(f);
+                self.failover[dst].current = None;
+            }
+            // Dead-destination suppression: after the first attempt, only
+            // continue while someone's table still reaches dst.
+            let attempted_before = !self.failover[dst].tried.is_empty();
+            if attempted_before {
+                let reachable = self
+                    .table
+                    .anyone_reaches(dst, now, self.config.staleness_s())
+                    || self.own_row[dst].alive;
+                if !reachable {
+                    self.failover[dst].gave_up = true;
+                    continue;
+                }
+            }
+            self.failover[dst].gave_up = false;
+
+            // Pick a failover uniformly at random from dst's reachable
+            // row/column, excluding already-tried candidates.
+            let pool: Vec<usize> = self.candidates[dst]
+                .iter()
+                .copied()
+                .filter(|&c| c != dst)
+                .filter(|&c| self.own_row[c].alive)
+                .filter(|c| !self.failover[dst].tried.contains(c))
+                .collect();
+            if pool.is_empty() {
+                // Exhausted: restart the episode so candidates that have
+                // recovered become eligible again.
+                self.failover[dst].tried.clear();
+                continue;
+            }
+            let f = *pool.choose(rng).expect("non-empty pool");
+            self.failover[dst].current = Some(f);
+            self.failover[dst].tried.insert(f);
+            self.metrics.failovers_selected += 1;
+            newly_selected.push(f);
+        }
+        newly_selected.sort_unstable();
+        newly_selected.dedup();
+        newly_selected
+    }
+
+    fn linkstate_msg(&self, to: usize, now: f64) -> Message {
+        Message::LinkState(LinkStateMsg {
+            from: NodeId::from_index(self.me),
+            to: NodeId::from_index(to),
+            view: self.view,
+            round: self.round,
+            basis_ms: (now * 1000.0) as u32,
+            entries: self.own_row.clone(),
+        })
+    }
+
+    /// The set of servers that receive my link state this round: defaults
+    /// plus all active failovers.
+    fn current_servers(&self) -> Vec<usize> {
+        let mut servers = self.my_servers.clone();
+        for st in &self.failover {
+            if let Some(f) = st.current {
+                servers.push(f);
+            }
+        }
+        servers.sort_unstable();
+        servers.dedup();
+        servers.retain(|&s| s != self.me);
+        servers
+    }
+
+    /// Round two, as a rendezvous server: recommendations for each fresh
+    /// client about every other fresh client (and about me).
+    fn compute_recommendations(&mut self, now: f64) -> Vec<Message> {
+        let max_age = self.config.staleness_s();
+        let mut clients: Vec<usize> = (0..self.n)
+            .filter(|&c| c != self.me)
+            .filter(|&c| self.table.row_fresh(c, now, max_age))
+            .collect();
+        // I count as a destination for my clients (my row is always fresh).
+        let mut msgs = Vec::new();
+        let dests_base = {
+            let mut d = clients.clone();
+            d.push(self.me);
+            d
+        };
+        clients.sort_unstable();
+        for &c in &clients {
+            let mut recs = Vec::new();
+            for &d in &dests_base {
+                if d == c {
+                    continue;
+                }
+                if let Some((hop, cost)) = self.table.best_one_hop(c, d, now, max_age) {
+                    recs.push(RecEntry {
+                        dst: NodeId::from_index(d),
+                        hop: NodeId::from_index(hop),
+                        cost_ms: LinkEntry::quantize_latency(cost),
+                    });
+                }
+            }
+            if recs.is_empty() {
+                continue;
+            }
+            self.metrics.recs_sent += 1;
+            msgs.push(Message::Recommendations(RecommendationMsg {
+                from: NodeId::from_index(self.me),
+                to: NodeId::from_index(c),
+                view: self.view,
+                round: self.round,
+                basis_ms: (now * 1000.0) as u32,
+                format: self.config.rec_format,
+                recs,
+            }));
+        }
+        msgs
+    }
+}
+
+impl RoutingAlgorithm for QuorumRouter {
+    fn on_routing_tick(
+        &mut self,
+        now: f64,
+        own_row: &[LinkEntry],
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Message> {
+        assert_eq!(own_row.len(), self.n);
+        self.own_row.copy_from_slice(own_row);
+        self.table.update_row(self.me, own_row, now);
+        self.round += 1;
+
+        // Section 4.1 failover management happens before round one so a
+        // freshly selected failover gets link state in this very tick.
+        let _newly = self.manage_failovers(now, rng);
+
+        let mut msgs = Vec::new();
+        // Round one: link state to all current servers.
+        for s in self.current_servers() {
+            self.serving_since.entry(s).or_insert(now);
+            self.metrics.ls_sent += 1;
+            msgs.push(self.linkstate_msg(s, now));
+        }
+        // Round two: recommendations to all fresh clients.
+        msgs.extend(self.compute_recommendations(now));
+        msgs
+    }
+
+    fn on_message(&mut self, now: f64, msg: &Message) -> Vec<Message> {
+        match msg {
+            Message::LinkState(ls) => {
+                let from = ls.from.index();
+                if ls.view == self.view && ls.entries.len() == self.n && from < self.n && from != self.me
+                {
+                    self.table.update_row(from, &ls.entries, now);
+                }
+                Vec::new()
+            }
+            Message::Recommendations(rm) => {
+                let server = rm.from.index();
+                if rm.view != self.view || server >= self.n {
+                    return Vec::new();
+                }
+                let seen = self
+                    .rec_seen
+                    .entry(server)
+                    .or_insert_with(|| vec![-1.0; self.n]);
+                for rec in &rm.recs {
+                    let dst = rec.dst.index();
+                    let hop = rec.hop.index();
+                    if dst >= self.n || hop >= self.n || dst == self.me {
+                        continue;
+                    }
+                    seen[dst] = now;
+                    self.metrics.rec_entries_received += 1;
+                    let newer = self.routes[dst].is_none_or(|r| now >= r.received_at);
+                    if newer {
+                        self.routes[dst] = Some(RouteEntry {
+                            hop,
+                            from_server: server,
+                            received_at: now,
+                            cost_ms: rec.cost_ms,
+                        });
+                    }
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn best_hop(&self, dst: usize, now: f64) -> Option<usize> {
+        if dst == self.me || dst >= self.n {
+            return None;
+        }
+        // Fresh recommendation wins.
+        if let Some(r) = self.routes[dst] {
+            if now - r.received_at <= self.config.route_expiry_s() {
+                return Some(r.hop);
+            }
+        }
+        // §4.2: scavenge from the neighbour tables we already hold.
+        let max_age = self.config.staleness_s();
+        let direct = if self.own_row[dst].alive {
+            self.own_row[dst].cost()
+        } else {
+            f64::INFINITY
+        };
+        let mut best = (dst, direct);
+        for (h, c) in self.table.one_hop_options(self.me, dst, now, max_age) {
+            if c < best.1 {
+                best = (h, c);
+            }
+        }
+        best.1.is_finite().then_some(best.0)
+    }
+
+    fn route_age(&self, dst: usize, now: f64) -> Option<f64> {
+        self.routes[dst].map(|r| now - r.received_at)
+    }
+
+    fn double_rendezvous_failures(&self, now: f64) -> usize {
+        (0..self.n)
+            .filter(|&dst| dst != self.me)
+            .filter(|&dst| self.both_defaults_failed(dst, now))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(12345)
+    }
+
+    /// A tiny synchronous fabric: run all routers' ticks, deliver all
+    /// messages instantly (optionally dropping some links).
+    struct Fabric {
+        routers: Vec<QuorumRouter>,
+        rng: ChaCha8Rng,
+        /// Link filter: `false` ⇒ messages on (from, to) are dropped.
+        link_up: Box<dyn Fn(usize, usize) -> bool>,
+    }
+
+    impl Fabric {
+        fn new(n: usize, cfg: &ProtocolConfig) -> Self {
+            Fabric {
+                routers: (0..n).map(|i| QuorumRouter::new(i, n, 0, cfg.clone())).collect(),
+                rng: rng(),
+                link_up: Box::new(|_, _| true),
+            }
+        }
+
+        /// One routing interval for everyone. `rows[i]` is node i's own row.
+        fn tick(&mut self, now: f64, rows: &[Vec<LinkEntry>]) {
+            let mut inbox: Vec<Message> = Vec::new();
+            for (i, r) in self.routers.iter_mut().enumerate() {
+                inbox.extend(r.on_routing_tick(now, &rows[i], &mut self.rng));
+            }
+            // Deliver, collecting any immediate responses (failover LS).
+            let mut queue = inbox;
+            while let Some(m) = queue.pop() {
+                let (f, t) = (m.from().index(), m.to().index());
+                if !(self.link_up)(f, t) {
+                    continue;
+                }
+                queue.extend(self.routers[t].on_message(now + 0.01, &m));
+            }
+        }
+    }
+
+    /// Symmetric rows from a cost matrix; `u16::MAX` ⇒ dead link.
+    fn rows_from(costs: &[&[u16]]) -> Vec<Vec<LinkEntry>> {
+        costs
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&c| {
+                        if c == u16::MAX {
+                            LinkEntry::dead()
+                        } else {
+                            LinkEntry::live(c, 0.0)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A 9-node world (3×3 grid, figure 2) where the direct path 0→8 is
+    /// expensive and node 4 is the best relay for everyone.
+    fn nine_node_rows() -> Vec<Vec<LinkEntry>> {
+        let n = 9;
+        let mut costs = vec![vec![0u16; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    costs[i][j] = 100;
+                }
+            }
+        }
+        // Node 4 is a hub: cheap to everyone.
+        for i in 0..n {
+            if i != 4 {
+                costs[i][4] = 10;
+                costs[4][i] = 10;
+            }
+        }
+        // 0↔8 is terrible.
+        costs[0][8] = 400;
+        costs[8][0] = 400;
+        let refs: Vec<&[u16]> = costs.iter().map(|r| r.as_slice()).collect();
+        rows_from(&refs)
+    }
+
+    /// After two routing intervals every node must know the optimal
+    /// one-hop route to every destination (Theorem 1 made operational).
+    #[test]
+    fn two_rounds_find_all_optimal_one_hops() {
+        let cfg = ProtocolConfig::quorum();
+        let mut fabric = Fabric::new(9, &cfg);
+        let rows = nine_node_rows();
+        fabric.tick(0.0, &rows);
+        fabric.tick(15.0, &rows);
+        // 0's best hop to 8 is via the hub 4 (10 + 10 = 20 vs 400 direct).
+        assert_eq!(fabric.routers[0].best_hop(8, 16.0), Some(4));
+        assert_eq!(fabric.routers[8].best_hop(0, 16.0), Some(4));
+        // All pairs: either the direct 100 (via hub = 20 — hub wins), so
+        // everyone should route via 4, except pairs involving 4.
+        for i in 0..9 {
+            for j in 0..9 {
+                if i == j {
+                    continue;
+                }
+                let hop = fabric.routers[i].best_hop(j, 16.0).expect("route known");
+                if i == 4 || j == 4 {
+                    assert_eq!(hop, j, "adjacent to hub: direct is optimal");
+                } else {
+                    assert_eq!(hop, 4, "{i}→{j} should relay via hub");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round1_message_complexity_is_2_sqrt_n() {
+        let cfg = ProtocolConfig::quorum();
+        for n in [9usize, 16, 25, 100, 144] {
+            let mut r = QuorumRouter::new(0, n, 0, cfg.clone());
+            let row = vec![LinkEntry::live(10, 0.0); n];
+            let mut g = rng();
+            let msgs = r.on_routing_tick(0.0, &row, &mut g);
+            let ls_count = msgs
+                .iter()
+                .filter(|m| matches!(m, Message::LinkState(_)))
+                .count();
+            let bound = 2 * (n as f64).sqrt().ceil() as usize;
+            assert!(
+                ls_count <= bound,
+                "n={n}: {ls_count} LS messages > 2√n = {bound}"
+            );
+            assert!(ls_count >= (n as f64).sqrt() as usize, "suspiciously few");
+        }
+    }
+
+    #[test]
+    fn recommendations_only_flow_to_clients() {
+        let cfg = ProtocolConfig::quorum();
+        let mut fabric = Fabric::new(9, &cfg);
+        let rows = nine_node_rows();
+        fabric.tick(0.0, &rows);
+        // After one tick node 4 (grid position (1,1)) has clients = its
+        // row {3, 5} and column {1, 7}.
+        let mut g = rng();
+        let msgs = fabric.routers[4].on_routing_tick(15.0, &rows[4], &mut g);
+        let rec_targets: Vec<usize> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::Recommendations(r) => Some(r.to.index()),
+                _ => None,
+            })
+            .collect();
+        for &t in &rec_targets {
+            assert!(
+                fabric.routers[4].grid().rendezvous_clients(4).contains(&t),
+                "rec sent to non-client {t}"
+            );
+        }
+        assert!(!rec_targets.is_empty());
+    }
+
+    #[test]
+    fn proximal_failover_selects_new_rendezvous() {
+        let cfg = ProtocolConfig::quorum();
+        let n = 9;
+        // 0's default rendezvous pair towards 8 is {2, 6}. Kill links
+        // 0–2 and 0–6 (proximal failures) and the direct 0–8.
+        let dead_links: &[(usize, usize)] = &[(0, 2), (0, 6), (0, 8)];
+        let mut costs = vec![vec![100u16; n]; n];
+        for i in 0..n {
+            costs[i][i] = 0;
+        }
+        for &(a, b) in dead_links {
+            costs[a][b] = u16::MAX;
+            costs[b][a] = u16::MAX;
+        }
+        let refs: Vec<&[u16]> = costs.iter().map(|r| r.as_slice()).collect();
+        let rows = rows_from(&refs);
+
+        let mut fabric = Fabric::new(n, &cfg);
+        let up = move |f: usize, t: usize| {
+            !dead_links.contains(&(f, t)) && !dead_links.contains(&(t, f))
+        };
+        fabric.link_up = Box::new(up);
+
+        for k in 0..6 {
+            fabric.tick(k as f64 * 15.0, &rows);
+        }
+        let now = 80.0;
+        // Double failure must have been detected…
+        assert!(fabric.routers[0].both_defaults_failed(8, now));
+        // …a failover selected from 8's row/column…
+        let f = fabric.routers[0]
+            .active_failover(8)
+            .expect("failover selected");
+        assert!(fabric.routers[0].grid().failover_candidates(8).contains(&f));
+        // …and a route to 8 recovered through it.
+        let hop = fabric.routers[0].best_hop(8, now).expect("route recovered");
+        assert_ne!(hop, 8, "direct link is dead; must relay");
+        // The route must avoid dead links.
+        assert!(up(0, hop) && up(hop, 8), "hop {hop} uses a dead link");
+    }
+
+    #[test]
+    fn failover_reverts_when_default_recovers() {
+        let cfg = ProtocolConfig::quorum();
+        let n = 9;
+        let mut costs = vec![vec![100u16; n]; n];
+        for i in 0..n {
+            costs[i][i] = 0;
+        }
+        let refs: Vec<&[u16]> = costs.iter().map(|r| r.as_slice()).collect();
+        let healthy_rows = rows_from(&refs);
+
+        // Phase 1: 0 cannot reach 2 or 6 → failover for dst 8.
+        let mut broken = costs.clone();
+        for &(a, b) in &[(0usize, 2usize), (0, 6), (0, 8)] {
+            broken[a][b] = u16::MAX;
+            broken[b][a] = u16::MAX;
+        }
+        let refs2: Vec<&[u16]> = broken.iter().map(|r| r.as_slice()).collect();
+        let broken_rows = rows_from(&refs2);
+
+        let mut fabric = Fabric::new(n, &cfg);
+        let dead = [(0usize, 2usize), (0, 6), (0, 8)];
+        fabric.link_up = Box::new(move |f, t| !dead.contains(&(f, t)) && !dead.contains(&(t, f)));
+        for k in 0..5 {
+            fabric.tick(k as f64 * 15.0, &broken_rows);
+        }
+        assert!(fabric.routers[0].active_failover(8).is_some());
+
+        // Phase 2: everything heals.
+        fabric.link_up = Box::new(|_, _| true);
+        for k in 5..10 {
+            fabric.tick(k as f64 * 15.0, &healthy_rows);
+        }
+        assert!(
+            fabric.routers[0].active_failover(8).is_none(),
+            "failover must be dropped once defaults recover"
+        );
+        assert_eq!(fabric.routers[0].double_rendezvous_failures(10.0 * 15.0), 0);
+    }
+
+    #[test]
+    fn dead_destination_suppresses_failover_churn() {
+        let cfg = ProtocolConfig::quorum();
+        let n = 9;
+        let mut costs = vec![vec![50u16; n]; n];
+        for i in 0..n {
+            costs[i][i] = 0;
+        }
+        // Node 8 is dead: everyone's link to 8 is dead.
+        for i in 0..n {
+            costs[i][8] = u16::MAX;
+            costs[8][i] = u16::MAX;
+        }
+        let refs: Vec<&[u16]> = costs.iter().map(|r| r.as_slice()).collect();
+        let rows = rows_from(&refs);
+        let mut fabric = Fabric::new(n, &cfg);
+        fabric.link_up = Box::new(|f, t| f != 8 && t != 8);
+        for k in 0..12 {
+            fabric.tick(k as f64 * 15.0, &rows);
+        }
+        let m = fabric.routers[0].metrics();
+        // A couple of initial attempts are fine; unbounded retry is not.
+        assert!(
+            m.failovers_selected <= 4,
+            "failover churn for dead destination: {}",
+            m.failovers_selected
+        );
+        assert!(fabric.routers[0].best_hop(8, 12.0 * 15.0).is_none());
+    }
+
+    #[test]
+    fn scavenging_routes_without_recommendations() {
+        // §4.2: no recs at all (we never tick the other routers so nobody
+        // computes recommendations), but receiving a neighbour's link
+        // state row lets us route through it.
+        let cfg = ProtocolConfig::quorum();
+        let n = 9;
+        let mut me = QuorumRouter::new(0, n, 0, cfg.clone());
+        let mut own = vec![LinkEntry::live(100, 0.0); n];
+        own[0] = LinkEntry::live(0, 0.0);
+        own[8] = LinkEntry::dead(); // can't reach 8 directly
+        let mut g = rng();
+        let _ = me.on_routing_tick(0.0, &own, &mut g);
+        // Neighbour 1 says it reaches everyone at 20 ms.
+        let row1: Vec<LinkEntry> = (0..n)
+            .map(|j| if j == 1 { LinkEntry::live(0, 0.0) } else { LinkEntry::live(20, 0.0) })
+            .collect();
+        let _ = me.on_message(
+            1.0,
+            &Message::LinkState(LinkStateMsg {
+                from: NodeId(1),
+                to: NodeId(0),
+                view: 0,
+                round: 1,
+                basis_ms: 0,
+                entries: row1,
+            }),
+        );
+        assert_eq!(me.best_hop(8, 2.0), Some(1), "scavenged route via 1");
+    }
+
+    #[test]
+    fn recommendations_update_routes_and_age() {
+        let cfg = ProtocolConfig::quorum();
+        let mut me = QuorumRouter::new(0, 9, 0, cfg);
+        assert_eq!(me.route_age(8, 10.0), None);
+        let rec = Message::Recommendations(RecommendationMsg {
+            from: NodeId(2),
+            to: NodeId(0),
+            view: 0,
+            round: 3,
+            basis_ms: 0,
+            format: apor_linkstate::RecFormat::Compact,
+            recs: vec![RecEntry {
+                dst: NodeId(8),
+                hop: NodeId(4),
+                cost_ms: 20,
+            }],
+        });
+        let _ = me.on_message(5.0, &rec);
+        assert_eq!(me.best_hop(8, 6.0), Some(4));
+        assert_eq!(me.route_age(8, 9.0), Some(4.0));
+        // Expired recommendations stop being used directly.
+        assert!(me.route_age(8, 500.0).unwrap() > 400.0);
+        assert_eq!(me.best_hop(8, 500.0), None, "no fresh info at all");
+    }
+
+    #[test]
+    fn cross_view_messages_dropped() {
+        let cfg = ProtocolConfig::quorum();
+        let mut me = QuorumRouter::new(0, 9, 3, cfg);
+        let rec = Message::Recommendations(RecommendationMsg {
+            from: NodeId(2),
+            to: NodeId(0),
+            view: 99,
+            round: 3,
+            basis_ms: 0,
+            format: apor_linkstate::RecFormat::Compact,
+            recs: vec![RecEntry {
+                dst: NodeId(8),
+                hop: NodeId(4),
+                cost_ms: 20,
+            }],
+        });
+        let _ = me.on_message(5.0, &rec);
+        assert_eq!(me.best_hop(8, 6.0), None);
+    }
+
+    #[test]
+    fn malformed_recs_ignored_without_panic() {
+        let cfg = ProtocolConfig::quorum();
+        let mut me = QuorumRouter::new(0, 9, 0, cfg);
+        let rec = Message::Recommendations(RecommendationMsg {
+            from: NodeId(2),
+            to: NodeId(0),
+            view: 0,
+            round: 3,
+            basis_ms: 0,
+            format: apor_linkstate::RecFormat::Compact,
+            recs: vec![
+                RecEntry {
+                    dst: NodeId(200), // out of range
+                    hop: NodeId(4),
+                    cost_ms: 20,
+                },
+                RecEntry {
+                    dst: NodeId(8),
+                    hop: NodeId(250), // out of range
+                    cost_ms: 20,
+                },
+                RecEntry {
+                    dst: NodeId(0), // about myself
+                    hop: NodeId(4),
+                    cost_ms: 20,
+                },
+            ],
+        });
+        let _ = me.on_message(5.0, &rec);
+        assert_eq!(me.best_hop(8, 6.0), None);
+    }
+
+    #[test]
+    fn double_failure_metric_counts_destinations() {
+        let cfg = ProtocolConfig::quorum();
+        let n = 9;
+        // Kill my links to 2 and 6 — the default pair for dst 8 AND the
+        // servers covering several other destinations.
+        let mut own: Vec<LinkEntry> = (0..n).map(|_| LinkEntry::live(50, 0.0)).collect();
+        own[0] = LinkEntry::live(0, 0.0);
+        own[2] = LinkEntry::dead();
+        own[6] = LinkEntry::dead();
+        let mut me = QuorumRouter::new(0, n, 0, cfg);
+        let mut g = rng();
+        let _ = me.on_routing_tick(0.0, &own, &mut g);
+        let d = me.double_rendezvous_failures(0.1);
+        // dst 8's default pair {2, 6} is fully dead → at least dst 8 counts.
+        assert!(me.both_defaults_failed(8, 0.1));
+        assert!(d >= 1);
+        // dst 1 shares my row: I am one of its default rendezvous, and my
+        // own data for 1 is fresh → not a double failure.
+        assert!(!me.both_defaults_failed(1, 0.1));
+    }
+}

@@ -1,0 +1,515 @@
+//! Link- and node-failure schedules.
+//!
+//! The deployment experiments (figures 8, 10–14) ran on PlanetLab during a
+//! period of "quite serious failures". We substitute a renewal-process
+//! failure generator whose per-node concurrent-failure distribution is
+//! calibrated to figure 8: the median node averages a handful of concurrent
+//! link failures, almost all nodes average < 40, and a small tail of badly
+//! connected nodes reaches the 40–120 range (the paper's "poorly connected"
+//! case study node averaged 44, max 123).
+//!
+//! A schedule is generated up front (deterministic in the seed) and then
+//! *queried* by the simulator: a packet sent on link `(i, j)` at time `t`
+//! is dropped when the link is scheduled down. This mirrors how PlanetLab
+//! failures act on the paper's system — probes and routing messages are
+//! simply lost, and all detection happens through the overlay's own
+//! probing, exactly as in section 5.
+
+use crate::sampling;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Half-open outage interval `[start, end)` in seconds.
+pub type Outage = (f64, f64);
+
+/// Parameters for failure-schedule generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailureParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Schedule horizon in seconds (the paper's deployment ran 136 min).
+    pub duration_s: f64,
+    /// Median (over nodes) of the target mean number of concurrent link
+    /// failures per node — figure 8's x-axis.
+    pub median_concurrent: f64,
+    /// σ of the log-normal spread of per-node failure proneness. Larger
+    /// values produce a heavier "badly connected" tail.
+    pub concurrent_sigma: f64,
+    /// Mean link outage duration, seconds.
+    pub mean_outage_s: f64,
+    /// Minimum outage duration, seconds (very short blips are probe loss,
+    /// not failures, so we floor outages near the detection timescale).
+    pub min_outage_s: f64,
+    /// Per-link down-fraction cap (a link can't be down more than this
+    /// share of the time).
+    pub max_down_fraction: f64,
+    /// Explicit whole-node outages (crash/restart windows).
+    pub node_outages: Vec<NodeOutage>,
+    /// Explicit single-link outages, merged into the generated schedule
+    /// (targeted failure injection for tests and demos).
+    pub link_outages: Vec<LinkOutage>,
+}
+
+impl Default for FailureParams {
+    fn default() -> Self {
+        FailureParams {
+            n: 140,
+            seed: 0xDEFA11,
+            duration_s: 136.0 * 60.0,
+            median_concurrent: 4.0,
+            concurrent_sigma: 1.1,
+            mean_outage_s: 120.0,
+            min_outage_s: 20.0,
+            max_down_fraction: 0.85,
+            node_outages: Vec::new(),
+            link_outages: Vec::new(),
+        }
+    }
+}
+
+impl FailureParams {
+    /// Default parameters for `n` nodes.
+    #[must_use]
+    pub fn with_n(n: usize) -> Self {
+        FailureParams {
+            n,
+            ..Default::default()
+        }
+    }
+
+    /// Same parameters, different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A schedule with no failures at all (steady-state experiments).
+    #[must_use]
+    pub fn none(n: usize, duration_s: f64) -> FailureSchedule {
+        FailureSchedule {
+            n,
+            duration_s,
+            link_down: vec![Vec::new(); n * (n.saturating_sub(1)) / 2],
+            node_down: vec![Vec::new(); n],
+            proneness: vec![0.0; n],
+        }
+    }
+}
+
+/// An explicit whole-node outage window.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NodeOutage {
+    /// The failing node.
+    pub node: usize,
+    /// Outage start, seconds.
+    pub start_s: f64,
+    /// Outage end, seconds.
+    pub end_s: f64,
+}
+
+/// An explicit single-link outage window (both directions fail).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkOutage {
+    /// One endpoint.
+    pub a: usize,
+    /// The other endpoint.
+    pub b: usize,
+    /// Outage start, seconds.
+    pub start_s: f64,
+    /// Outage end, seconds.
+    pub end_s: f64,
+}
+
+/// A pre-generated, queryable failure schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailureSchedule {
+    n: usize,
+    duration_s: f64,
+    /// Outage lists per unordered pair, indexed by [`pair_index`].
+    link_down: Vec<Vec<Outage>>,
+    /// Outage lists per node.
+    node_down: Vec<Vec<Outage>>,
+    /// Per-node failure proneness (target mean concurrent failures).
+    proneness: Vec<f64>,
+}
+
+/// Index of the unordered pair `(i, j)`, `i ≠ j`, in a flat triangular
+/// layout.
+#[must_use]
+pub fn pair_index(n: usize, i: usize, j: usize) -> usize {
+    let (a, b) = if i < j { (i, j) } else { (j, i) };
+    debug_assert!(b < n);
+    // Triangular index: pairs (0,1), (0,2), … (0,n-1), (1,2), …
+    a * n - a * (a + 1) / 2 + (b - a - 1)
+}
+
+impl FailureSchedule {
+    /// Generate a schedule (deterministic in `params.seed`).
+    #[must_use]
+    pub fn generate(params: &FailureParams) -> FailureSchedule {
+        let n = params.n;
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+
+        // Per-node failure proneness: log-normal around the median.
+        let proneness: Vec<f64> = (0..n)
+            .map(|_| {
+                sampling::log_normal(
+                    &mut rng,
+                    params.median_concurrent.ln(),
+                    params.concurrent_sigma,
+                )
+            })
+            .collect();
+
+        let mut link_down = vec![Vec::new(); n * n.saturating_sub(1) / 2];
+        if n >= 2 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    // Link down-fraction so that Σ_j duty(i,j) ≈ proneness_i.
+                    let duty = ((proneness[i] + proneness[j]) / (2.0 * (n - 1) as f64))
+                        .min(params.max_down_fraction);
+                    if duty <= 0.0 {
+                        continue;
+                    }
+                    let mean_up = params.mean_outage_s * (1.0 - duty) / duty;
+                    let outages = Self::renewal_process(
+                        &mut rng,
+                        params.duration_s,
+                        duty,
+                        mean_up,
+                        params.mean_outage_s,
+                        params.min_outage_s,
+                    );
+                    link_down[pair_index(n, i, j)] = outages;
+                }
+            }
+        }
+
+        // Merge in explicit link outages.
+        for o in &params.link_outages {
+            assert!(o.a < n && o.b < n && o.a != o.b, "bad link outage endpoints");
+            assert!(o.start_s < o.end_s, "empty link outage window");
+            link_down[pair_index(n, o.a, o.b)].push((o.start_s, o.end_s));
+        }
+        for list in &mut link_down {
+            if list.is_empty() {
+                continue;
+            }
+            list.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+            // Coalesce overlaps so interval queries stay a binary search.
+            let mut merged: Vec<Outage> = Vec::with_capacity(list.len());
+            for &(s, e) in list.iter() {
+                match merged.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            *list = merged;
+        }
+
+        let mut node_down = vec![Vec::new(); n];
+        for o in &params.node_outages {
+            assert!(o.node < n, "node outage index {} out of range", o.node);
+            assert!(o.start_s < o.end_s, "empty node outage window");
+            node_down[o.node].push((o.start_s, o.end_s));
+        }
+        for list in &mut node_down {
+            list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        }
+
+        FailureSchedule {
+            n,
+            duration_s: params.duration_s,
+            link_down,
+            node_down,
+            proneness,
+        }
+    }
+
+    /// Alternating up/down renewal process over `[0, duration)`.
+    fn renewal_process(
+        rng: &mut ChaCha8Rng,
+        duration: f64,
+        duty: f64,
+        mean_up: f64,
+        mean_down: f64,
+        min_down: f64,
+    ) -> Vec<Outage> {
+        let mut outages = Vec::new();
+        // Start down with stationary probability `duty`.
+        let mut t = 0.0;
+        let mut down = rng.gen::<f64>() < duty;
+        while t < duration {
+            if down {
+                let d = sampling::exponential(rng, mean_down).max(min_down);
+                let end = (t + d).min(duration);
+                outages.push((t, end));
+                t = end;
+            } else {
+                t += sampling::exponential(rng, mean_up);
+            }
+            down = !down;
+        }
+        outages
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the schedule covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Schedule horizon in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// Per-node failure proneness used during generation (diagnostics).
+    #[must_use]
+    pub fn proneness(&self) -> &[f64] {
+        &self.proneness
+    }
+
+    /// Is node `i` up at time `t`?
+    #[must_use]
+    pub fn is_node_up(&self, i: usize, t: f64) -> bool {
+        !covered(&self.node_down[i], t)
+    }
+
+    /// Is the link `(i, j)` usable at time `t`? False when the link itself
+    /// is scheduled down or either endpoint is down.
+    #[must_use]
+    pub fn is_link_up(&self, i: usize, j: usize, t: f64) -> bool {
+        if i == j {
+            return self.is_node_up(i, t);
+        }
+        self.is_node_up(i, t)
+            && self.is_node_up(j, t)
+            && !covered(&self.link_down[pair_index(self.n, i, j)], t)
+    }
+
+    /// The outage list of link `(i, j)`.
+    #[must_use]
+    pub fn link_outages(&self, i: usize, j: usize) -> &[Outage] {
+        &self.link_down[pair_index(self.n, i, j)]
+    }
+
+    /// Number of concurrent link failures observed by node `i` at `t`:
+    /// destinations unreachable via the direct link (figure 8's metric).
+    #[must_use]
+    pub fn concurrent_failures(&self, i: usize, t: f64) -> usize {
+        (0..self.n)
+            .filter(|&j| j != i)
+            .filter(|&j| !self.is_link_up(i, j, t))
+            .count()
+    }
+
+    /// Mean (over `samples` evenly spaced instants) of
+    /// [`concurrent_failures`](Self::concurrent_failures) for node `i`.
+    #[must_use]
+    pub fn mean_concurrent_failures(&self, i: usize, samples: usize) -> f64 {
+        assert!(samples > 0);
+        let step = self.duration_s / samples as f64;
+        let total: usize = (0..samples)
+            .map(|s| self.concurrent_failures(i, (s as f64 + 0.5) * step))
+            .sum();
+        total as f64 / samples as f64
+    }
+
+    /// Max (over `samples` instants) concurrent failures for node `i`.
+    #[must_use]
+    pub fn max_concurrent_failures(&self, i: usize, samples: usize) -> usize {
+        assert!(samples > 0);
+        let step = self.duration_s / samples as f64;
+        (0..samples)
+            .map(|s| self.concurrent_failures(i, (s as f64 + 0.5) * step))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Is `t` inside any of the sorted intervals?
+fn covered(intervals: &[Outage], t: f64) -> bool {
+    // Binary search for the last interval starting at or before t.
+    let idx = intervals.partition_point(|&(s, _)| s <= t);
+    idx > 0 && t < intervals[idx - 1].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_bijective() {
+        let n = 17;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let idx = pair_index(n, i, j);
+                assert_eq!(idx, pair_index(n, j, i), "symmetric");
+                assert!(seen.insert(idx), "collision at ({i},{j})");
+                assert!(idx < n * (n - 1) / 2);
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let p = FailureParams::with_n(30);
+        let a = FailureSchedule::generate(&p);
+        let b = FailureSchedule::generate(&p);
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                assert_eq!(a.link_outages(i, j), b.link_outages(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn outages_sorted_disjoint_within_horizon() {
+        let s = FailureSchedule::generate(&FailureParams::with_n(40));
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                let os = s.link_outages(i, j);
+                for w in os.windows(2) {
+                    assert!(w[0].1 <= w[1].0, "overlap {w:?}");
+                }
+                for &(a, b) in os {
+                    assert!(a < b, "empty outage");
+                    assert!(b <= s.duration_s() + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covered_queries() {
+        let intervals = vec![(10.0, 20.0), (30.0, 40.0)];
+        assert!(!covered(&intervals, 5.0));
+        assert!(covered(&intervals, 10.0));
+        assert!(covered(&intervals, 15.0));
+        assert!(!covered(&intervals, 20.0));
+        assert!(covered(&intervals, 39.9));
+        assert!(!covered(&intervals, 45.0));
+    }
+
+    #[test]
+    fn node_outage_blocks_all_links() {
+        let mut p = FailureParams::with_n(5);
+        p.median_concurrent = 0.0001; // effectively no link failures
+        p.node_outages = vec![NodeOutage {
+            node: 2,
+            start_s: 100.0,
+            end_s: 200.0,
+        }];
+        let s = FailureSchedule::generate(&p);
+        assert!(s.is_node_up(2, 50.0));
+        assert!(!s.is_node_up(2, 150.0));
+        for j in [0usize, 1, 3, 4] {
+            assert!(!s.is_link_up(2, j, 150.0));
+            assert!(!s.is_link_up(j, 2, 150.0));
+        }
+        assert!(s.concurrent_failures(0, 150.0) >= 1);
+    }
+
+    /// Figure 8 calibration: per-node mean concurrent failures must have a
+    /// low median, almost all nodes below 40, and a heavy tail.
+    #[test]
+    fn figure_8_calibration() {
+        let s = FailureSchedule::generate(&FailureParams::default());
+        let n = s.len();
+        let mut means: Vec<f64> = (0..n).map(|i| s.mean_concurrent_failures(i, 60)).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = means[n / 2];
+        assert!(
+            (1.0..20.0).contains(&median),
+            "median concurrent failures {median}"
+        );
+        let below_40 = means.iter().filter(|&&m| m < 40.0).count() as f64 / n as f64;
+        assert!(below_40 > 0.90, "only {below_40} of nodes below 40");
+        // A genuine tail exists: the worst node sees many concurrent failures.
+        assert!(
+            *means.last().unwrap() > 15.0,
+            "no badly-connected tail: max {}",
+            means.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn none_schedule_has_no_failures() {
+        let s = FailureParams::none(10, 1000.0);
+        for t in [0.0, 500.0, 999.0] {
+            for i in 0..10 {
+                assert!(s.is_node_up(i, t));
+                assert_eq!(s.concurrent_failures(i, t), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn duty_cycle_roughly_matches_proneness() {
+        // For a node with proneness m, the expected concurrent failures
+        // should be within a factor ~2 of m (stochastic, so loose bounds).
+        let mut p = FailureParams::with_n(60);
+        p.concurrent_sigma = 0.0; // all nodes identical
+        p.median_concurrent = 6.0;
+        p.seed = 99;
+        let s = FailureSchedule::generate(&p);
+        let mean: f64 =
+            (0..60).map(|i| s.mean_concurrent_failures(i, 50)).sum::<f64>() / 60.0;
+        assert!(
+            (2.0..12.0).contains(&mean),
+            "mean concurrent failures {mean}, target 6"
+        );
+    }
+
+    #[test]
+    fn link_outage_injection_and_merging() {
+        let mut p = FailureParams::with_n(6);
+        p.median_concurrent = 1e-9;
+        p.link_outages = vec![
+            LinkOutage { a: 0, b: 5, start_s: 100.0, end_s: 200.0 },
+            LinkOutage { a: 5, b: 0, start_s: 150.0, end_s: 250.0 }, // overlaps, reversed
+            LinkOutage { a: 1, b: 2, start_s: 10.0, end_s: 20.0 },
+        ];
+        let s = FailureSchedule::generate(&p);
+        // Merged into one interval [100, 250).
+        assert_eq!(s.link_outages(0, 5), &[(100.0, 250.0)]);
+        assert!(s.is_link_up(0, 5, 99.0));
+        assert!(!s.is_link_up(0, 5, 175.0));
+        assert!(!s.is_link_up(5, 0, 225.0));
+        assert!(s.is_link_up(0, 5, 250.0));
+        // Other links untouched.
+        assert!(s.is_link_up(0, 1, 175.0));
+        assert!(!s.is_link_up(1, 2, 15.0));
+        // Node-level queries unaffected.
+        assert!(s.is_node_up(0, 175.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad link outage")]
+    fn link_outage_self_loop_rejected() {
+        let mut p = FailureParams::with_n(3);
+        p.link_outages = vec![LinkOutage { a: 1, b: 1, start_s: 0.0, end_s: 1.0 }];
+        let _ = FailureSchedule::generate(&p);
+    }
+
+    #[test]
+    fn single_node_schedule() {
+        let s = FailureSchedule::generate(&FailureParams::with_n(1));
+        assert!(s.is_node_up(0, 10.0));
+        assert_eq!(s.concurrent_failures(0, 10.0), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal spherical geography used by the synthetic latency model.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Effective propagation speed of light in fibre, km per millisecond.
+/// (~2/3 of c; the standard figure used in Internet latency models.)
+pub const FIBRE_KM_PER_MS: f64 = 200.0;
+
+/// A point on the Earth's surface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, −90…90.
+    pub lat_deg: f64,
+    /// Longitude in degrees, −180…180.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point, clamping latitude and wrapping longitude.
+    #[must_use]
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        let lat = lat_deg.clamp(-90.0, 90.0);
+        let mut lon = (lon_deg + 180.0) % 360.0;
+        if lon < 0.0 {
+            lon += 360.0;
+        }
+        GeoPoint {
+            lat_deg: lat,
+            lon_deg: lon - 180.0,
+        }
+    }
+
+    /// Great-circle distance to `other` in km (haversine formula).
+    #[must_use]
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (la1, lo1) = (self.lat_deg.to_radians(), self.lon_deg.to_radians());
+        let (la2, lo2) = (other.lat_deg.to_radians(), other.lon_deg.to_radians());
+        let dla = la2 - la1;
+        let dlo = lo2 - lo1;
+        let a = (dla / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlo / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+
+    /// Idealized round-trip propagation delay to `other` in milliseconds:
+    /// distance each way at fibre speed.
+    #[must_use]
+    pub fn propagation_rtt_ms(&self, other: &GeoPoint) -> f64 {
+        2.0 * self.distance_km(other) / FIBRE_KM_PER_MS
+    }
+}
+
+/// A world region hosting overlay nodes, with a weight giving the fraction
+/// of nodes placed there. The default set mimics PlanetLab's distribution
+/// across North America, Europe, Asia and the southern hemisphere.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Region {
+    /// Human-readable name ("eu-central", …).
+    pub name: String,
+    /// Region center.
+    pub center: GeoPoint,
+    /// Gaussian jitter of node placement around the center, in degrees.
+    pub spread_deg: f64,
+    /// Relative share of overlay nodes hosted here.
+    pub weight: f64,
+}
+
+impl Region {
+    /// The default region set: a PlanetLab-flavoured world.
+    #[must_use]
+    pub fn planetlab_world() -> Vec<Region> {
+        let mk = |name: &str, lat: f64, lon: f64, spread: f64, weight: f64| Region {
+            name: name.to_string(),
+            center: GeoPoint::new(lat, lon),
+            spread_deg: spread,
+            weight,
+        };
+        vec![
+            mk("na-east", 41.0, -74.0, 4.0, 0.22),
+            mk("na-west", 37.4, -122.0, 3.5, 0.16),
+            mk("eu-west", 51.5, -0.1, 3.0, 0.14),
+            mk("eu-central", 50.1, 8.7, 3.5, 0.16),
+            mk("asia-east", 35.7, 139.7, 4.0, 0.13),
+            mk("asia-south", 13.0, 77.6, 3.0, 0.06),
+            mk("south-america", -23.5, -46.6, 3.0, 0.06),
+            mk("oceania", -33.9, 151.2, 2.5, 0.07),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(42.0, -71.0);
+        assert!(p.distance_km(&p) < 1e-9);
+        assert!(p.propagation_rtt_ms(&p) < 1e-9);
+    }
+
+    #[test]
+    fn known_distances_roughly_right() {
+        // New York ↔ London ≈ 5 570 km.
+        let ny = GeoPoint::new(40.7, -74.0);
+        let ldn = GeoPoint::new(51.5, -0.1);
+        let d = ny.distance_km(&ldn);
+        assert!((5300.0..5800.0).contains(&d), "NY-LDN {d} km");
+        // Propagation RTT ≈ 2·5570/200 ≈ 56 ms — the familiar ~56 ms
+        // transatlantic light-speed floor.
+        let rtt = ny.propagation_rtt_ms(&ldn);
+        assert!((53.0..58.0).contains(&rtt), "NY-LDN rtt {rtt} ms");
+    }
+
+    #[test]
+    fn antipodal_distance_near_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "antipodal {d} vs {half}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(35.7, 139.7);
+        let b = GeoPoint::new(-33.9, 151.2);
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constructor_clamps_and_wraps() {
+        let p = GeoPoint::new(95.0, 270.0);
+        assert_eq!(p.lat_deg, 90.0);
+        assert!((p.lon_deg - -90.0).abs() < 1e-9);
+        let q = GeoPoint::new(-95.0, -270.0);
+        assert_eq!(q.lat_deg, -90.0);
+        assert!((q.lon_deg - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_world_weights_sum_to_one() {
+        let regions = Region::planetlab_world();
+        let total: f64 = regions.iter().map(|r| r.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    }
+}

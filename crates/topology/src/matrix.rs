@@ -1,0 +1,454 @@
+//! All-pairs latency and loss matrices.
+
+use serde::{Deserialize, Serialize};
+
+/// An all-pairs RTT (ms) and loss-rate matrix over `n` nodes.
+///
+/// This is the "ground truth" the simulator delivers packets with, and the
+/// reference that effectiveness experiments compare routing output against.
+/// The matrix is stored dense (`n²` entries) — the paper's regime is
+/// hundreds to a few thousands of nodes, where dense storage is both faster
+/// and simpler than anything sparse.
+///
+/// RTTs are symmetric unless explicitly set otherwise; the paper assumes
+/// bidirectional links with identical cost (section 3) and notes that
+/// asymmetric costs only change what round one transmits. Unreachable
+/// pairs carry `f64::INFINITY`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyMatrix {
+    n: usize,
+    /// Row-major RTT in milliseconds; `INFINITY` = unreachable.
+    rtt_ms: Vec<f64>,
+    /// Row-major packet loss probability in `[0, 1]`.
+    loss: Vec<f64>,
+}
+
+impl LatencyMatrix {
+    /// A matrix with every distinct pair unreachable and zero loss.
+    #[must_use]
+    pub fn unreachable(n: usize) -> Self {
+        let mut m = LatencyMatrix {
+            n,
+            rtt_ms: vec![f64::INFINITY; n * n],
+            loss: vec![0.0; n * n],
+        };
+        for i in 0..n {
+            m.rtt_ms[i * n + i] = 0.0;
+        }
+        m
+    }
+
+    /// A fully connected matrix with a constant RTT on every pair.
+    #[must_use]
+    pub fn uniform(n: usize, rtt_ms: f64) -> Self {
+        let mut m = Self::unreachable(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m.rtt_ms[i * n + j] = rtt_ms;
+                }
+            }
+        }
+        m
+    }
+
+    /// Build from an explicit row-major RTT table (must be `n²` long).
+    ///
+    /// # Panics
+    /// Panics if the table length is not `n²`.
+    #[must_use]
+    pub fn from_rtt(n: usize, rtt_ms: Vec<f64>) -> Self {
+        assert_eq!(rtt_ms.len(), n * n, "rtt table must be n²");
+        LatencyMatrix {
+            n,
+            rtt_ms,
+            loss: vec![0.0; n * n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// RTT between `i` and `j` in milliseconds (0 for `i == j`,
+    /// `INFINITY` when unreachable).
+    #[must_use]
+    pub fn rtt(&self, i: usize, j: usize) -> f64 {
+        self.rtt_ms[i * self.n + j]
+    }
+
+    /// One-way delay `i → j` (half the RTT), used by the simulator.
+    #[must_use]
+    pub fn one_way(&self, i: usize, j: usize) -> f64 {
+        self.rtt(i, j) / 2.0
+    }
+
+    /// True when `i` can reach `j` directly.
+    #[must_use]
+    pub fn reachable(&self, i: usize, j: usize) -> bool {
+        self.rtt(i, j).is_finite()
+    }
+
+    /// Packet loss probability on `i → j`.
+    #[must_use]
+    pub fn loss(&self, i: usize, j: usize) -> f64 {
+        self.loss[i * self.n + j]
+    }
+
+    /// Set the RTT for both directions of a pair.
+    pub fn set_rtt(&mut self, i: usize, j: usize, rtt_ms: f64) {
+        self.rtt_ms[i * self.n + j] = rtt_ms;
+        self.rtt_ms[j * self.n + i] = rtt_ms;
+    }
+
+    /// Set an asymmetric one-direction RTT (used by asymmetry ablations).
+    pub fn set_rtt_directed(&mut self, i: usize, j: usize, rtt_ms: f64) {
+        self.rtt_ms[i * self.n + j] = rtt_ms;
+    }
+
+    /// Set the loss probability for both directions of a pair.
+    ///
+    /// # Panics
+    /// Panics unless `loss ∈ [0, 1]`.
+    pub fn set_loss(&mut self, i: usize, j: usize, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.loss[i * self.n + j] = loss;
+        self.loss[j * self.n + i] = loss;
+    }
+
+    /// Iterate over all ordered pairs `(i, j, rtt)` with `i != j`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            (0..self.n)
+                .filter(move |&j| j != i)
+                .map(move |j| (i, j, self.rtt(i, j)))
+        })
+    }
+
+    /// The best one-hop relay for `i → j` under this matrix: the `k`
+    /// minimizing `rtt(i,k) + rtt(k,j)`, `k ∉ {i, j}`.
+    ///
+    /// Returns `(k, total_rtt)`; `None` when no finite relay path exists.
+    /// This is the *reference* optimum the routing protocol must discover
+    /// (Theorem 1); the protocol itself never calls this.
+    #[must_use]
+    pub fn best_one_hop(&self, i: usize, j: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for k in 0..self.n {
+            if k == i || k == j {
+                continue;
+            }
+            let total = self.rtt(i, k) + self.rtt(k, j);
+            if total.is_finite() && best.map_or(true, |(_, b)| total < b) {
+                best = Some((k, total));
+            }
+        }
+        best
+    }
+
+    /// The best path cost for `i → j` allowing either the direct link or a
+    /// single relay — `min(direct, best one-hop)`.
+    #[must_use]
+    pub fn best_path_with_one_hop(&self, i: usize, j: usize) -> f64 {
+        let direct = self.rtt(i, j);
+        match self.best_one_hop(i, j) {
+            Some((_, relay)) => direct.min(relay),
+            None => direct,
+        }
+    }
+
+    /// All-pairs shortest paths of unrestricted length (Floyd–Warshall),
+    /// the reference for the multi-hop extension of section 3.
+    #[must_use]
+    pub fn all_pairs_shortest(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut d = self.rtt_ms.clone();
+        for k in 0..n {
+            for i in 0..n {
+                let dik = d[i * n + k];
+                if !dik.is_finite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let via = dik + d[k * n + j];
+                    if via < d[i * n + j] {
+                        d[i * n + j] = via;
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    /// Serialize to a simple CSV: header `src,dst,rtt_ms,loss`, one row
+    /// per ordered pair with a finite RTT. A round trip through
+    /// [`from_csv`](Self::from_csv) reconstructs the matrix, so real
+    /// measurement datasets (e.g. all-pairs-pings dumps) can be fed to
+    /// every experiment in place of the synthetic model.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("src,dst,rtt_ms,loss\n");
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && self.rtt(i, j).is_finite() {
+                    use std::fmt::Write as _;
+                    let _ = writeln!(out, "{i},{j},{},{}", self.rtt(i, j), self.loss(i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the CSV form produced by [`to_csv`](Self::to_csv) (or by any
+    /// external measurement pipeline). `n` is inferred as 1 + the largest
+    /// node index mentioned; pairs absent from the file stay unreachable.
+    ///
+    /// # Errors
+    /// Returns a message describing the first malformed line.
+    pub fn from_csv(csv: &str) -> Result<LatencyMatrix, String> {
+        let mut triples: Vec<(usize, usize, f64, f64)> = Vec::new();
+        let mut max_idx = 0usize;
+        for (lineno, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (lineno == 0 && line.starts_with("src")) {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 4 {
+                return Err(format!("line {}: expected 4 fields", lineno + 1));
+            }
+            let parse_idx = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("line {}: bad index {s:?}: {e}", lineno + 1))
+            };
+            let parse_f = |s: &str| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("line {}: bad number {s:?}: {e}", lineno + 1))
+            };
+            let (src, dst) = (parse_idx(fields[0])?, parse_idx(fields[1])?);
+            let (rtt, loss) = (parse_f(fields[2])?, parse_f(fields[3])?);
+            if src == dst {
+                return Err(format!("line {}: self-pair {src}", lineno + 1));
+            }
+            if !(0.0..=1.0).contains(&loss) {
+                return Err(format!("line {}: loss {loss} not a probability", lineno + 1));
+            }
+            if !rtt.is_finite() || rtt < 0.0 {
+                return Err(format!("line {}: bad rtt {rtt}", lineno + 1));
+            }
+            max_idx = max_idx.max(src).max(dst);
+            triples.push((src, dst, rtt, loss));
+        }
+        let n = max_idx + 1;
+        let mut m = LatencyMatrix::unreachable(n);
+        for (src, dst, rtt, loss) in triples {
+            m.set_rtt_directed(src, dst, rtt);
+            m.loss[src * n + dst] = loss;
+        }
+        Ok(m)
+    }
+
+    /// Restrict to the submatrix over `keep` (re-indexed in order).
+    #[must_use]
+    pub fn submatrix(&self, keep: &[usize]) -> LatencyMatrix {
+        let m = keep.len();
+        let mut out = LatencyMatrix::unreachable(m);
+        for (a, &i) in keep.iter().enumerate() {
+            for (b, &j) in keep.iter().enumerate() {
+                out.rtt_ms[a * m + b] = self.rtt(i, j);
+                out.loss[a * m + b] = self.loss(i, j);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LatencyMatrix {
+        // 4 nodes: a "triangle-inequality violation" where 0→3 direct is
+        // slow (500 ms) but 0→1→3 is 150 ms.
+        let mut m = LatencyMatrix::unreachable(4);
+        m.set_rtt(0, 1, 50.0);
+        m.set_rtt(0, 2, 200.0);
+        m.set_rtt(0, 3, 500.0);
+        m.set_rtt(1, 2, 80.0);
+        m.set_rtt(1, 3, 100.0);
+        m.set_rtt(2, 3, 90.0);
+        m
+    }
+
+    #[test]
+    fn symmetry_and_diagonal() {
+        let m = sample();
+        for i in 0..4 {
+            assert_eq!(m.rtt(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(m.rtt(i, j), m.rtt(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn best_one_hop_finds_detour() {
+        let m = sample();
+        let (k, total) = m.best_one_hop(0, 3).unwrap();
+        assert_eq!(k, 1);
+        assert!((total - 150.0).abs() < 1e-9);
+        assert!((m.best_path_with_one_hop(0, 3) - 150.0).abs() < 1e-9);
+        // Direct is better for a short pair.
+        assert_eq!(m.best_path_with_one_hop(0, 1), 50.0);
+    }
+
+    #[test]
+    fn best_one_hop_none_when_isolated() {
+        let m = LatencyMatrix::unreachable(3);
+        assert!(m.best_one_hop(0, 1).is_none());
+        assert!(!m.reachable(0, 1));
+        assert!(m.best_path_with_one_hop(0, 1).is_infinite());
+    }
+
+    #[test]
+    fn floyd_warshall_matches_one_hop_when_one_hop_optimal() {
+        let m = sample();
+        let apsp = m.all_pairs_shortest();
+        // In this matrix two-hop paths never beat the best one-hop path.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    continue;
+                }
+                let one = m.best_path_with_one_hop(i, j);
+                assert!(apsp[i * 4 + j] <= one + 1e-9);
+            }
+        }
+        assert!((apsp[3] - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_hop_can_beat_one_hop() {
+        // Line topology: 0–1–2–3 cheap, everything else expensive.
+        let mut m = LatencyMatrix::uniform(4, 1000.0);
+        m.set_rtt(0, 1, 10.0);
+        m.set_rtt(1, 2, 10.0);
+        m.set_rtt(2, 3, 10.0);
+        let apsp = m.all_pairs_shortest();
+        assert!((apsp[3] - 30.0).abs() < 1e-9); // 0→1→2→3
+        // One-hop relays (1010 via either relay) lose to the direct link …
+        assert_eq!(m.best_one_hop(0, 3), Some((1, 1010.0)));
+        assert!((m.best_path_with_one_hop(0, 3) - 1000.0).abs() < 1e-9);
+        // … and both lose to the two-hop chain.
+    }
+
+    #[test]
+    fn uniform_and_unreachable_constructors() {
+        let u = LatencyMatrix::uniform(5, 42.0);
+        assert_eq!(u.rtt(1, 4), 42.0);
+        assert_eq!(u.rtt(2, 2), 0.0);
+        assert!(u.reachable(0, 1));
+        let x = LatencyMatrix::unreachable(5);
+        assert!(!x.reachable(0, 1));
+        assert!(x.reachable(2, 2));
+    }
+
+    #[test]
+    fn loss_set_get() {
+        let mut m = LatencyMatrix::uniform(3, 10.0);
+        m.set_loss(0, 2, 0.25);
+        assert_eq!(m.loss(0, 2), 0.25);
+        assert_eq!(m.loss(2, 0), 0.25);
+        assert_eq!(m.loss(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn loss_rejects_out_of_range() {
+        LatencyMatrix::uniform(2, 1.0).set_loss(0, 1, 1.5);
+    }
+
+    #[test]
+    fn submatrix_preserves_entries() {
+        let m = sample();
+        let s = m.submatrix(&[0, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rtt(0, 1), 500.0);
+    }
+
+    #[test]
+    fn directed_rtt_is_one_sided() {
+        let mut m = LatencyMatrix::uniform(3, 100.0);
+        m.set_rtt_directed(0, 1, 40.0);
+        assert_eq!(m.rtt(0, 1), 40.0);
+        assert_eq!(m.rtt(1, 0), 100.0);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_matrix() {
+        let mut m = sample();
+        m.set_loss(0, 3, 0.125);
+        let csv = m.to_csv();
+        let back = LatencyMatrix::from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(back.rtt(i, j), m.rtt(i, j), "rtt ({i},{j})");
+                assert_eq!(back.loss(i, j), m.loss(i, j), "loss ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn csv_preserves_asymmetry_and_unreachable() {
+        let mut m = LatencyMatrix::unreachable(3);
+        m.set_rtt_directed(0, 1, 40.0);
+        let back = LatencyMatrix::from_csv(&m.to_csv()).unwrap();
+        assert_eq!(back.rtt(0, 1), 40.0);
+        assert!(!back.reachable(1, 0));
+        assert!(!back.reachable(0, 2));
+    }
+
+    #[test]
+    fn csv_rejects_malformed_input() {
+        assert!(LatencyMatrix::from_csv("src,dst,rtt_ms,loss\n1,1,5,0\n").is_err());
+        assert!(LatencyMatrix::from_csv("0,1,5\n").is_err());
+        assert!(LatencyMatrix::from_csv("0,1,abc,0\n").is_err());
+        assert!(LatencyMatrix::from_csv("0,1,5,1.5\n").is_err());
+        assert!(LatencyMatrix::from_csv("0,1,-3,0\n").is_err());
+        // Header-only / empty input yields... the largest index is 0,
+        // producing a 1-node matrix.
+        let empty = LatencyMatrix::from_csv("src,dst,rtt_ms,loss\n").unwrap();
+        assert_eq!(empty.len(), 1);
+    }
+
+    #[test]
+    fn csv_accepts_external_format() {
+        // Whitespace-tolerant, any ordering of pairs.
+        let csv = "src,dst,rtt_ms,loss\n2,0, 120.5 ,0.01\n0,2,119.5,0.02\n";
+        let m = LatencyMatrix::from_csv(csv).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.rtt(2, 0), 120.5);
+        assert_eq!(m.rtt(0, 2), 119.5);
+        assert_eq!(m.loss(0, 2), 0.02);
+        assert!(!m.reachable(0, 1));
+    }
+
+    #[test]
+    fn pairs_iterates_all_ordered_pairs() {
+        let m = LatencyMatrix::uniform(3, 5.0);
+        let v: Vec<_> = m.pairs().collect();
+        assert_eq!(v.len(), 6);
+        assert!(v.iter().all(|&(i, j, r)| i != j && r == 5.0));
+    }
+}

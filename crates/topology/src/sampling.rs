@@ -1,0 +1,80 @@
+//! Small distribution samplers on top of `rand`'s uniform source.
+//!
+//! The workspace deliberately avoids `rand_distr`; the two shapes we need
+//! (normal and log-normal) are four lines of Box–Muller.
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Log-normal sample: `exp(N(mu, sigma))`. `mu` is the log of the median.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Exponential sample with the given mean.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 50_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 1.0_f64.ln(), 0.8)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 90.0)).sum::<f64>() / n as f64;
+        assert!((mean - 90.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<f64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            (0..16).map(|_| standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            (0..16).map(|_| standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! # allpairs-overlay
+//!
+//! Facade crate for the reproduction of *Scaling All-Pairs Overlay Routing*
+//! (Sontag et al., CoNEXT 2009). Re-exports the workspace crates:
+//!
+//! * [`quorum`] — grid-quorum construction (section 3)
+//! * [`topology`] — synthetic Internet latency & failure models
+//! * [`linkstate`] — link-state tables, probing state, wire codec (section 5)
+//! * [`netsim`] — deterministic discrete-event network simulator
+//! * [`routing`] — sans-io routing protocol cores (sections 3–4)
+//! * [`overlay`] — the RON-like overlay node, sim & tokio drivers (section 5)
+//! * [`analysis`] — metrics, CDFs, and the experiment toolkit (section 6)
+
+#![forbid(unsafe_code)]
+
+pub use apor_analysis as analysis;
+pub use apor_linkstate as linkstate;
+pub use apor_netsim as netsim;
+pub use apor_overlay as overlay;
+pub use apor_quorum as quorum;
+pub use apor_routing as routing;
+pub use apor_topology as topology;
