@@ -53,16 +53,20 @@ fn bench_grid_shapes(c: &mut Criterion) {
         ("tall_40x10", GridShape::custom(n, 40, 10).unwrap()),
     ];
     for (label, shape) in shapes {
-        g.bench_with_input(BenchmarkId::new("derive_all", label), &shape, |b, &shape| {
-            b.iter(|| {
-                let grid = Grid::with_shape(n, shape);
-                let mut total = 0usize;
-                for i in 0..n {
-                    total += grid.rendezvous_servers(i).len();
-                }
-                black_box(total)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("derive_all", label),
+            &shape,
+            |b, &shape| {
+                b.iter(|| {
+                    let grid = Grid::with_shape(n, shape);
+                    let mut total = 0usize;
+                    for i in 0..n {
+                        total += grid.rendezvous_servers(i).len();
+                    }
+                    black_box(total)
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -98,7 +98,11 @@ pub fn run(params: &AblationParams) -> Vec<AblationArm> {
     let mut arms = Vec::new();
 
     // 1. Routing interval.
-    arms.push(run_arm("interval/r=15s (paper)", params, ProtocolConfig::quorum()));
+    arms.push(run_arm(
+        "interval/r=15s (paper)",
+        params,
+        ProtocolConfig::quorum(),
+    ));
     let mut r30 = ProtocolConfig::quorum();
     r30.routing_interval_s = 30.0;
     arms.push(run_arm("interval/r=30s", params, r30));

@@ -1,0 +1,323 @@
+//! Membership churn study (beyond the paper): view-convergence latency
+//! after a node crash, decentralized SWIM gossip vs the paper's
+//! centralized coordinator.
+//!
+//! The paper's membership service is "a simple centralized membership
+//! service, running on a coordinator node" with a 30-minute timeout —
+//! fine for its evaluation, but a single point of failure and the first
+//! scaling bottleneck. This experiment measures what replacing it buys:
+//!
+//! * a node is crashed at a scheduled time (via
+//!   [`apor_topology::NodeOutage`], so the event loop stays seeded and
+//!   the run is deterministic end-to-end);
+//! * **convergence latency** is the time from the crash until every
+//!   surviving node's installed [`MembershipView`] excludes the victim
+//!   *and* all surviving views are identical (same version, same
+//!   member list — the quorum-grid invariant);
+//! * four scenarios: {centralized, SWIM} × {ordinary member,
+//!   coordinator/introducer}. The coordinator-victim scenario is the
+//!   one the centralized design cannot survive: no further membership
+//!   change is ever installed.
+//!
+//! The centralized runs use the paper's join/keepalive dance with the
+//! timeout scaled to the experiment horizon ([`ChurnParams::member_timeout_s`]);
+//! the SWIM runs use [`ChurnParams::swim`] and are expected to converge
+//! within [`apor_membership::SwimConfig::detection_budget_s`].
+
+use apor_analysis::{write_csv, Table};
+use apor_membership::SwimConfig;
+use apor_netsim::{Simulator, TrafficClass};
+use apor_overlay::config::{Algorithm, MembershipMode, NodeConfig};
+use apor_overlay::membership::MembershipView;
+use apor_overlay::simnode::{overlay_at, overlay_sim_config, populate};
+use apor_quorum::NodeId;
+use apor_topology::{FailureParams, FailureSchedule, LatencyMatrix, NodeOutage};
+use serde::Serialize;
+
+/// Parameters of the churn study.
+#[derive(Debug, Clone)]
+pub struct ChurnParams {
+    /// Overlay size.
+    pub n: usize,
+    /// The ordinary member crashed in the member-victim scenarios.
+    pub kill: usize,
+    /// Crash time, seconds (must leave room for joins to settle).
+    pub kill_at_s: f64,
+    /// How long after the crash the run keeps sampling, seconds.
+    pub horizon_s: f64,
+    /// Coordinator-side membership timeout for the centralized runs,
+    /// seconds (the paper's 30 min scaled to the experiment horizon).
+    pub member_timeout_s: f64,
+    /// Keepalive period for the centralized runs, seconds.
+    pub keepalive_s: f64,
+    /// SWIM parameters for the gossip runs.
+    pub swim: SwimConfig,
+    /// Uniform mesh RTT, ms.
+    pub rtt_ms: f64,
+    /// Master seed: the whole study is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for ChurnParams {
+    fn default() -> Self {
+        ChurnParams {
+            n: 16,
+            kill: 3,
+            kill_at_s: 120.0,
+            horizon_s: 300.0,
+            member_timeout_s: 60.0,
+            keepalive_s: 15.0,
+            swim: SwimConfig::default(),
+            rtt_ms: 40.0,
+            seed: 0xC0C0,
+        }
+    }
+}
+
+/// One scenario's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnOutcome {
+    /// `"centralized"` or `"swim"`.
+    pub mode: String,
+    /// Was the crashed node the coordinator / introducer (node 0)?
+    pub victim_is_coordinator: bool,
+    /// Seconds from the crash until all surviving views agree and
+    /// exclude the victim; `None` when never within the horizon.
+    pub convergence_s: Option<f64>,
+    /// Surviving views identical at the end of the run?
+    pub final_views_agree: bool,
+    /// Fleet-mean per-node membership traffic before the crash, bps.
+    pub membership_bps: f64,
+}
+
+/// The full study output.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnResult {
+    /// One outcome per scenario.
+    pub outcomes: Vec<ChurnOutcome>,
+}
+
+fn scenario_config(params: &ChurnParams, mode: MembershipMode, i: usize) -> NodeConfig {
+    let mut cfg = NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum);
+    cfg.seed ^= params.seed;
+    match mode {
+        MembershipMode::Centralized => {
+            // The paper's join dance, with timeouts scaled to the
+            // experiment horizon so detection is observable at all.
+            cfg.member_timeout_s = params.member_timeout_s;
+            cfg.keepalive_s = params.keepalive_s;
+            cfg.join_retry_s = 2.0;
+            cfg
+        }
+        MembershipMode::Swim => {
+            // Static bootstrap: every node derives the same initial
+            // view; SWIM maintains it from there.
+            let members: Vec<NodeId> = (0..params.n as u16).map(NodeId).collect();
+            cfg.with_static_members(members)
+                .with_swim_config(params.swim.clone())
+        }
+    }
+}
+
+/// Do all survivors hold identical views that exclude the victim?
+fn converged(sim: &Simulator, n: usize, victim: usize) -> bool {
+    let mut reference: Option<&MembershipView> = None;
+    for i in (0..n).filter(|&i| i != victim) {
+        let Some(view) = overlay_at(sim, i).view() else {
+            return false;
+        };
+        if view.contains(NodeId(victim as u16)) {
+            return false;
+        }
+        match reference {
+            None => reference = Some(view),
+            Some(r) if r == view => {}
+            Some(_) => return false,
+        }
+    }
+    reference.is_some()
+}
+
+/// Run one scenario: crash `victim` at `kill_at_s`, sample convergence
+/// once per second afterwards.
+fn run_scenario(params: &ChurnParams, mode: MembershipMode, victim: usize) -> ChurnOutcome {
+    let n = params.n;
+    let mut failure = FailureParams::with_n(n);
+    failure.seed = params.seed ^ 0xFA11;
+    failure.median_concurrent = 1e-12; // churn only, no background noise
+    failure.duration_s = params.kill_at_s + params.horizon_s + 60.0;
+    failure.node_outages = vec![NodeOutage {
+        node: victim,
+        start_s: params.kill_at_s,
+        end_s: failure.duration_s,
+    }];
+    let mut sim = Simulator::new(
+        LatencyMatrix::uniform(n, params.rtt_ms),
+        FailureSchedule::generate(&failure),
+        apor_netsim::SimulatorConfig {
+            seed: params.seed,
+            ..overlay_sim_config()
+        },
+    );
+    populate(&mut sim, n, 10.0, {
+        let params = params.clone();
+        move |i| scenario_config(&params, mode, i)
+    });
+
+    sim.run_until(params.kill_at_s);
+    let membership_bps =
+        sim.stats()
+            .fleet_mean_bps(&[TrafficClass::Membership], 30.0, params.kill_at_s);
+
+    // Sample once per second until convergence or the horizon.
+    let mut convergence_s = None;
+    let mut t = params.kill_at_s;
+    let end = params.kill_at_s + params.horizon_s;
+    while t < end {
+        t += 1.0;
+        sim.run_until(t);
+        if converged(&sim, n, victim) {
+            convergence_s = Some(t - params.kill_at_s);
+            break;
+        }
+    }
+    sim.run_until(end);
+    ChurnOutcome {
+        mode: match mode {
+            MembershipMode::Centralized => "centralized".to_string(),
+            MembershipMode::Swim => "swim".to_string(),
+        },
+        victim_is_coordinator: victim == 0,
+        convergence_s,
+        final_views_agree: converged(&sim, n, victim),
+        membership_bps,
+    }
+}
+
+/// Run all four scenarios.
+#[must_use]
+pub fn run(params: &ChurnParams) -> ChurnResult {
+    let scenarios = [
+        (MembershipMode::Centralized, params.kill),
+        (MembershipMode::Centralized, 0),
+        (MembershipMode::Swim, params.kill),
+        (MembershipMode::Swim, 0),
+    ];
+    ChurnResult {
+        outcomes: scenarios
+            .iter()
+            .map(|&(mode, victim)| run_scenario(params, mode, victim))
+            .collect(),
+    }
+}
+
+/// Run, print and write `churn.csv`.
+///
+/// # Errors
+/// Propagates CSV I/O errors.
+pub fn run_and_report(params: &ChurnParams) -> std::io::Result<ChurnResult> {
+    let r = run(params);
+    let mut table = Table::new(&[
+        "membership",
+        "victim",
+        "converged after",
+        "views agree at end",
+        "membership bps (steady)",
+    ]);
+    let mut rows = Vec::new();
+    for o in &r.outcomes {
+        let victim = if o.victim_is_coordinator {
+            "coordinator"
+        } else {
+            "member"
+        };
+        let latency = o
+            .convergence_s
+            .map_or("never".to_string(), |s| format!("{s:.0} s"));
+        table.row(vec![
+            o.mode.clone(),
+            victim.to_string(),
+            latency.clone(),
+            o.final_views_agree.to_string(),
+            format!("{:.0}", o.membership_bps),
+        ]);
+        rows.push(vec![
+            o.mode.clone(),
+            victim.to_string(),
+            o.convergence_s.map_or(-1.0, |s| s).to_string(),
+            o.final_views_agree.to_string(),
+            format!("{:.1}", o.membership_bps),
+        ]);
+    }
+    println!(
+        "Membership churn — view convergence after a crash (n={}, SWIM budget {:.0} s)",
+        params.n,
+        params.swim.detection_budget_s(params.n)
+    );
+    println!("{}", table.render());
+    write_csv(
+        crate::results_path("churn.csv"),
+        &[
+            "membership",
+            "victim",
+            "convergence_s",
+            "views_agree",
+            "membership_bps",
+        ],
+        &rows,
+    )?;
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ChurnParams {
+        ChurnParams {
+            n: 10,
+            kill: 3,
+            kill_at_s: 60.0,
+            horizon_s: 120.0,
+            ..Default::default()
+        }
+    }
+
+    /// The acceptance scenario: with SWIM, a scheduled failure is
+    /// detected and all surviving views agree within the protocol's
+    /// detection budget, deterministically from the master seed.
+    #[test]
+    fn swim_converges_within_budget_and_deterministically() {
+        let params = quick();
+        let a = run_scenario(&params, MembershipMode::Swim, params.kill);
+        let budget = params.swim.detection_budget_s(params.n);
+        let latency = a.convergence_s.expect("swim must converge");
+        assert!(
+            latency <= budget,
+            "convergence {latency:.0}s exceeds budget {budget:.0}s"
+        );
+        assert!(a.final_views_agree);
+        // Bit-determinism: the identical master seed reproduces the
+        // identical outcome.
+        let b = run_scenario(&params, MembershipMode::Swim, params.kill);
+        assert_eq!(a.convergence_s, b.convergence_s);
+        assert_eq!(a.membership_bps, b.membership_bps);
+    }
+
+    /// The coordinator-victim scenario separates the designs: SWIM
+    /// converges, the centralized service cannot.
+    #[test]
+    fn coordinator_loss_separates_the_designs() {
+        let params = quick();
+        let swim = run_scenario(&params, MembershipMode::Swim, 0);
+        assert!(
+            swim.convergence_s.is_some(),
+            "swim survives introducer loss"
+        );
+        let central = run_scenario(&params, MembershipMode::Centralized, 0);
+        assert_eq!(
+            central.convergence_s, None,
+            "centralized must not converge after losing its coordinator"
+        );
+    }
+}

@@ -11,7 +11,7 @@
 use apor_analysis::{Cdf, FreshnessTracker};
 use apor_netsim::{Simulator, SimulatorConfig, TrafficClass};
 use apor_overlay::config::{Algorithm, NodeConfig};
-use apor_overlay::simnode::{overlay_at, populate};
+use apor_overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use apor_quorum::NodeId;
 use apor_topology::{FailureParams, FailureSchedule, PlanetLabParams, Topology};
 
@@ -108,7 +108,7 @@ pub fn run(params: &DeploymentParams) -> DeploymentData {
         schedule,
         SimulatorConfig {
             seed: params.seed ^ 0x51,
-            ..Default::default()
+            ..overlay_sim_config()
         },
     );
     let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
@@ -131,7 +131,9 @@ pub fn run(params: &DeploymentParams) -> DeploymentData {
     let mut next_failure = params.warmup_s;
     let mut t = 0.0;
     while t < duration_s {
-        let step = (next_freshness.min(next_failure)).min(duration_s).max(t + 1.0);
+        let step = (next_freshness.min(next_failure))
+            .min(duration_s)
+            .max(t + 1.0);
         sim.run_until(step);
         t = step;
         if t + 1e-9 >= next_freshness {
@@ -283,9 +285,7 @@ mod tests {
             medians.median().unwrap()
         );
         // Well/poorly connected selection is consistent.
-        assert!(
-            d.mean_concurrent[d.well_connected] <= d.mean_concurrent[d.poorly_connected]
-        );
+        assert!(d.mean_concurrent[d.well_connected] <= d.mean_concurrent[d.poorly_connected]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use apor_analysis::{theory, write_csv, Table};
 use apor_netsim::{Simulator, SimulatorConfig, TrafficClass};
 use apor_overlay::config::{Algorithm, NodeConfig};
-use apor_overlay::simnode::populate;
+use apor_overlay::simnode::{overlay_sim_config, populate};
 use apor_quorum::NodeId;
 use apor_topology::{FailureParams, PlanetLabParams, Topology};
 use serde::Serialize;
@@ -70,13 +70,12 @@ fn measure(n: usize, algorithm: Algorithm, params: &Fig9Params) -> f64 {
         FailureParams::none(n, params.duration_s + 60.0),
         SimulatorConfig {
             seed: params.seed,
-            ..Default::default()
+            ..overlay_sim_config()
         },
     );
     let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
     populate(&mut sim, n, 10.0, move |i| {
-        NodeConfig::new(NodeId(i as u16), NodeId(0), algorithm)
-            .with_static_members(members.clone())
+        NodeConfig::new(NodeId(i as u16), NodeId(0), algorithm).with_static_members(members.clone())
     });
     sim.run_until(params.duration_s);
     sim.stats()
@@ -143,7 +142,13 @@ pub fn run_and_report(params: &Fig9Params) -> std::io::Result<Fig9Result> {
     );
     write_csv(
         crate::results_path("fig9.csv"),
-        &["n", "ron_bps", "ron_theory_bps", "quorum_bps", "quorum_theory_bps"],
+        &[
+            "n",
+            "ron_bps",
+            "ron_theory_bps",
+            "quorum_bps",
+            "quorum_theory_bps",
+        ],
         &rows,
     )?;
     Ok(r)

@@ -14,11 +14,13 @@
 //! | [`lower_bound`] | Appendix A — diamond counting vs the quorum construction |
 //! | [`ablations`] | design-choice ablations: routing interval, rec format, staleness window |
 //! | [`theory_exp`] | section 6.1's closed-form capacity table |
+//! | [`churn`] | beyond the paper: crash-detection & view convergence, SWIM vs centralized |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod churn;
 pub mod deployment;
 pub mod fig1;
 pub mod fig9;

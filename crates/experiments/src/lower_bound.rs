@@ -89,7 +89,13 @@ pub fn run_and_report(sizes: &[usize]) -> std::io::Result<Vec<LowerBoundRow>> {
     println!("{}", table.render());
     write_csv(
         crate::results_path("lower_bound.csv"),
-        &["n", "diamonds", "min_edges_per_node", "quorum_edges_per_node", "gap"],
+        &[
+            "n",
+            "diamonds",
+            "min_edges_per_node",
+            "quorum_edges_per_node",
+            "gap",
+        ],
         &csv,
     )?;
     Ok(rows)

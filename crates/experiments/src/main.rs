@@ -17,6 +17,7 @@
 //!   multihop    section 3 multi-hop extension claims
 //!   lower-bound appendix A diamond-counting table
 //!   ablations   design-choice ablations (interval, rec format, staleness)
+//!   churn       membership churn: SWIM gossip vs centralized coordinator
 //!   all         everything above
 //!
 //! `--quick` shrinks the deployment/sweep sizes for a fast smoke run.
@@ -25,7 +26,9 @@
 
 use apor_analysis::{write_csv, Cdf, Table};
 use apor_experiments::deployment::{self, DeploymentData, DeploymentParams};
-use apor_experiments::{ablations, fig1, fig9, lower_bound, multihop_exp, results_path, theory_exp};
+use apor_experiments::{
+    ablations, churn, fig1, fig9, lower_bound, multihop_exp, results_path, theory_exp,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -89,6 +92,19 @@ fn main() {
             ablations::AblationParams::default()
         };
         ablations::run_and_report(&params).expect("ablations report");
+    }
+    if run("churn") {
+        let params = if quick {
+            churn::ChurnParams {
+                n: 10,
+                kill_at_s: 60.0,
+                horizon_s: 150.0,
+                ..Default::default()
+            }
+        } else {
+            churn::ChurnParams::default()
+        };
+        churn::run_and_report(&params).expect("churn report");
     }
     if run("multihop") {
         let params = if quick {

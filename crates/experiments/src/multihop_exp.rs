@@ -199,7 +199,11 @@ mod tests {
             // compared to the PlanetLab data, where 2–3 hops captured
             // everything; see EXPERIMENTS.md.)
             assert!(r.two_hops_optimal > 0.5, "2-hop {}", r.two_hops_optimal);
-            assert!(r.two_hops_excess < 0.10, "2-hop excess {}", r.two_hops_excess);
+            assert!(
+                r.two_hops_excess < 0.10,
+                "2-hop excess {}",
+                r.two_hops_excess
+            );
             assert!(r.four_hops_optimal > 0.99, "4-hop {}", r.four_hops_optimal);
             assert!(r.four_hops_optimal >= r.two_hops_optimal);
         }

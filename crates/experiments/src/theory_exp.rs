@@ -8,7 +8,11 @@ use apor_routing::ProtocolConfig;
 pub fn print_config_table() {
     let ron = ProtocolConfig::ron();
     let quorum = ProtocolConfig::quorum();
-    let mut t = Table::new(&["Configuration parameter", "Full-mesh (RON)", "Quorum system"]);
+    let mut t = Table::new(&[
+        "Configuration parameter",
+        "Full-mesh (RON)",
+        "Quorum system",
+    ]);
     t.row(vec![
         "routing interval (r)".into(),
         format!("{}s", ron.routing_interval_s),
@@ -34,10 +38,13 @@ pub fn print_config_table() {
 /// # Errors
 /// Propagates CSV I/O errors.
 pub fn run_and_report() -> std::io::Result<()> {
-    let sizes = [
-        9usize, 25, 50, 100, 140, 165, 200, 300, 416, 1000, 10_000,
-    ];
-    let mut t = Table::new(&["n", "probing Kbps", "RON routing Kbps", "quorum routing Kbps"]);
+    let sizes = [9usize, 25, 50, 100, 140, 165, 200, 300, 416, 1000, 10_000];
+    let mut t = Table::new(&[
+        "n",
+        "probing Kbps",
+        "RON routing Kbps",
+        "quorum routing Kbps",
+    ]);
     let mut rows = Vec::new();
     for &n in &sizes {
         let nf = n as f64;
@@ -77,7 +84,10 @@ pub fn run_and_report() -> std::io::Result<()> {
 mod tests {
     #[test]
     fn report_runs() {
-        std::env::set_var("APOR_RESULTS_DIR", std::env::temp_dir().join("apor-theory").to_str().unwrap());
+        std::env::set_var(
+            "APOR_RESULTS_DIR",
+            std::env::temp_dir().join("apor-theory").to_str().unwrap(),
+        );
         super::run_and_report().unwrap();
         super::print_config_table();
     }

@@ -165,10 +165,19 @@ mod tests {
     fn quantize_latency_rounds_and_saturates() {
         assert_eq!(LinkEntry::quantize_latency(12.4), 12);
         assert_eq!(LinkEntry::quantize_latency(12.6), 13);
-        assert_eq!(LinkEntry::quantize_latency(1e9), LinkEntry::DEAD_LATENCY - 1);
-        assert_eq!(LinkEntry::quantize_latency(f64::INFINITY), LinkEntry::DEAD_LATENCY);
+        assert_eq!(
+            LinkEntry::quantize_latency(1e9),
+            LinkEntry::DEAD_LATENCY - 1
+        );
+        assert_eq!(
+            LinkEntry::quantize_latency(f64::INFINITY),
+            LinkEntry::DEAD_LATENCY
+        );
         assert_eq!(LinkEntry::quantize_latency(-1.0), LinkEntry::DEAD_LATENCY);
-        assert_eq!(LinkEntry::quantize_latency(f64::NAN), LinkEntry::DEAD_LATENCY);
+        assert_eq!(
+            LinkEntry::quantize_latency(f64::NAN),
+            LinkEntry::DEAD_LATENCY
+        );
     }
 
     #[test]

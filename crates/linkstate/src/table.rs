@@ -127,7 +127,13 @@ impl LinkStateTable {
     /// Returns `None` when either row is missing/stale or no finite path
     /// exists.
     #[must_use]
-    pub fn best_one_hop(&self, a: usize, b: usize, now: f64, max_age: f64) -> Option<(usize, Cost)> {
+    pub fn best_one_hop(
+        &self,
+        a: usize,
+        b: usize,
+        now: f64,
+        max_age: f64,
+    ) -> Option<(usize, Cost)> {
         if a == b || !self.row_fresh(a, now, max_age) || !self.row_fresh(b, now, max_age) {
             return None;
         }
@@ -153,7 +159,13 @@ impl LinkStateTable {
     /// cost (the §4.2 "redundant link-state information" scavenging uses
     /// this over the rows a node happens to hold).
     #[must_use]
-    pub fn one_hop_options(&self, a: usize, b: usize, now: f64, max_age: f64) -> Vec<(usize, Cost)> {
+    pub fn one_hop_options(
+        &self,
+        a: usize,
+        b: usize,
+        now: f64,
+        max_age: f64,
+    ) -> Vec<(usize, Cost)> {
         if a == b || !self.row_fresh(a, now, max_age) {
             return Vec::new();
         }
@@ -182,9 +194,7 @@ impl LinkStateTable {
     #[must_use]
     pub fn anyone_reaches(&self, dst: usize, now: f64, max_age: f64) -> bool {
         (0..self.n).any(|origin| {
-            origin != dst
-                && self.row_fresh(origin, now, max_age)
-                && self.entry(origin, dst).alive
+            origin != dst && self.row_fresh(origin, now, max_age) && self.entry(origin, dst).alive
         })
     }
 
@@ -280,8 +290,16 @@ mod tests {
     #[test]
     fn all_dead_returns_none() {
         let mut t = LinkStateTable::new(3);
-        t.update_row(0, &[LinkEntry::dead(), LinkEntry::dead(), LinkEntry::dead()], 0.0);
-        t.update_row(2, &[LinkEntry::dead(), LinkEntry::dead(), LinkEntry::dead()], 0.0);
+        t.update_row(
+            0,
+            &[LinkEntry::dead(), LinkEntry::dead(), LinkEntry::dead()],
+            0.0,
+        );
+        t.update_row(
+            2,
+            &[LinkEntry::dead(), LinkEntry::dead(), LinkEntry::dead()],
+            0.0,
+        );
         assert!(t.best_one_hop(0, 2, 0.0, 45.0).is_none());
     }
 

@@ -457,12 +457,8 @@ impl Message {
     pub fn wire_size(&self) -> usize {
         match self {
             Message::Probe(_) | Message::ProbeReply(_) => PROBE_WIRE_SIZE,
-            Message::LinkState(m) => {
-                LINKSTATE_HEADER_SIZE + m.entries.len() * LinkEntry::WIRE_SIZE
-            }
-            Message::Recommendations(m) => {
-                REC_HEADER_SIZE + m.recs.len() * m.format.entry_size()
-            }
+            Message::LinkState(m) => LINKSTATE_HEADER_SIZE + m.entries.len() * LinkEntry::WIRE_SIZE,
+            Message::Recommendations(m) => REC_HEADER_SIZE + m.recs.len() * m.format.entry_size(),
             Message::Join { .. } | Message::Leave { .. } => 5,
             Message::View(m) => 11 + 2 * m.members.len(),
         }

@@ -1,0 +1,46 @@
+//! Decentralized SWIM-style gossip membership (`apor-membership`).
+//!
+//! The paper runs "a simple centralized membership service, running on a
+//! coordinator node" — a single point of failure and the first
+//! bottleneck on the way to a production-scale overlay. This crate
+//! replaces it with a coordinator-free design in the SWIM family
+//! (Das et al., *SWIM: Scalable Weakly-consistent Infection-style
+//! Process Group Membership Protocol*, DSN 2002):
+//!
+//! * **Failure detection** ([`swim`]) — every protocol period each node
+//!   pings one peer from a shuffled rotation; on a missed ack it asks
+//!   `k` helpers to ping indirectly (`ping-req`); still-silent targets
+//!   become *suspected* and, after a suspicion timeout, *confirmed
+//!   faulty*. Per-node probe traffic is constant in `n`.
+//! * **Dissemination** — membership events (alive / suspect / faulty /
+//!   left) piggyback on the ping/ack traffic, each retransmitted a
+//!   bounded number of times (infection-style, no broadcast hot spot).
+//! * **View agreement** ([`view`]) — confirmed events accumulate in a
+//!   [`ViewLedger`], a join-semilattice per member (incarnation, then
+//!   dead-beats-alive). Both the **member list** and the **view
+//!   version** are pure functions of the converged ledger, so any two
+//!   nodes whose ledgers agree install byte-identical
+//!   `(version, sorted members)` views *without any coordination* —
+//!   exactly the invariant the overlay's quorum grid needs (identical
+//!   views ⇒ identical grids). Versions are monotone: every lattice
+//!   step strictly increases the version.
+//!
+//! The state machine is sans-io and deterministic: `on_tick` /
+//! `on_message` in, messages out, all randomness from a seeded ChaCha
+//! stream. The netsim driver and any real transport run the identical
+//! code, like every other protocol core in this workspace.
+//!
+//! What this deliberately does **not** solve (recorded in ROADMAP.md):
+//! partition healing needs an anti-entropy full-state sync, and a
+//! long-partitioned minority keeps a stale view until it is re-infected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod swim;
+pub mod view;
+pub mod wire;
+
+pub use swim::{Swim, SwimConfig};
+pub use view::{MemberState, ViewLedger};
+pub use wire::{SwimMsg, SwimStatus, SwimUpdate};

@@ -1,0 +1,477 @@
+//! Compact binary wire format for the SWIM gossip messages.
+//!
+//! Same style as `apor_linkstate::wire`: hand-rolled big-endian over
+//! `bytes`, sized for the bandwidth accounting. The tag space starts at
+//! [`SWIM_TAG_BASE`] = 16, disjoint from the overlay's routing tags
+//! (1–7), so a driver can dispatch on the first byte of a datagram
+//! without trial decoding.
+//!
+//! Sizes: ping/ack are `10 + 7·u` bytes for `u` piggybacked updates;
+//! ping-req/proxy-ack add 2 bytes of target. With the default one ping
+//! round per 2 s and ≤ 10 piggybacked updates
+//! (`SwimConfig::default()`), a worst-case ping+ack exchange is
+//! 2 · (80 + 28) bytes per 2 s ≈ 900 bps per node, independent of
+//! `n` — the property that removes the coordinator's `Θ(n)` broadcast
+//! hot spot.
+
+use apor_quorum::NodeId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// First message-type tag used by the SWIM plane.
+pub const SWIM_TAG_BASE: u8 = 16;
+
+const T_PING: u8 = SWIM_TAG_BASE;
+const T_ACK: u8 = SWIM_TAG_BASE + 1;
+const T_PING_REQ: u8 = SWIM_TAG_BASE + 2;
+const T_PROXY_ACK: u8 = SWIM_TAG_BASE + 3;
+
+/// Bytes of the fixed ping/ack header (tag, from, to, seq, count).
+pub const SWIM_HEADER_SIZE: usize = 10;
+/// Bytes each piggybacked update adds.
+pub const SWIM_UPDATE_SIZE: usize = 7;
+
+/// Does a datagram starting with `tag` belong to the SWIM plane?
+#[must_use]
+pub fn is_swim_tag(tag: u8) -> bool {
+    (T_PING..=T_PROXY_ACK).contains(&tag)
+}
+
+/// Decode errors (mirrors `apor_linkstate::wire::WireError`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwimWireError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// Unknown message-type tag.
+    BadType(u8),
+    /// A length field disagrees with the buffer.
+    BadLength,
+    /// Unknown status code inside an update.
+    BadStatus(u8),
+}
+
+impl fmt::Display for SwimWireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwimWireError::Truncated => write!(f, "truncated SWIM message"),
+            SwimWireError::BadType(t) => write!(f, "unknown SWIM message type {t}"),
+            SwimWireError::BadLength => write!(f, "inconsistent SWIM length field"),
+            SwimWireError::BadStatus(s) => write!(f, "unknown SWIM status {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SwimWireError {}
+
+/// A member's disseminated lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwimStatus {
+    /// Live (join or suspicion refutation).
+    Alive,
+    /// Suspected faulty; awaiting refutation or confirmation.
+    Suspect,
+    /// Confirmed faulty.
+    Faulty,
+    /// Departed voluntarily.
+    Left,
+}
+
+impl SwimStatus {
+    fn code(self) -> u8 {
+        match self {
+            SwimStatus::Alive => 0,
+            SwimStatus::Suspect => 1,
+            SwimStatus::Faulty => 2,
+            SwimStatus::Left => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, SwimWireError> {
+        match code {
+            0 => Ok(SwimStatus::Alive),
+            1 => Ok(SwimStatus::Suspect),
+            2 => Ok(SwimStatus::Faulty),
+            3 => Ok(SwimStatus::Left),
+            other => Err(SwimWireError::BadStatus(other)),
+        }
+    }
+
+    /// Does this status mark the member dead in the view ledger?
+    /// (Suspicion is transient and never enters the ledger.)
+    #[must_use]
+    pub fn is_dead(self) -> bool {
+        matches!(self, SwimStatus::Faulty | SwimStatus::Left)
+    }
+}
+
+/// One piggybacked membership event. 7 bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwimUpdate {
+    /// The member the event is about.
+    pub id: NodeId,
+    /// The member's incarnation the event refers to.
+    pub incarnation: u32,
+    /// The asserted lifecycle state.
+    pub status: SwimStatus,
+}
+
+/// A SWIM-plane message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwimMsg {
+    /// Direct probe; the receiver must [`SwimMsg::Ack`] with the same
+    /// `seq`.
+    Ping {
+        /// Prober.
+        from: NodeId,
+        /// Probed member.
+        to: NodeId,
+        /// Correlates the ack (per-sender sequence).
+        seq: u32,
+        /// Piggybacked gossip.
+        updates: Vec<SwimUpdate>,
+    },
+    /// Reply to a [`SwimMsg::Ping`].
+    Ack {
+        /// The probed member (replier).
+        from: NodeId,
+        /// The original prober (or ping-req helper).
+        to: NodeId,
+        /// Echoed sequence.
+        seq: u32,
+        /// Piggybacked gossip.
+        updates: Vec<SwimUpdate>,
+    },
+    /// Indirect-probe request: "please ping `target` for me".
+    PingReq {
+        /// The suspicious origin.
+        from: NodeId,
+        /// The helper being asked.
+        to: NodeId,
+        /// The silent member to probe.
+        target: NodeId,
+        /// The origin's sequence for this probe round.
+        seq: u32,
+        /// Piggybacked gossip.
+        updates: Vec<SwimUpdate>,
+    },
+    /// Helper → origin: `target` answered the indirect probe.
+    ProxyAck {
+        /// The helper.
+        from: NodeId,
+        /// The origin of the ping-req.
+        to: NodeId,
+        /// The member that proved alive.
+        target: NodeId,
+        /// The origin's sequence echoed back.
+        seq: u32,
+        /// Piggybacked gossip.
+        updates: Vec<SwimUpdate>,
+    },
+}
+
+impl SwimMsg {
+    /// The sender.
+    #[must_use]
+    pub fn from(&self) -> NodeId {
+        match self {
+            SwimMsg::Ping { from, .. }
+            | SwimMsg::Ack { from, .. }
+            | SwimMsg::PingReq { from, .. }
+            | SwimMsg::ProxyAck { from, .. } => *from,
+        }
+    }
+
+    /// The addressee.
+    #[must_use]
+    pub fn to(&self) -> NodeId {
+        match self {
+            SwimMsg::Ping { to, .. }
+            | SwimMsg::Ack { to, .. }
+            | SwimMsg::PingReq { to, .. }
+            | SwimMsg::ProxyAck { to, .. } => *to,
+        }
+    }
+
+    /// The piggybacked gossip.
+    #[must_use]
+    pub fn updates(&self) -> &[SwimUpdate] {
+        match self {
+            SwimMsg::Ping { updates, .. }
+            | SwimMsg::Ack { updates, .. }
+            | SwimMsg::PingReq { updates, .. }
+            | SwimMsg::ProxyAck { updates, .. } => updates,
+        }
+    }
+
+    /// Serialized size in bytes (no IP/UDP framing).
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        let target = match self {
+            SwimMsg::Ping { .. } | SwimMsg::Ack { .. } => 0,
+            SwimMsg::PingReq { .. } | SwimMsg::ProxyAck { .. } => 2,
+        };
+        SWIM_HEADER_SIZE + target + SWIM_UPDATE_SIZE * self.updates().len()
+    }
+
+    /// Serialize to bytes.
+    ///
+    /// # Panics
+    /// Panics if more than 255 updates are piggybacked (the protocol
+    /// caps piggybacking far below that).
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_size());
+        let (tag, from, to, seq, target, updates) = match self {
+            SwimMsg::Ping {
+                from,
+                to,
+                seq,
+                updates,
+            } => (T_PING, from, to, seq, None, updates),
+            SwimMsg::Ack {
+                from,
+                to,
+                seq,
+                updates,
+            } => (T_ACK, from, to, seq, None, updates),
+            SwimMsg::PingReq {
+                from,
+                to,
+                target,
+                seq,
+                updates,
+            } => (T_PING_REQ, from, to, seq, Some(*target), updates),
+            SwimMsg::ProxyAck {
+                from,
+                to,
+                target,
+                seq,
+                updates,
+            } => (T_PROXY_ACK, from, to, seq, Some(*target), updates),
+        };
+        assert!(updates.len() <= usize::from(u8::MAX), "piggyback overflow");
+        b.put_u8(tag);
+        b.put_u16(from.0);
+        b.put_u16(to.0);
+        b.put_u32(*seq);
+        if let Some(t) = target {
+            b.put_u16(t.0);
+        }
+        b.put_u8(updates.len() as u8);
+        for u in updates {
+            b.put_u16(u.id.0);
+            b.put_u32(u.incarnation);
+            b.put_u8(u.status.code());
+        }
+        b.freeze()
+    }
+
+    /// Deserialize from bytes.
+    ///
+    /// # Errors
+    /// Returns a [`SwimWireError`] on truncation, unknown tags or
+    /// malformed updates. Never panics on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<SwimMsg, SwimWireError> {
+        let mut b = bytes;
+        if b.remaining() < SWIM_HEADER_SIZE {
+            return Err(SwimWireError::Truncated);
+        }
+        let tag = b.get_u8();
+        if !is_swim_tag(tag) {
+            return Err(SwimWireError::BadType(tag));
+        }
+        let from = NodeId(b.get_u16());
+        let to = NodeId(b.get_u16());
+        let seq = b.get_u32();
+        let target = if tag == T_PING_REQ || tag == T_PROXY_ACK {
+            if b.remaining() < 3 {
+                return Err(SwimWireError::Truncated);
+            }
+            Some(NodeId(b.get_u16()))
+        } else {
+            None
+        };
+        let count = usize::from(b.get_u8());
+        if b.remaining() != count * SWIM_UPDATE_SIZE {
+            return Err(SwimWireError::BadLength);
+        }
+        let mut updates = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = NodeId(b.get_u16());
+            let incarnation = b.get_u32();
+            let status = SwimStatus::from_code(b.get_u8())?;
+            updates.push(SwimUpdate {
+                id,
+                incarnation,
+                status,
+            });
+        }
+        Ok(match tag {
+            T_PING => SwimMsg::Ping {
+                from,
+                to,
+                seq,
+                updates,
+            },
+            T_ACK => SwimMsg::Ack {
+                from,
+                to,
+                seq,
+                updates,
+            },
+            T_PING_REQ => SwimMsg::PingReq {
+                from,
+                to,
+                target: target.expect("parsed above"),
+                seq,
+                updates,
+            },
+            _ => SwimMsg::ProxyAck {
+                from,
+                to,
+                target: target.expect("parsed above"),
+                seq,
+                updates,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_updates() -> Vec<SwimUpdate> {
+        vec![
+            SwimUpdate {
+                id: NodeId(3),
+                incarnation: 0,
+                status: SwimStatus::Alive,
+            },
+            SwimUpdate {
+                id: NodeId(9),
+                incarnation: 2,
+                status: SwimStatus::Faulty,
+            },
+            SwimUpdate {
+                id: NodeId(12),
+                incarnation: 1,
+                status: SwimStatus::Suspect,
+            },
+        ]
+    }
+
+    fn roundtrip(m: &SwimMsg) -> SwimMsg {
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), m.wire_size(), "declared size must match");
+        assert!(is_swim_tag(bytes[0]));
+        SwimMsg::decode(&bytes).expect("decode own encoding")
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let msgs = [
+            SwimMsg::Ping {
+                from: NodeId(1),
+                to: NodeId(2),
+                seq: 77,
+                updates: sample_updates(),
+            },
+            SwimMsg::Ack {
+                from: NodeId(2),
+                to: NodeId(1),
+                seq: 77,
+                updates: Vec::new(),
+            },
+            SwimMsg::PingReq {
+                from: NodeId(1),
+                to: NodeId(5),
+                target: NodeId(2),
+                seq: 78,
+                updates: sample_updates(),
+            },
+            SwimMsg::ProxyAck {
+                from: NodeId(5),
+                to: NodeId(1),
+                target: NodeId(2),
+                seq: 78,
+                updates: vec![],
+            },
+        ];
+        for m in &msgs {
+            assert_eq!(&roundtrip(m), m);
+        }
+    }
+
+    #[test]
+    fn sizes_match_doc() {
+        let ping = SwimMsg::Ping {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 1,
+            updates: sample_updates(),
+        };
+        assert_eq!(ping.wire_size(), 10 + 3 * 7);
+        let req = SwimMsg::PingReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            target: NodeId(2),
+            seq: 1,
+            updates: vec![],
+        };
+        assert_eq!(req.wire_size(), 12);
+    }
+
+    #[test]
+    fn tag_space_disjoint_from_routing() {
+        // Routing tags are 1–7; SWIM must stay clear so drivers can
+        // dispatch on the first byte.
+        for t in 0..=7u8 {
+            assert!(!is_swim_tag(t));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(SwimMsg::decode(&[]), Err(SwimWireError::Truncated));
+        assert_eq!(
+            SwimMsg::decode(&[200, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(SwimWireError::BadType(200))
+        );
+        // Valid header, bogus status code.
+        let mut bytes = SwimMsg::Ping {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 0,
+            updates: vec![SwimUpdate {
+                id: NodeId(2),
+                incarnation: 0,
+                status: SwimStatus::Alive,
+            }],
+        }
+        .encode()
+        .to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] = 9;
+        assert_eq!(SwimMsg::decode(&bytes), Err(SwimWireError::BadStatus(9)));
+    }
+
+    #[test]
+    fn decode_rejects_truncations() {
+        let m = SwimMsg::PingReq {
+            from: NodeId(1),
+            to: NodeId(5),
+            target: NodeId(2),
+            seq: 78,
+            updates: sample_updates(),
+        };
+        let bytes = m.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                SwimMsg::decode(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+}

@@ -21,7 +21,11 @@ pub struct SimulatorConfig {
     pub bucket_secs: f64,
     /// Safety valve: abort after this many events.
     pub max_events: u64,
-    /// Bytes of IP+UDP framing accounted per packet.
+    /// Bytes of per-packet framing added to every transmission in the
+    /// bandwidth accounting. Defaults to 0 (the simulator is
+    /// protocol-agnostic); drivers set it from their real wire constant
+    /// — the overlay uses `apor_overlay::simnode::overlay_sim_config()`,
+    /// which injects `apor_linkstate::wire::UDP_IP_OVERHEAD`.
     pub per_packet_overhead: usize,
 }
 
@@ -32,15 +36,18 @@ impl Default for SimulatorConfig {
             jitter_frac: 0.03,
             bucket_secs: 60.0,
             max_events: 200_000_000,
-            per_packet_overhead: apor_linkstate_overhead(),
+            per_packet_overhead: 0,
         }
     }
 }
 
-/// Kept as a function so `netsim` does not depend on the linkstate crate;
-/// the value mirrors `apor_linkstate::wire::UDP_IP_OVERHEAD`.
-const fn apor_linkstate_overhead() -> usize {
-    28
+impl SimulatorConfig {
+    /// Same configuration, accounting `bytes` of framing per packet.
+    #[must_use]
+    pub fn with_per_packet_overhead(mut self, bytes: usize) -> Self {
+        self.per_packet_overhead = bytes;
+        self
+    }
 }
 
 /// What a node may do during a callback. Commands are buffered and applied
@@ -102,10 +109,7 @@ impl Ctx<'_> {
     /// There is no cancellation: handlers must ignore stale tokens.
     pub fn set_timer(&mut self, delay_s: f64, token: u64) {
         assert!(delay_s >= 0.0, "timer delay must be non-negative");
-        self.cmds.push(Command::Timer {
-            delay_s,
-            token,
-        });
+        self.cmds.push(Command::Timer { delay_s, token });
     }
 
     /// Deterministic per-run randomness (jitter, random failover picks).
@@ -161,11 +165,7 @@ impl Simulator {
     /// Create a simulator over the given network. Nodes are added with
     /// [`add_node`](Self::add_node) and start at their given offsets.
     #[must_use]
-    pub fn new(
-        latency: LatencyMatrix,
-        schedule: FailureSchedule,
-        config: SimulatorConfig,
-    ) -> Self {
+    pub fn new(latency: LatencyMatrix, schedule: FailureSchedule, config: SimulatorConfig) -> Self {
         let n = latency.len();
         assert_eq!(
             schedule.len(),
@@ -333,7 +333,8 @@ impl Simulator {
     fn transmit(&mut self, from: usize, to: usize, class: TrafficClass, payload: Bytes) {
         let size = payload.len() + self.config.per_packet_overhead;
         // The sender pays for the transmission whether or not it arrives.
-        self.stats.record(from, class, Direction::Out, size, self.now);
+        self.stats
+            .record(from, class, Direction::Out, size, self.now);
 
         // A down link (or endpoint) swallows the packet.
         if !self.schedule.is_link_up(from, to, self.now) {
@@ -383,7 +384,11 @@ mod tests {
     impl NodeBehavior for Pinger {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             self.sent_at = ctx.now();
-            ctx.send(self.peer, TrafficClass::Probing, Bytes::from_static(b"ping"));
+            ctx.send(
+                self.peer,
+                TrafficClass::Probing,
+                Bytes::from_static(b"ping"),
+            );
         }
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, _from: usize, payload: &[u8]) {
             if payload == b"pong" {
@@ -414,6 +419,9 @@ mod tests {
         SimulatorConfig {
             seed,
             jitter_frac: 0.0,
+            // The 28 bytes of IP+UDP framing an overlay driver would
+            // configure; these tests assert overhead accounting.
+            per_packet_overhead: 28,
             ..Default::default()
         }
     }

@@ -85,7 +85,14 @@ impl TrafficStats {
     }
 
     /// Record `bytes` for `node` at time `t`.
-    pub fn record(&mut self, node: usize, class: TrafficClass, dir: Direction, bytes: usize, t: f64) {
+    pub fn record(
+        &mut self,
+        node: usize,
+        class: TrafficClass,
+        dir: Direction,
+        bytes: usize,
+        t: f64,
+    ) {
         assert!(node < self.n && t >= 0.0);
         let bucket = (t / self.bucket_secs) as usize;
         let idx = self.series_index(node, class, dir);
@@ -125,7 +132,13 @@ impl TrafficStats {
     /// `[from_s, to_s)`.
     #[must_use]
     pub fn mean_bps(&self, node: usize, classes: &[TrafficClass], from_s: f64, to_s: f64) -> f64 {
-        let bytes = self.total_bytes(node, classes, &[Direction::In, Direction::Out], from_s, to_s);
+        let bytes = self.total_bytes(
+            node,
+            classes,
+            &[Direction::In, Direction::Out],
+            from_s,
+            to_s,
+        );
         bytes as f64 * 8.0 / (to_s - from_s)
     }
 
@@ -201,12 +214,17 @@ mod tests {
             120.0,
         );
         assert_eq!(routing, 150);
-        let probing =
-            s.total_bytes(0, &[TrafficClass::Probing], &[Direction::Out], 0.0, 120.0);
+        let probing = s.total_bytes(0, &[TrafficClass::Probing], &[Direction::Out], 0.0, 120.0);
         assert_eq!(probing, 999);
         // Node 1 saw nothing.
         assert_eq!(
-            s.total_bytes(1, &TrafficClass::ALL, &[Direction::In, Direction::Out], 0.0, 120.0),
+            s.total_bytes(
+                1,
+                &TrafficClass::ALL,
+                &[Direction::In, Direction::Out],
+                0.0,
+                120.0
+            ),
             0
         );
     }

@@ -22,7 +22,11 @@ impl NodeBehavior for Chatter {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
         let n = ctx.node_count();
         let to = (ctx.node() + 1 + (ctx.now() as usize)) % n;
-        ctx.send(to, TrafficClass::Routing, Bytes::from(vec![0u8; self.payload]));
+        ctx.send(
+            to,
+            TrafficClass::Routing,
+            Bytes::from(vec![0u8; self.payload]),
+        );
         ctx.set_timer(1.0, 1);
     }
     fn as_any(&self) -> &dyn std::any::Any {

@@ -1,5 +1,6 @@
 //! Per-node overlay configuration.
 
+use apor_membership::SwimConfig;
 use apor_quorum::NodeId;
 use apor_routing::ProtocolConfig;
 use serde::{Deserialize, Serialize};
@@ -25,13 +26,32 @@ impl Algorithm {
     }
 }
 
+/// How the overlay learns who its members are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MembershipMode {
+    /// The paper's centralized coordinator (section 5): simple, but a
+    /// single point of failure.
+    #[default]
+    Centralized,
+    /// Decentralized SWIM gossip (`apor-membership`): coordinator-free
+    /// failure detection with agreed, monotonically versioned views.
+    Swim,
+}
+
 /// Configuration of one overlay node.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NodeConfig {
     /// This node's stable identity.
     pub id: NodeId,
-    /// The membership coordinator's identity.
+    /// The membership coordinator's identity ([`MembershipMode::Centralized`]),
+    /// or the introducer a joining node contacts first
+    /// ([`MembershipMode::Swim`]).
     pub coordinator: NodeId,
+    /// Which membership plane the node runs.
+    pub membership: MembershipMode,
+    /// SWIM protocol parameters (used in [`MembershipMode::Swim`]; the
+    /// per-node gossip seed is derived from [`NodeConfig::seed`]).
+    pub swim: SwimConfig,
     /// Routing algorithm to run.
     pub algorithm: Algorithm,
     /// Protocol timing parameters.
@@ -57,6 +77,8 @@ impl NodeConfig {
         NodeConfig {
             id,
             coordinator,
+            membership: MembershipMode::Centralized,
+            swim: SwimConfig::default(),
             algorithm,
             protocol: algorithm.default_protocol(),
             seed: 0x5EED ^ u64::from(id.0),
@@ -71,6 +93,22 @@ impl NodeConfig {
     #[must_use]
     pub fn with_static_members(mut self, members: Vec<NodeId>) -> Self {
         self.static_members = Some(members);
+        self
+    }
+
+    /// Run the decentralized SWIM membership plane instead of the
+    /// centralized coordinator.
+    #[must_use]
+    pub fn with_swim(mut self) -> Self {
+        self.membership = MembershipMode::Swim;
+        self
+    }
+
+    /// Same node, custom SWIM parameters (implies [`Self::with_swim`]).
+    #[must_use]
+    pub fn with_swim_config(mut self, swim: SwimConfig) -> Self {
+        self.membership = MembershipMode::Swim;
+        self.swim = swim;
         self
     }
 
@@ -105,9 +143,27 @@ mod tests {
     }
 
     #[test]
+    fn membership_mode_defaults_and_builders() {
+        let c = NodeConfig::new(NodeId(1), NodeId(0), Algorithm::Quorum);
+        assert_eq!(c.membership, MembershipMode::Centralized);
+        let s = c.clone().with_swim();
+        assert_eq!(s.membership, MembershipMode::Swim);
+        let custom = c.with_swim_config(SwimConfig {
+            period_s: 1.0,
+            ping_timeout_s: 0.25,
+            ..SwimConfig::default()
+        });
+        assert_eq!(custom.membership, MembershipMode::Swim);
+        assert_eq!(custom.swim.period_s, 1.0);
+    }
+
+    #[test]
     fn static_members_installed() {
-        let c = NodeConfig::new(NodeId(1), NodeId(0), Algorithm::Quorum)
-            .with_static_members(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let c = NodeConfig::new(NodeId(1), NodeId(0), Algorithm::Quorum).with_static_members(vec![
+            NodeId(0),
+            NodeId(1),
+            NodeId(2),
+        ]);
         assert_eq!(c.static_members.as_ref().unwrap().len(), 3);
     }
 }

@@ -16,8 +16,16 @@
 //!
 //! * [`simnode::SimNode`] adapts it to the deterministic
 //!   [`netsim`](apor_netsim) simulator (the paper's emulation);
-//! * [`udp`] runs it on real tokio UDP sockets (the paper's deployment),
-//!   with a clean shutdown path per the structured-concurrency guidance.
+//! * `udp` (behind the `udp` feature; needs the non-vendored tokio)
+//!   runs it on real UDP sockets (the paper's deployment), with a clean
+//!   shutdown path per the structured-concurrency guidance.
+//!
+//! Membership comes in two modes ([`config::MembershipMode`]): the
+//! paper's centralized coordinator ([`membership`]) and the
+//! decentralized SWIM gossip plane from
+//! [`apor_membership`](apor_membership), which removes the coordinator
+//! single point of failure while preserving the identical-views ⇒
+//! identical-grids invariant.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +34,16 @@ pub mod config;
 pub mod membership;
 pub mod node;
 pub mod simnode;
+#[cfg(feature = "udp")]
+compile_error!(
+    "the `udp` feature needs the non-vendored `tokio` (features [\"full\"]) and \
+     `parking_lot` crates: add them to crates/overlay/Cargo.toml on a machine with \
+     crates.io access (see vendor/README.md), then delete this guard"
+);
+#[cfg(feature = "udp")]
 pub mod udp;
 
-pub use config::{Algorithm, NodeConfig};
-pub use membership::{MembershipView, Coordinator};
+pub use config::{Algorithm, MembershipMode, NodeConfig};
+pub use membership::{Coordinator, MembershipView};
 pub use node::{Outbox, OverlayNode};
 pub use simnode::SimNode;

@@ -117,7 +117,8 @@ impl Coordinator {
     pub fn expire(&mut self, now: f64) -> bool {
         let before = self.last_heard.len();
         let timeout = self.member_timeout_s;
-        self.last_heard.retain(|_, &mut heard| now - heard <= timeout);
+        self.last_heard
+            .retain(|_, &mut heard| now - heard <= timeout);
         if self.last_heard.len() != before {
             self.version += 1;
             true

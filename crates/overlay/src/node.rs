@@ -16,16 +16,18 @@
 //! both directions, including the `dst`/`hop` fields inside
 //! recommendation messages.
 
-use crate::config::{Algorithm, NodeConfig};
+use crate::config::{Algorithm, MembershipMode, NodeConfig};
 use crate::membership::{Coordinator, MembershipView};
 use apor_linkstate::{Message, ProbeMsg, ProbeReplyMsg};
+use apor_membership::{wire as swim_wire, Swim, SwimMsg};
 use apor_netsim::TrafficClass;
 use apor_quorum::NodeId;
-use apor_routing::{
-    FullMeshRouter, ProbeAction, Prober, QuorumRouter, RoutingAlgorithm,
-};
+use apor_routing::{FullMeshRouter, ProbeAction, Prober, QuorumRouter, RoutingAlgorithm};
 
 /// The concrete router running inside a node.
+// The size gap between the two routers is fine: exactly one RouterBox
+// exists per node, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 enum RouterBox {
     /// RON's full-mesh baseline.
     FullMesh(FullMeshRouter),
@@ -60,11 +62,15 @@ pub const TOKEN_ROUTING: u64 = 2;
 pub const TOKEN_JOIN: u64 = 3;
 /// Timer token: coordinator membership-expiry sweep.
 pub const TOKEN_EXPIRE: u64 = 4;
+/// Timer token: SWIM gossip tick ([`MembershipMode::Swim`]).
+pub const TOKEN_SWIM: u64 = 5;
 
 /// How often the prober's poll loop runs, seconds.
 const PROBE_POLL_S: f64 = 0.5;
 /// Coordinator expiry sweep period, seconds.
 const EXPIRE_SWEEP_S: f64 = 60.0;
+/// SWIM timer granularity, seconds (must undercut the ping timeout).
+const SWIM_TICK_S: f64 = 0.25;
 
 /// Commands produced by one callback.
 #[derive(Debug, Default)]
@@ -91,9 +97,7 @@ pub fn class_of(msg: &Message) -> TrafficClass {
     match msg {
         Message::Probe(_) | Message::ProbeReply(_) => TrafficClass::Probing,
         Message::LinkState(_) | Message::Recommendations(_) => TrafficClass::Routing,
-        Message::Join { .. } | Message::Leave { .. } | Message::View(_) => {
-            TrafficClass::Membership
-        }
+        Message::Join { .. } | Message::Leave { .. } | Message::View(_) => TrafficClass::Membership,
     }
 }
 
@@ -106,6 +110,7 @@ pub struct OverlayNode {
     prober: Option<Prober>,
     router: Option<RouterBox>,
     coordinator: Option<Coordinator>,
+    swim: Option<Swim>,
     routing_tick_armed: bool,
 }
 
@@ -123,6 +128,7 @@ impl OverlayNode {
             prober: None,
             router: None,
             coordinator: None,
+            swim: None,
             routing_tick_armed: false,
         }
     }
@@ -164,6 +170,15 @@ impl OverlayNode {
 
     /// Node start-up.
     pub fn on_start(&mut self, now: f64, out: &mut Outbox) {
+        match self.cfg.membership {
+            MembershipMode::Centralized => self.start_centralized(now, out),
+            MembershipMode::Swim => self.start_swim(now, out),
+        }
+        out.timer(PROBE_POLL_S, TOKEN_PROBE);
+    }
+
+    /// The paper's join dance against the coordinator.
+    fn start_centralized(&mut self, now: f64, out: &mut Outbox) {
         if self.cfg.is_coordinator() {
             self.coordinator = Some(Coordinator::new(
                 self.cfg.id,
@@ -189,7 +204,30 @@ impl OverlayNode {
             );
             out.timer(self.cfg.join_retry_s, TOKEN_JOIN);
         }
-        out.timer(PROBE_POLL_S, TOKEN_PROBE);
+    }
+
+    /// Coordinator-free start: bring up the SWIM gossip plane. With
+    /// static members every node bootstraps the identical initial view;
+    /// otherwise the `coordinator` field names the introducer this node
+    /// pings first, and the join disseminates by gossip.
+    fn start_swim(&mut self, now: f64, out: &mut Outbox) {
+        let swim_cfg = self
+            .cfg
+            .swim
+            .clone()
+            .with_seed(self.cfg.seed ^ self.cfg.swim.seed);
+        let mut swim = if let Some(members) = self.cfg.static_members.clone() {
+            Swim::bootstrap(self.cfg.id, swim_cfg, &members)
+        } else if self.cfg.id == self.cfg.coordinator {
+            Swim::bootstrap(self.cfg.id, swim_cfg, &[self.cfg.id])
+        } else {
+            Swim::new(self.cfg.id, swim_cfg, &[self.cfg.coordinator])
+        };
+        if let Some((version, members)) = swim.poll_view(now) {
+            self.install_view(MembershipView::new(version, members), now, out);
+        }
+        self.swim = Some(swim);
+        out.timer(SWIM_TICK_S, TOKEN_SWIM);
     }
 
     /// A timer armed with `token` fired.
@@ -237,12 +275,21 @@ impl OverlayNode {
                     }
                 }
             }
+            TOKEN_SWIM if self.swim.is_some() => {
+                out.timer(SWIM_TICK_S, TOKEN_SWIM);
+                self.run_swim_tick(now, out);
+            }
             _ => {}
         }
     }
 
     /// A packet arrived.
     pub fn on_packet(&mut self, now: f64, payload: &[u8], out: &mut Outbox) {
+        // The SWIM plane owns its tag space; dispatch on the first byte.
+        if payload.first().copied().is_some_and(swim_wire::is_swim_tag) {
+            self.on_swim_packet(now, payload, out);
+            return;
+        }
         let Ok(msg) = Message::decode(payload) else {
             return; // malformed datagrams are dropped silently
         };
@@ -369,6 +416,13 @@ impl OverlayNode {
         }
     }
 
+    /// Borrow the SWIM machine, when running [`MembershipMode::Swim`]
+    /// (experiment inspection: suspicion state, ledger, incarnations).
+    #[must_use]
+    pub fn swim(&self) -> Option<&Swim> {
+        self.swim.as_ref()
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
@@ -419,7 +473,9 @@ impl OverlayNode {
             });
             if !self.routing_tick_armed {
                 // Desynchronize routing ticks across the fleet.
-                let phase = self.rng.gen_range(0.0..self.cfg.protocol.routing_interval_s);
+                let phase = self
+                    .rng
+                    .gen_range(0.0..self.cfg.protocol.routing_interval_s);
                 out.timer(phase, TOKEN_ROUTING);
                 self.routing_tick_armed = true;
             }
@@ -444,6 +500,42 @@ impl OverlayNode {
         }
     }
 
+    /// One SWIM timer tick: drive the protocol, transmit its messages,
+    /// and install a freshly published view when the batching cadence
+    /// yields one.
+    fn run_swim_tick(&mut self, now: f64, out: &mut Outbox) {
+        let (msgs, published) = {
+            let Some(swim) = self.swim.as_mut() else {
+                return;
+            };
+            let mut msgs = Vec::new();
+            swim.on_tick(now, &mut msgs);
+            (msgs, swim.poll_view(now))
+        };
+        for (to, msg) in msgs {
+            out.sends.push((to, TrafficClass::Membership, msg.encode()));
+        }
+        if let Some((version, members)) = published {
+            self.install_view(MembershipView::new(version, members), now, out);
+        }
+    }
+
+    /// A datagram from the SWIM tag space arrived.
+    fn on_swim_packet(&mut self, now: f64, payload: &[u8], out: &mut Outbox) {
+        let Ok(msg) = SwimMsg::decode(payload) else {
+            return; // malformed datagrams are dropped silently
+        };
+        let Some(swim) = self.swim.as_mut() else {
+            return; // not running the gossip plane
+        };
+        let mut replies = Vec::new();
+        swim.on_message(now, &msg, &mut replies);
+        for (to, reply) in replies {
+            out.sends
+                .push((to, TrafficClass::Membership, reply.encode()));
+        }
+    }
+
     fn run_prober(&mut self, now: f64, out: &mut Outbox) {
         let (Some(view), Some(prober)) = (&self.view, &mut self.prober) else {
             return;
@@ -452,7 +544,9 @@ impl OverlayNode {
         let version = view.version;
         for action in prober.poll(now) {
             let ProbeAction::SendProbe { to, seq } = action;
-            let Some(to_id) = view.id_of(to) else { continue };
+            let Some(to_id) = view.id_of(to) else {
+                continue;
+            };
             out.send(
                 to_id,
                 &Message::Probe(ProbeMsg {
@@ -471,7 +565,9 @@ impl OverlayNode {
             return;
         };
         let row = prober.own_row();
-        let msgs = router.as_dyn_mut().on_routing_tick(now, &row, &mut self.rng);
+        let msgs = router
+            .as_dyn_mut()
+            .on_routing_tick(now, &row, &mut self.rng);
         for m in msgs {
             self.send_index_msg(&m, out);
         }
@@ -499,7 +595,8 @@ impl OverlayNode {
                 let mut wire = rm.clone();
                 wire.from = from;
                 wire.to = to;
-                wire.recs.retain(|r| map(r.dst).is_some() && map(r.hop).is_some());
+                wire.recs
+                    .retain(|r| map(r.dst).is_some() && map(r.hop).is_some());
                 for r in &mut wire.recs {
                     r.dst = map(r.dst).expect("retained");
                     r.hop = map(r.hop).expect("retained");
@@ -530,7 +627,9 @@ impl OverlayNode {
                 let mut inner = rm.clone();
                 inner.from = map(rm.from)?;
                 inner.to = NodeId::from_index(me);
-                inner.recs.retain(|r| map(r.dst).is_some() && map(r.hop).is_some());
+                inner
+                    .recs
+                    .retain(|r| map(r.dst).is_some() && map(r.hop).is_some());
                 for r in &mut inner.recs {
                     r.dst = map(r.dst).expect("retained");
                     r.hop = map(r.hop).expect("retained");
@@ -548,9 +647,7 @@ mod tests {
 
     fn static_node(id: u16, n: u16, algo: Algorithm) -> OverlayNode {
         let members: Vec<NodeId> = (0..n).map(NodeId).collect();
-        OverlayNode::new(
-            NodeConfig::new(NodeId(id), NodeId(0), algo).with_static_members(members),
-        )
+        OverlayNode::new(NodeConfig::new(NodeId(id), NodeId(0), algo).with_static_members(members))
     }
 
     #[test]
@@ -604,16 +701,8 @@ mod tests {
 
     #[test]
     fn join_dance_converges() {
-        let mut coord = OverlayNode::new(NodeConfig::new(
-            NodeId(0),
-            NodeId(0),
-            Algorithm::Quorum,
-        ));
-        let mut joiner = OverlayNode::new(NodeConfig::new(
-            NodeId(7),
-            NodeId(0),
-            Algorithm::Quorum,
-        ));
+        let mut coord = OverlayNode::new(NodeConfig::new(NodeId(0), NodeId(0), Algorithm::Quorum));
+        let mut joiner = OverlayNode::new(NodeConfig::new(NodeId(7), NodeId(0), Algorithm::Quorum));
         let mut out_c = Outbox::default();
         let mut out_j = Outbox::default();
         coord.on_start(0.0, &mut out_c);
@@ -644,7 +733,10 @@ mod tests {
         assert!(joiner.is_member());
         assert_eq!(joiner.view().unwrap().members, vec![NodeId(0), NodeId(7)]);
         assert_eq!(joiner.my_index(), Some(1));
-        assert_eq!(coord.view().unwrap().version, joiner.view().unwrap().version);
+        assert_eq!(
+            coord.view().unwrap().version,
+            joiner.view().unwrap().version
+        );
     }
 
     #[test]
@@ -653,8 +745,7 @@ mod tests {
         // link state; the wire message must carry identities.
         let members = vec![NodeId(3), NodeId(10), NodeId(200)];
         let mut node = OverlayNode::new(
-            NodeConfig::new(NodeId(10), NodeId(3), Algorithm::Quorum)
-                .with_static_members(members),
+            NodeConfig::new(NodeId(10), NodeId(3), Algorithm::Quorum).with_static_members(members),
         );
         let mut out = Outbox::default();
         node.on_start(0.0, &mut out);
@@ -738,7 +829,10 @@ mod tests {
             .iter()
             .filter(|(_, c, _)| *c == TrafficClass::Routing)
             .count();
-        assert!(ls <= 20, "quorum node sent {ls} routing messages, ~2√100 expected");
+        assert!(
+            ls <= 20,
+            "quorum node sent {ls} routing messages, ~2√100 expected"
+        );
         assert!(node.quorum_router().is_some());
     }
 }

@@ -6,7 +6,24 @@
 //! membership is sparse.)
 
 use crate::node::{Outbox, OverlayNode};
-use apor_netsim::{Ctx, NodeBehavior};
+use apor_netsim::{Ctx, NodeBehavior, SimulatorConfig};
+
+/// A [`SimulatorConfig`] whose per-packet framing comes from the
+/// overlay's real wire constant
+/// ([`apor_linkstate::wire::UDP_IP_OVERHEAD`]), so the simulator's
+/// bandwidth accounting reproduces the paper's figures without netsim
+/// hand-mirroring the value. Overlay simulations should start from this
+/// and override fields as needed:
+///
+/// ```
+/// use apor_netsim::SimulatorConfig;
+/// let cfg = SimulatorConfig { seed: 7, ..apor_overlay::simnode::overlay_sim_config() };
+/// assert_eq!(cfg.per_packet_overhead, apor_linkstate::wire::UDP_IP_OVERHEAD);
+/// ```
+#[must_use]
+pub fn overlay_sim_config() -> SimulatorConfig {
+    SimulatorConfig::default().with_per_packet_overhead(apor_linkstate::wire::UDP_IP_OVERHEAD)
+}
 
 /// The netsim driver for one overlay node.
 pub struct SimNode {
@@ -92,7 +109,7 @@ pub fn overlay_at(sim: &apor_netsim::Simulator, i: usize) -> &OverlayNode {
 mod tests {
     use super::*;
     use crate::config::{Algorithm, NodeConfig};
-    use apor_netsim::{Simulator, SimulatorConfig, TrafficClass};
+    use apor_netsim::{Simulator, TrafficClass};
     use apor_quorum::NodeId;
     use apor_topology::{FailureParams, LatencyMatrix};
 
@@ -115,11 +132,7 @@ mod tests {
             }
         }
         m.set_rtt(0, 8, 400.0);
-        let mut sim = Simulator::new(
-            m,
-            FailureParams::none(n, 1e9),
-            SimulatorConfig::default(),
-        );
+        let mut sim = Simulator::new(m, FailureParams::none(n, 1e9), overlay_sim_config());
         populate(&mut sim, n, 5.0, static_cfg(n, Algorithm::Quorum));
         // Probing needs ~30 s to fill rows; two routing intervals after
         // that the optimal one-hop must be known everywhere.
@@ -148,11 +161,7 @@ mod tests {
         let n = 81;
         let run = |algo: Algorithm| {
             let m = LatencyMatrix::uniform(n, 50.0);
-            let mut sim = Simulator::new(
-                m,
-                FailureParams::none(n, 1e9),
-                SimulatorConfig::default(),
-            );
+            let mut sim = Simulator::new(m, FailureParams::none(n, 1e9), overlay_sim_config());
             populate(&mut sim, n, 5.0, static_cfg(n, algo));
             sim.run_until(300.0);
             // Measure steady state: minutes 2–5.
@@ -176,11 +185,7 @@ mod tests {
     fn probing_bandwidth_matches_theory() {
         let n = 25;
         let m = LatencyMatrix::uniform(n, 50.0);
-        let mut sim = Simulator::new(
-            m,
-            FailureParams::none(n, 1e9),
-            SimulatorConfig::default(),
-        );
+        let mut sim = Simulator::new(m, FailureParams::none(n, 1e9), overlay_sim_config());
         populate(&mut sim, n, 5.0, static_cfg(n, Algorithm::Quorum));
         sim.run_until(300.0);
         let probing = sim
@@ -198,11 +203,7 @@ mod tests {
     fn dynamic_membership_converges() {
         let n = 6;
         let m = LatencyMatrix::uniform(n, 40.0);
-        let mut sim = Simulator::new(
-            m,
-            FailureParams::none(n, 1e9),
-            SimulatorConfig::default(),
-        );
+        let mut sim = Simulator::new(m, FailureParams::none(n, 1e9), overlay_sim_config());
         populate(&mut sim, n, 10.0, move |i| {
             NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum)
         });

@@ -114,9 +114,9 @@ async fn drive(
     let mut buf = vec![0u8; 64 * 1024];
 
     let flush = |out: Outbox,
-                     timers: &mut BinaryHeap<TimerEntry>,
-                     timer_seq: &mut u64,
-                     at: Instant|
+                 timers: &mut BinaryHeap<TimerEntry>,
+                 timer_seq: &mut u64,
+                 at: Instant|
      -> Vec<(SocketAddr, bytes::Bytes)> {
         let mut sends = Vec::new();
         for (to, _class, payload) in out.sends {
@@ -213,7 +213,11 @@ mod tests {
                 .with_static_members(members.clone());
             cfg.protocol = fast_protocol();
             let node = OverlayNode::new(cfg);
-            overlays.push(UdpOverlay::spawn(node, socket, peers.clone()).await.unwrap());
+            overlays.push(
+                UdpOverlay::spawn(node, socket, peers.clone())
+                    .await
+                    .unwrap(),
+            );
         }
         overlays
     }
@@ -240,10 +244,7 @@ mod tests {
             // Every destination has a route (direct, on loopback).
             let now = 4.0;
             for id in 1..4u16 {
-                assert!(
-                    n0.best_hop(NodeId(id), now).is_some(),
-                    "no route to {id}"
-                );
+                assert!(n0.best_hop(NodeId(id), now).is_some(), "no route to {id}");
             }
         }
 

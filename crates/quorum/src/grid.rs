@@ -44,7 +44,10 @@ impl GridShape {
             GridShape { rows: f, cols: f }
         } else if n <= f * (f + 1) {
             // a < 0.5: ⌈√n⌉ × ⌊√n⌋
-            GridShape { rows: f + 1, cols: f }
+            GridShape {
+                rows: f + 1,
+                cols: f,
+            }
         } else {
             // a ≥ 0.5: ⌈√n⌉ × ⌈√n⌉
             GridShape {

@@ -129,8 +129,9 @@ mod tests {
     #[test]
     fn three_node_convergence() {
         let cfg = ProtocolConfig::ron();
-        let mut routers: Vec<FullMeshRouter> =
-            (0..3).map(|i| FullMeshRouter::new(i, 3, 0, cfg.clone())).collect();
+        let mut routers: Vec<FullMeshRouter> = (0..3)
+            .map(|i| FullMeshRouter::new(i, 3, 0, cfg.clone()))
+            .collect();
         // Node 0↔2 expensive (300), 0↔1 and 1↔2 cheap (50): relay via 1 wins.
         let rows = [
             live_row(&[0, 50, 300]),
@@ -146,7 +147,7 @@ mod tests {
         assert_eq!(msgs.len(), 6);
         for m in &msgs {
             let to = m.to().index();
-            routers[to].on_message(1.1, &m);
+            routers[to].on_message(1.1, m);
         }
         assert_eq!(routers[0].best_hop(2, 2.0), Some(1));
         assert_eq!(routers[2].best_hop(0, 2.0), Some(1));

@@ -100,9 +100,7 @@ pub fn multihop_routes(matrix: &LatencyMatrix, max_hops: usize) -> MultiHopResul
 
     // State: row[i][j] = best cost of a ≤ 2^t hop path; sec[i][j] = second
     // node on it. t = 0 start: direct links.
-    let mut cost: Vec<f64> = (0..n * n)
-        .map(|idx| matrix.rtt(idx / n, idx % n))
-        .collect();
+    let mut cost: Vec<f64> = (0..n * n).map(|idx| matrix.rtt(idx / n, idx % n)).collect();
     let mut sec: Vec<usize> = (0..n * n).map(|idx| idx % n).collect();
     let mut bytes_sent = vec![0u64; n];
 
@@ -177,9 +175,7 @@ pub fn multihop_routes(matrix: &LatencyMatrix, max_hops: usize) -> MultiHopResul
 #[must_use]
 pub fn bounded_shortest_paths(matrix: &LatencyMatrix, max_hops: usize) -> Vec<f64> {
     let n = matrix.len();
-    let mut cost: Vec<f64> = (0..n * n)
-        .map(|idx| matrix.rtt(idx / n, idx % n))
-        .collect();
+    let mut cost: Vec<f64> = (0..n * n).map(|idx| matrix.rtt(idx / n, idx % n)).collect();
     for _ in 1..max_hops {
         let mut next = cost.clone();
         for i in 0..n {

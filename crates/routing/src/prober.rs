@@ -282,7 +282,7 @@ mod tests {
         while t < 400.0 {
             for a in p.poll(t) {
                 let ProbeAction::SendProbe { seq, .. } = a;
-                if t < 60.0 || t > 150.0 {
+                if !(60.0..=150.0).contains(&t) {
                     p.on_reply(1, seq, t + 0.02);
                 }
             }
@@ -330,7 +330,10 @@ mod tests {
         let row = p.own_row();
         assert_eq!(row.len(), 3);
         assert!(row[1].alive && row[1].latency_ms == 0);
-        assert!(!row[0].alive && !row[2].alive, "unmeasured links start dead");
+        assert!(
+            !row[0].alive && !row[2].alive,
+            "unmeasured links start dead"
+        );
         // After replies, entries come alive.
         let mut t = 0.0;
         while t < 40.0 {
@@ -365,7 +368,10 @@ mod tests {
         }
         let early = (1..n).filter(|&j| first[j] < 10.0).count();
         let late = (1..n).filter(|&j| first[j] >= 20.0).count();
-        assert!(early > 5 && late > 5, "probes not spread: {early} early, {late} late");
+        assert!(
+            early > 5 && late > 5,
+            "probes not spread: {early} early, {late} late"
+        );
     }
 
     #[test]
@@ -380,7 +386,10 @@ mod tests {
             emitted += p.poll(t).len();
             t = p.next_wake(t) + 1e-6;
         }
-        assert!(emitted >= 3, "probes to all 3 peers expected, got {emitted}");
+        assert!(
+            emitted >= 3,
+            "probes to all 3 peers expected, got {emitted}"
+        );
     }
 
     #[test]

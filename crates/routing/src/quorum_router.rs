@@ -393,7 +393,10 @@ impl RoutingAlgorithm for QuorumRouter {
         match msg {
             Message::LinkState(ls) => {
                 let from = ls.from.index();
-                if ls.view == self.view && ls.entries.len() == self.n && from < self.n && from != self.me
+                if ls.view == self.view
+                    && ls.entries.len() == self.n
+                    && from < self.n
+                    && from != self.me
                 {
                     self.table.update_row(from, &ls.entries, now);
                 }
@@ -491,7 +494,9 @@ mod tests {
     impl Fabric {
         fn new(n: usize, cfg: &ProtocolConfig) -> Self {
             Fabric {
-                routers: (0..n).map(|i| QuorumRouter::new(i, n, 0, cfg.clone())).collect(),
+                routers: (0..n)
+                    .map(|i| QuorumRouter::new(i, n, 0, cfg.clone()))
+                    .collect(),
                 rng: rng(),
                 link_up: Box::new(|_, _| true),
             }
@@ -762,7 +767,13 @@ mod tests {
         let _ = me.on_routing_tick(0.0, &own, &mut g);
         // Neighbour 1 says it reaches everyone at 20 ms.
         let row1: Vec<LinkEntry> = (0..n)
-            .map(|j| if j == 1 { LinkEntry::live(0, 0.0) } else { LinkEntry::live(20, 0.0) })
+            .map(|j| {
+                if j == 1 {
+                    LinkEntry::live(0, 0.0)
+                } else {
+                    LinkEntry::live(20, 0.0)
+                }
+            })
             .collect();
         let _ = me.on_message(
             1.0,

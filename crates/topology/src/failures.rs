@@ -191,7 +191,10 @@ impl FailureSchedule {
 
         // Merge in explicit link outages.
         for o in &params.link_outages {
-            assert!(o.a < n && o.b < n && o.a != o.b, "bad link outage endpoints");
+            assert!(
+                o.a < n && o.b < n && o.a != o.b,
+                "bad link outage endpoints"
+            );
             assert!(o.start_s < o.end_s, "empty link outage window");
             link_down[pair_index(n, o.a, o.b)].push((o.start_s, o.end_s));
         }
@@ -467,8 +470,10 @@ mod tests {
         p.median_concurrent = 6.0;
         p.seed = 99;
         let s = FailureSchedule::generate(&p);
-        let mean: f64 =
-            (0..60).map(|i| s.mean_concurrent_failures(i, 50)).sum::<f64>() / 60.0;
+        let mean: f64 = (0..60)
+            .map(|i| s.mean_concurrent_failures(i, 50))
+            .sum::<f64>()
+            / 60.0;
         assert!(
             (2.0..12.0).contains(&mean),
             "mean concurrent failures {mean}, target 6"
@@ -480,9 +485,24 @@ mod tests {
         let mut p = FailureParams::with_n(6);
         p.median_concurrent = 1e-9;
         p.link_outages = vec![
-            LinkOutage { a: 0, b: 5, start_s: 100.0, end_s: 200.0 },
-            LinkOutage { a: 5, b: 0, start_s: 150.0, end_s: 250.0 }, // overlaps, reversed
-            LinkOutage { a: 1, b: 2, start_s: 10.0, end_s: 20.0 },
+            LinkOutage {
+                a: 0,
+                b: 5,
+                start_s: 100.0,
+                end_s: 200.0,
+            },
+            LinkOutage {
+                a: 5,
+                b: 0,
+                start_s: 150.0,
+                end_s: 250.0,
+            }, // overlaps, reversed
+            LinkOutage {
+                a: 1,
+                b: 2,
+                start_s: 10.0,
+                end_s: 20.0,
+            },
         ];
         let s = FailureSchedule::generate(&p);
         // Merged into one interval [100, 250).
@@ -502,7 +522,12 @@ mod tests {
     #[should_panic(expected = "bad link outage")]
     fn link_outage_self_loop_rejected() {
         let mut p = FailureParams::with_n(3);
-        p.link_outages = vec![LinkOutage { a: 1, b: 1, start_s: 0.0, end_s: 1.0 }];
+        p.link_outages = vec![LinkOutage {
+            a: 1,
+            b: 1,
+            start_s: 0.0,
+            end_s: 1.0,
+        }];
         let _ = FailureSchedule::generate(&p);
     }
 

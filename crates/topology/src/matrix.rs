@@ -147,7 +147,7 @@ impl LatencyMatrix {
                 continue;
             }
             let total = self.rtt(i, k) + self.rtt(k, j);
-            if total.is_finite() && best.map_or(true, |(_, b)| total < b) {
+            if total.is_finite() && best.is_none_or(|(_, b)| total < b) {
                 best = Some((k, total));
             }
         }
@@ -241,7 +241,10 @@ impl LatencyMatrix {
                 return Err(format!("line {}: self-pair {src}", lineno + 1));
             }
             if !(0.0..=1.0).contains(&loss) {
-                return Err(format!("line {}: loss {loss} not a probability", lineno + 1));
+                return Err(format!(
+                    "line {}: loss {loss} not a probability",
+                    lineno + 1
+                ));
             }
             if !rtt.is_finite() || rtt < 0.0 {
                 return Err(format!("line {}: bad rtt {rtt}", lineno + 1));
@@ -346,7 +349,7 @@ mod tests {
         m.set_rtt(2, 3, 10.0);
         let apsp = m.all_pairs_shortest();
         assert!((apsp[3] - 30.0).abs() < 1e-9); // 0→1→2→3
-        // One-hop relays (1010 via either relay) lose to the direct link …
+                                                // One-hop relays (1010 via either relay) lose to the direct link …
         assert_eq!(m.best_one_hop(0, 3), Some((1, 1010.0)));
         assert!((m.best_path_with_one_hop(0, 3) - 1000.0).abs() < 1e-9);
         // … and both lose to the two-hop chain.

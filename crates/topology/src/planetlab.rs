@@ -185,16 +185,18 @@ impl Topology {
                     // Pair-specific routing pathology (broken transit for
                     // this particular route): a classic triangle-inequality
                     // violation fixable through nearly any intermediary.
-                    multiplier *= rng
-                        .gen_range(params.severe_multiplier_range.0..params.severe_multiplier_range.1);
+                    multiplier *= rng.gen_range(
+                        params.severe_multiplier_range.0..params.severe_multiplier_range.1,
+                    );
                 }
                 // No path can beat light-in-fibre propagation.
                 multiplier = multiplier.max(1.0);
                 let rtt = prop * multiplier + access_ms[i] + access_ms[j] + params.processing_ms;
                 latency.set_rtt(i, j, rtt);
 
-                let loss = sampling::log_normal(&mut rng, params.loss_median.ln(), params.loss_sigma)
-                    .min(0.5);
+                let loss =
+                    sampling::log_normal(&mut rng, params.loss_median.ln(), params.loss_sigma)
+                        .min(0.5);
                 latency.set_loss(i, j, loss);
             }
         }
@@ -239,8 +241,8 @@ mod tests {
             }
         }
         let c = Topology::generate(&PlanetLabParams::with_n(60).with_seed(7));
-        let differs = (0..60)
-            .any(|i| (0..60).any(|j| i != j && a.latency.rtt(i, j) != c.latency.rtt(i, j)));
+        let differs =
+            (0..60).any(|i| (0..60).any(|j| i != j && a.latency.rtt(i, j) != c.latency.rtt(i, j)));
         assert!(differs, "different seed must give a different topology");
     }
 

@@ -50,7 +50,9 @@ mod tests {
     fn log_normal_median() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let n = 50_001;
-        let mut samples: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 1.0_f64.ln(), 0.8)).collect();
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| log_normal(&mut rng, 1.0_f64.ln(), 0.8))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[n / 2];
         assert!((median - 1.0).abs() < 0.05, "median {median}");

@@ -13,9 +13,9 @@
 //! cargo run --release --example failover_demo
 //! ```
 
-use allpairs_overlay::netsim::{Simulator, SimulatorConfig};
+use allpairs_overlay::netsim::Simulator;
 use allpairs_overlay::overlay::config::{Algorithm, NodeConfig};
-use allpairs_overlay::overlay::simnode::{overlay_at, populate};
+use allpairs_overlay::overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use allpairs_overlay::quorum::{Grid, NodeId};
 use allpairs_overlay::topology::{FailureParams, FailureSchedule, LatencyMatrix, LinkOutage};
 
@@ -31,8 +31,10 @@ fn main() {
         grid.position(src),
         grid.position(dst),
     );
-    println!("t=300s: links {src}–{} , {src}–{} and {src}–{dst} fail; t=700s: they heal\n",
-        pair[0], pair[1]);
+    println!(
+        "t=300s: links {src}–{} , {src}–{} and {src}–{dst} fail; t=700s: they heal\n",
+        pair[0], pair[1]
+    );
 
     let (kill, heal) = (300.0, 700.0);
     let mut params = FailureParams::with_n(n);
@@ -54,7 +56,7 @@ fn main() {
     let mut sim = Simulator::new(
         LatencyMatrix::uniform(n, 60.0),
         schedule,
-        SimulatorConfig::default(),
+        overlay_sim_config(),
     );
     let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
     populate(&mut sim, n, 5.0, move |i| {
@@ -100,6 +102,7 @@ fn main() {
     println!(
         "\nfinal route age to dst {dst}: {:.0}s; failovers selected during the run: {}",
         final_age.unwrap_or(f64::NAN),
-        node.quorum_router().map_or(0, |r| r.metrics().failovers_selected)
+        node.quorum_router()
+            .map_or(0, |r| r.metrics().failovers_selected)
     );
 }

@@ -66,5 +66,8 @@ fn main() {
         .collect();
     println!("forwarding path via Sec pointers: {}", legs.join(", "));
     let walked: f64 = path.windows(2).map(|w| m.rtt(w[0], w[1])).sum();
-    println!("walked cost {walked:.0} ms (claimed {:.0} ms)", full.cost_of(src, dst));
+    println!(
+        "walked cost {walked:.0} ms (claimed {:.0} ms)",
+        full.cost_of(src, dst)
+    );
 }

@@ -8,9 +8,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use allpairs_overlay::netsim::{Simulator, SimulatorConfig, TrafficClass};
+use allpairs_overlay::netsim::{Simulator, TrafficClass};
 use allpairs_overlay::overlay::config::{Algorithm, NodeConfig};
-use allpairs_overlay::overlay::simnode::{overlay_at, populate};
+use allpairs_overlay::overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use allpairs_overlay::quorum::{Grid, NodeId};
 use allpairs_overlay::topology::{FailureParams, PlanetLabParams, Topology};
 
@@ -41,7 +41,7 @@ fn main() {
     let mut sim = Simulator::new(
         topo.latency.clone(),
         FailureParams::none(n, 1e9),
-        SimulatorConfig::default(),
+        overlay_sim_config(),
     );
     let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
     populate(&mut sim, n, 5.0, move |i| {
@@ -53,7 +53,10 @@ fn main() {
     // 4. Inspect node 0's routing table against the ground truth.
     let node0 = overlay_at(&sim, 0);
     println!("\nnode 0 routing table (vs ground-truth optimum):");
-    println!("{:>4} {:>10} {:>12} {:>12} {:>10}", "dst", "direct ms", "chosen hop", "chosen ms", "optimal ms");
+    println!(
+        "{:>4} {:>10} {:>12} {:>12} {:>10}",
+        "dst", "direct ms", "chosen hop", "chosen ms", "optimal ms"
+    );
     for dst in 1..n {
         let direct = topo.latency.rtt(0, dst);
         let hop = node0.best_hop(NodeId(dst as u16), sim.now());

@@ -13,9 +13,9 @@
 //! cargo run --release --example replay_trace pings.csv   # your data
 //! ```
 
-use allpairs_overlay::netsim::{Simulator, SimulatorConfig};
+use allpairs_overlay::netsim::Simulator;
 use allpairs_overlay::overlay::config::{Algorithm, NodeConfig};
-use allpairs_overlay::overlay::simnode::{overlay_at, populate};
+use allpairs_overlay::overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use allpairs_overlay::quorum::NodeId;
 use allpairs_overlay::topology::{FailureParams, LatencyMatrix, PlanetLabParams, Topology};
 
@@ -24,10 +24,7 @@ fn main() {
     let (matrix, source) = match arg {
         Some(path) => {
             let csv = std::fs::read_to_string(&path).expect("read trace file");
-            (
-                LatencyMatrix::from_csv(&csv).expect("parse trace"),
-                path,
-            )
+            (LatencyMatrix::from_csv(&csv).expect("parse trace"), path)
         }
         None => {
             // No trace supplied: synthesize one, dump it, and read it back
@@ -48,7 +45,7 @@ fn main() {
     let mut sim = Simulator::new(
         matrix.clone(),
         FailureParams::none(n, 1e9),
-        SimulatorConfig::default(),
+        overlay_sim_config(),
     );
     let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
     populate(&mut sim, n, 5.0, move |i| {

@@ -11,9 +11,9 @@
 //! cargo run --release --example skype_detour
 //! ```
 
-use allpairs_overlay::netsim::{Simulator, SimulatorConfig};
+use allpairs_overlay::netsim::Simulator;
 use allpairs_overlay::overlay::config::{Algorithm, NodeConfig};
-use allpairs_overlay::overlay::simnode::{overlay_at, populate};
+use allpairs_overlay::overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use allpairs_overlay::quorum::NodeId;
 use allpairs_overlay::routing::onehop;
 use allpairs_overlay::topology::{FailureParams, PlanetLabParams, Topology};
@@ -26,7 +26,7 @@ fn main() {
     let mut sim = Simulator::new(
         topo.latency.clone(),
         FailureParams::none(n, 1e9),
-        SimulatorConfig::default(),
+        overlay_sim_config(),
     );
     let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
     populate(&mut sim, n, 10.0, move |i| {

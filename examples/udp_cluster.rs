@@ -83,8 +83,12 @@ async fn main() -> std::io::Result<()> {
                 )
             })
             .collect();
-        println!("{me}: member={} latencies=[{}] routes=[{}]",
-            node.is_member(), lat.join(" "), routes.join(" "));
+        println!(
+            "{me}: member={} latencies=[{}] routes=[{}]",
+            node.is_member(),
+            lat.join(" "),
+            routes.join(" ")
+        );
     }
 
     println!("\nshutting down…");

@@ -6,6 +6,8 @@
 //! * [`quorum`] — grid-quorum construction (section 3)
 //! * [`topology`] — synthetic Internet latency & failure models
 //! * [`linkstate`] — link-state tables, probing state, wire codec (section 5)
+//! * [`membership`] — decentralized SWIM gossip membership (beyond the
+//!   paper: replaces the centralized coordinator)
 //! * [`netsim`] — deterministic discrete-event network simulator
 //! * [`routing`] — sans-io routing protocol cores (sections 3–4)
 //! * [`overlay`] — the RON-like overlay node, sim & tokio drivers (section 5)
@@ -15,6 +17,7 @@
 
 pub use apor_analysis as analysis;
 pub use apor_linkstate as linkstate;
+pub use apor_membership as membership;
 pub use apor_netsim as netsim;
 pub use apor_overlay as overlay;
 pub use apor_quorum as quorum;

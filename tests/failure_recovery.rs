@@ -12,9 +12,9 @@
 //! notice. We assert end-to-end bounds of `p + k·r` with one interval of
 //! slack for message-loss jitter.
 
-use allpairs_overlay::netsim::{Simulator, SimulatorConfig};
+use allpairs_overlay::netsim::Simulator;
 use allpairs_overlay::overlay::config::{Algorithm, NodeConfig};
-use allpairs_overlay::overlay::simnode::{overlay_at, populate};
+use allpairs_overlay::overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use allpairs_overlay::quorum::{Grid, NodeId};
 use allpairs_overlay::topology::{
     FailureParams, FailureSchedule, LatencyMatrix, LinkOutage, NodeOutage,
@@ -41,7 +41,7 @@ fn run_with_outages(
     let mut sim = Simulator::new(
         LatencyMatrix::uniform(N, 60.0),
         schedule,
-        SimulatorConfig::default(),
+        overlay_sim_config(),
     );
     let members: Vec<NodeId> = (0..N as u16).map(NodeId).collect();
     populate(&mut sim, N, 5.0, move |i| {

@@ -1,33 +1,46 @@
 //! Membership dynamics: joins, leaves and view reconfiguration while the
-//! overlay keeps routing.
+//! overlay keeps routing — exercised against **both** membership planes
+//! ([`MembershipMode::Centralized`] and [`MembershipMode::Swim`]).
 
-use allpairs_overlay::netsim::{Simulator, SimulatorConfig};
-use allpairs_overlay::overlay::config::{Algorithm, NodeConfig};
-use allpairs_overlay::overlay::simnode::{overlay_at, populate};
+use allpairs_overlay::membership::SwimConfig;
+use allpairs_overlay::netsim::Simulator;
+use allpairs_overlay::overlay::config::{Algorithm, MembershipMode, NodeConfig};
+use allpairs_overlay::overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use allpairs_overlay::quorum::NodeId;
-use allpairs_overlay::topology::{FailureParams, LatencyMatrix};
+use allpairs_overlay::topology::{FailureParams, FailureSchedule, LatencyMatrix, NodeOutage};
 
-/// Nodes joining through the coordinator at staggered times end with one
-/// consistent view and working routes.
-#[test]
-fn staggered_joins_converge() {
+/// A node config in the requested membership mode (node 0 acts as
+/// coordinator / introducer).
+fn mode_config(i: usize, mode: MembershipMode) -> NodeConfig {
+    let cfg = NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum);
+    match mode {
+        MembershipMode::Centralized => cfg,
+        MembershipMode::Swim => cfg.with_swim(),
+    }
+}
+
+/// Nodes joining at staggered times — through the coordinator or by
+/// gossiping via the introducer — end with one consistent view and
+/// working routes.
+fn staggered_joins_converge_in(mode: MembershipMode) {
     let n = 12;
     let mut sim = Simulator::new(
         LatencyMatrix::uniform(n, 40.0),
         FailureParams::none(n, 1e9),
-        SimulatorConfig::default(),
+        overlay_sim_config(),
     );
     // No static membership: everyone joins via node 0.
-    populate(&mut sim, n, 60.0, move |i| {
-        NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum)
-    });
+    populate(&mut sim, n, 60.0, move |i| mode_config(i, mode));
     sim.run_until(300.0);
-    let v0 = overlay_at(&sim, 0).view().expect("coordinator has a view").clone();
-    assert_eq!(v0.len(), n, "coordinator misses members");
+    let v0 = overlay_at(&sim, 0)
+        .view()
+        .expect("node 0 has a view")
+        .clone();
+    assert_eq!(v0.len(), n, "node 0 misses members in {mode:?}");
     for i in 0..n {
         let node = overlay_at(&sim, i);
-        assert!(node.is_member(), "node {i} not a member");
-        assert_eq!(node.view().unwrap(), &v0, "node {i} has a divergent view");
+        assert!(node.is_member(), "node {i} not a member in {mode:?}");
+        assert_eq!(node.view().unwrap(), &v0, "node {i} diverges in {mode:?}");
     }
     // Routing works across the final view.
     let node3 = overlay_at(&sim, 3);
@@ -37,7 +50,117 @@ fn staggered_joins_converge() {
         }
         assert!(
             node3.best_hop(NodeId(dst), sim.now()).is_some(),
-            "no route 3→{dst} after convergence"
+            "no route 3→{dst} after convergence in {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn staggered_joins_converge() {
+    staggered_joins_converge_in(MembershipMode::Centralized);
+}
+
+#[test]
+fn staggered_joins_converge_swim() {
+    staggered_joins_converge_in(MembershipMode::Swim);
+}
+
+/// SWIM failure detection end-to-end under the seeded simulator: a
+/// crashed node is confirmed faulty and removed from **every** live
+/// node's installed view within the protocol's detection budget, and
+/// the surviving views agree exactly (same version, same member list).
+#[test]
+fn swim_removes_crashed_node_within_budget() {
+    let n = 10;
+    let dead = 3usize;
+    let kill_at = 60.0;
+    let swim = SwimConfig::default();
+    let budget = swim.detection_budget_s(n);
+    let mut params = FailureParams::with_n(n);
+    params.median_concurrent = 1e-12; // no background link failures
+    params.duration_s = 1e9;
+    params.node_outages = vec![NodeOutage {
+        node: dead,
+        start_s: kill_at,
+        end_s: 1e9,
+    }];
+    let mut sim = Simulator::new(
+        LatencyMatrix::uniform(n, 40.0),
+        FailureSchedule::generate(&params),
+        overlay_sim_config(),
+    );
+    let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
+    let swim_cfg = swim.clone();
+    populate(&mut sim, n, 2.0, move |i| {
+        NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum)
+            .with_static_members(members.clone())
+            .with_swim_config(swim_cfg.clone())
+    });
+    // Sanity: before the crash everyone holds the full bootstrap view.
+    sim.run_until(kill_at);
+    for i in 0..n {
+        assert_eq!(overlay_at(&sim, i).view().unwrap().len(), n);
+    }
+    sim.run_until(kill_at + budget);
+    let reference = overlay_at(&sim, 0).view().unwrap().clone();
+    assert_eq!(reference.len(), n - 1, "dead node still in view");
+    assert!(!reference.contains(NodeId(dead as u16)));
+    for i in 0..n {
+        if i == dead {
+            continue;
+        }
+        let view = overlay_at(&sim, i).view().unwrap();
+        assert_eq!(
+            view, &reference,
+            "survivor {i} disagrees: {view:?} vs {reference:?}"
+        );
+    }
+}
+
+/// The coordinator-free payoff: with SWIM, killing node 0 — which the
+/// centralized design depends on for every membership change — leaves a
+/// cluster that still detects the loss, agrees on the shrunken view and
+/// keeps routing.
+#[test]
+fn swim_survives_introducer_loss() {
+    let n = 9;
+    let kill_at = 50.0;
+    let swim = SwimConfig::default();
+    let budget = swim.detection_budget_s(n);
+    let mut params = FailureParams::with_n(n);
+    params.median_concurrent = 1e-12;
+    params.duration_s = 1e9;
+    params.node_outages = vec![NodeOutage {
+        node: 0,
+        start_s: kill_at,
+        end_s: 1e9,
+    }];
+    let mut sim = Simulator::new(
+        LatencyMatrix::uniform(n, 30.0),
+        FailureSchedule::generate(&params),
+        overlay_sim_config(),
+    );
+    let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
+    populate(&mut sim, n, 2.0, move |i| {
+        NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum)
+            .with_static_members(members.clone())
+            .with_swim()
+    });
+    sim.run_until(kill_at + budget + 60.0);
+    let reference = overlay_at(&sim, 1).view().unwrap().clone();
+    assert_eq!(reference.len(), n - 1);
+    assert!(!reference.contains(NodeId(0)));
+    for i in 1..n {
+        let node = overlay_at(&sim, i);
+        assert_eq!(node.view().unwrap(), &reference, "survivor {i} diverges");
+        assert!(node.is_member());
+    }
+    // Routing still functions across the survivors' agreed view.
+    let node1 = overlay_at(&sim, 1);
+    for dst in 2..n as u16 {
+        assert!(
+            node1.best_hop(NodeId(dst), sim.now()).is_some(),
+            "no route 1→{dst} after introducer loss"
         );
     }
 }
@@ -50,7 +173,7 @@ fn late_join_preserves_measurements() {
     let mut sim = Simulator::new(
         LatencyMatrix::uniform(n, 80.0),
         FailureParams::none(n, 1e9),
-        SimulatorConfig::default(),
+        overlay_sim_config(),
     );
     // Nodes 0..9 join immediately; node 9 joins two minutes in.
     for i in 0..n {
@@ -72,7 +195,11 @@ fn late_join_preserves_measurements() {
     // Just after the view change: the estimate survives (carry-over), it
     // is not reset to None.
     let node1 = overlay_at(&sim, 1);
-    assert_eq!(node1.view().unwrap().len(), n, "view should now include the joiner");
+    assert_eq!(
+        node1.view().unwrap().len(),
+        n,
+        "view should now include the joiner"
+    );
     let after = node1
         .measured_latency_ms(NodeId(2))
         .expect("estimator state must survive the view change");
@@ -95,7 +222,7 @@ fn leave_shrinks_view() {
     let mut sim = Simulator::new(
         LatencyMatrix::uniform(n, 30.0),
         FailureParams::none(n, 1e9),
-        SimulatorConfig::default(),
+        overlay_sim_config(),
     );
     populate(&mut sim, n, 5.0, move |i| {
         NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum)

@@ -8,7 +8,7 @@
 
 use allpairs_overlay::netsim::{Simulator, SimulatorConfig};
 use allpairs_overlay::overlay::config::{Algorithm, NodeConfig};
-use allpairs_overlay::overlay::simnode::{overlay_at, populate};
+use allpairs_overlay::overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use allpairs_overlay::quorum::NodeId;
 use allpairs_overlay::topology::{FailureParams, LatencyMatrix, PlanetLabParams, Topology};
 
@@ -19,13 +19,12 @@ fn run_overlay(matrix: LatencyMatrix, algorithm: Algorithm, until_s: f64, seed: 
         FailureParams::none(n, until_s + 100.0),
         SimulatorConfig {
             seed,
-            ..Default::default()
+            ..overlay_sim_config()
         },
     );
     let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
     populate(&mut sim, n, 5.0, move |i| {
-        NodeConfig::new(NodeId(i as u16), NodeId(0), algorithm)
-            .with_static_members(members.clone())
+        NodeConfig::new(NodeId(i as u16), NodeId(0), algorithm).with_static_members(members.clone())
     });
     sim.run_until(until_s);
     sim
@@ -72,8 +71,8 @@ fn quorum_overlay_converges_to_optimal_one_hops() {
                 continue;
             }
             let optimal = truth.best_path_with_one_hop(src, dst);
-            let chosen =
-                chosen_cost(&sim, &truth, src, dst).unwrap_or_else(|| panic!("{src}→{dst} unrouted"));
+            let chosen = chosen_cost(&sim, &truth, src, dst)
+                .unwrap_or_else(|| panic!("{src}→{dst} unrouted"));
             // Tolerance: wire quantization (1 ms per leg) plus EWMA jitter
             // (±3 % per leg).
             let tolerance = 0.08 * optimal + 3.0;

@@ -4,7 +4,7 @@
 use allpairs_overlay::analysis::theory;
 use allpairs_overlay::netsim::{Simulator, SimulatorConfig, TrafficClass};
 use allpairs_overlay::overlay::config::{Algorithm, NodeConfig};
-use allpairs_overlay::overlay::simnode::populate;
+use allpairs_overlay::overlay::simnode::{overlay_sim_config, populate};
 use allpairs_overlay::quorum::NodeId;
 use allpairs_overlay::topology::{FailureParams, PlanetLabParams, Topology};
 
@@ -19,13 +19,12 @@ fn routing_bps(n: usize, algorithm: Algorithm, seed: u64) -> f64 {
         FailureParams::none(n, 400.0),
         SimulatorConfig {
             seed,
-            ..Default::default()
+            ..overlay_sim_config()
         },
     );
     let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
     populate(&mut sim, n, 5.0, move |i| {
-        NodeConfig::new(NodeId(i as u16), NodeId(0), algorithm)
-            .with_static_members(members.clone())
+        NodeConfig::new(NodeId(i as u16), NodeId(0), algorithm).with_static_members(members.clone())
     });
     sim.run_until(300.0);
     sim.stats()
@@ -95,7 +94,7 @@ fn failure_load_stays_balanced() {
     let schedule = allpairs_overlay::topology::FailureSchedule::generate(
         &FailureParams::with_n(n).with_seed(0xBAD),
     );
-    let mut sim = Simulator::new(topo.latency, schedule, SimulatorConfig::default());
+    let mut sim = Simulator::new(topo.latency, schedule, overlay_sim_config());
     let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
     populate(&mut sim, n, 5.0, move |i| {
         NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum)
@@ -132,7 +131,7 @@ fn probing_is_linear_and_algorithm_independent() {
         let mut sim = Simulator::new(
             topo(n).latency,
             FailureParams::none(n, 400.0),
-            SimulatorConfig::default(),
+            overlay_sim_config(),
         );
         let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
         populate(&mut sim, n, 5.0, move |i| {

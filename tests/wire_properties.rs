@@ -19,8 +19,14 @@ fn arb_entry() -> impl Strategy<Value = LinkEntry> {
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
-    let probe = (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
-        |(f, t, v, s, ts)| {
+    let probe = (
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(f, t, v, s, ts)| {
             Message::Probe(ProbeMsg {
                 from: NodeId(f),
                 to: NodeId(t),
@@ -28,10 +34,15 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 seq: s,
                 sent_ms: ts,
             })
-        },
-    );
-    let reply = (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
-        |(f, t, v, s, ts)| {
+        });
+    let reply = (
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(f, t, v, s, ts)| {
             Message::ProbeReply(ProbeReplyMsg {
                 from: NodeId(f),
                 to: NodeId(t),
@@ -39,8 +50,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 seq: s,
                 echo_sent_ms: ts,
             })
-        },
-    );
+        });
     let linkstate = (
         any::<u16>(),
         any::<u16>(),
@@ -86,7 +96,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     .map(|(d, h, c)| RecEntry {
                         dst: NodeId(d),
                         hop: NodeId(h),
-                        cost_ms: if format == RecFormat::Compact { u16::MAX } else { c },
+                        cost_ms: if format == RecFormat::Compact {
+                            u16::MAX
+                        } else {
+                            c
+                        },
                     })
                     .collect(),
             })

@@ -1,0 +1,440 @@
+//! Offline property-testing harness, API-compatible with the subset of
+//! `proptest` this workspace uses.
+//!
+//! The real proptest generates random values from composable
+//! [`Strategy`] objects and shrinks failures; with no crates.io access
+//! this stand-in keeps the *generation* side — seeded, deterministic,
+//! case-count configurable — and forgoes shrinking (a failing case
+//! prints its inputs via the assertion message instead). The macro
+//! surface (`proptest!`, `prop_assert!`, `prop_assume!`, `prop_oneof!`,
+//! `any`, `prop::collection::vec`, `prop::bool::weighted`, `prop_map`)
+//! matches upstream, so swapping the real crate back in is a manifest
+//! change only.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The deterministic RNG driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// A fixed-seed generator: every `cargo test` run sees the same
+    /// cases (no shrinking ⇒ reproducibility matters more than novelty).
+    #[must_use]
+    pub fn deterministic() -> Self {
+        TestRng(ChaCha8Rng::seed_from_u64(0x5EED_F00D_CA5E_5EED))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Test-runner knobs (subset of the real struct).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; `prop_assume` rejections just skip.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Type-erase the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe generation, for type-erased strategies.
+trait DynStrategy {
+    type Value;
+    fn dyn_gen(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_gen(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_gen(rng)
+    }
+}
+
+/// Uniform choice between type-erased alternatives — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    /// Panics when `alternatives` is empty.
+    #[must_use]
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+        Union(alternatives)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].gen_value(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.gen_value(rng))
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw a uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, spanning sign and magnitude; NaN/inf excluded like the
+        // real crate's default.
+        let unit: f64 = rng.gen();
+        (unit - 0.5) * 2.0e9
+    }
+}
+
+/// The whole-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Lengths accepted by [`vec`]: a `usize` (exact) or a range.
+        pub trait IntoLenRange {
+            /// The equivalent half-open range.
+            fn into_len_range(self) -> Range<usize>;
+        }
+
+        impl IntoLenRange for usize {
+            fn into_len_range(self) -> Range<usize> {
+                self..self + 1
+            }
+        }
+
+        impl IntoLenRange for Range<usize> {
+            fn into_len_range(self) -> Range<usize> {
+                self
+            }
+        }
+
+        /// Vectors whose length is drawn from `len` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                len: len.into_len_range(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.gen_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// `true` with probability `p`.
+        #[must_use]
+        pub fn weighted(p: f64) -> Weighted {
+            Weighted(p)
+        }
+
+        /// Strategy returned by [`weighted`].
+        pub struct Weighted(f64);
+
+        impl Strategy for Weighted {
+            type Value = bool;
+            fn gen_value(&self, rng: &mut TestRng) -> bool {
+                rng.gen_bool(self.0)
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property (panics with context; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    (@munch ($cfg:expr); ) => {};
+    (@munch ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic();
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::gen_value(&($strategy), &mut rng);)+
+                // Per-case closure so `prop_assume!` can skip via
+                // `return`; `mut` covers bodies that mutate captures.
+                #[allow(unused_mut)]
+                let mut case = move || -> () { $body };
+                case();
+            }
+        }
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_any(x in 3usize..10, y in any::<u16>(), b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            let _ = (y, b);
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..4) {
+            prop_assume!(x != 2);
+            prop_assert_ne!(x, 2);
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec((0u8..5, any::<bool>()), 0..20)) {
+            prop_assert!(v.len() < 20);
+            for (n, _) in v {
+                prop_assert!(n < 5);
+            }
+        }
+
+        #[test]
+        fn oneof_covers(m in prop_oneof![(0u32..1).prop_map(|_| 0u8), (0u32..1).prop_map(|_| 1u8)]) {
+            prop_assert!(m <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = prop::collection::vec(any::<u64>(), 3..4);
+        let mut r1 = crate::TestRng::deterministic();
+        let mut r2 = crate::TestRng::deterministic();
+        assert_eq!(
+            crate::Strategy::gen_value(&s, &mut r1),
+            crate::Strategy::gen_value(&s, &mut r2)
+        );
+    }
+}

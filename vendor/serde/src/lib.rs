@@ -1,0 +1,19 @@
+//! Offline marker-trait subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so
+//! downstream users can persist them, but nothing *in* the workspace
+//! serializes through serde (the wire codec is hand-rolled, CSV output is
+//! hand-rolled). With no crates.io access, this vendored stand-in keeps
+//! the derives compiling as inert markers. Swapping in the real serde is
+//! a one-line manifest change; the derive attribute surface
+//! (`#[serde(...)]`) is accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,59 @@
+//! Offline `Serialize` / `Deserialize` derives for the vendored serde
+//! marker traits.
+//!
+//! Each derive emits an empty marker impl for the annotated type. Only
+//! non-generic types are supported — which covers every derived type in
+//! this workspace; deriving on a generic type is a compile error rather
+//! than a silently wrong impl. Field/variant `#[serde(...)]` attributes
+//! are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the annotated struct/enum, or an error if it is generic.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.next() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "vendored serde_derive does not support generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+        }
+    }
+    Err("no struct or enum found in derive input".to_string())
+}
+
+fn marker_impl(input: TokenStream, template: &str) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template
+            .replace("$name", &name)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("generated error parses"),
+    }
+}
+
+/// Derive the vendored `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl ::serde::Serialize for $name {}")
+}
+
+/// Derive the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl<'de> ::serde::Deserialize<'de> for $name {}")
+}
