@@ -5,7 +5,7 @@ use apor_bench::{bench_topology, full_table};
 use apor_linkstate::{LinkEntry, LinkStateMsg, Message};
 use apor_quorum::{Grid, NodeId};
 use apor_routing::multihop::multihop_routes;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 /// Grid construction + full rendezvous-set derivation, as performed on
@@ -122,6 +122,68 @@ fn bench_floyd_warshall(c: &mut Criterion) {
     g.finish();
 }
 
+/// The anti-entropy hot path: one sync frame encode + decode + merge
+/// into a divergent ledger — what every node pays once per sync period.
+fn bench_anti_entropy(c: &mut Criterion) {
+    use apor_membership::{SwimMsg, SwimStatus, SwimUpdate, ViewLedger};
+
+    let entries = |n: usize, offset: u32| -> Vec<SwimUpdate> {
+        (0..n)
+            .map(|i| SwimUpdate {
+                id: NodeId(i as u16),
+                incarnation: (i as u32 + offset) % 4,
+                status: if i % 7 == 0 {
+                    SwimStatus::Faulty
+                } else {
+                    SwimStatus::Alive
+                },
+            })
+            .collect()
+    };
+    let mut g = c.benchmark_group("anti_entropy");
+    for n in [32usize, 140, 255] {
+        let frame = SwimMsg::SyncReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 1,
+            chunk: 0,
+            chunks: 1,
+            updates: entries(n, 0),
+        };
+        g.throughput(Throughput::Bytes(frame.wire_size() as u64));
+        g.bench_with_input(BenchmarkId::new("frame_encode", n), &frame, |b, frame| {
+            b.iter(|| black_box(frame.encode()));
+        });
+        let bytes = frame.encode();
+        g.bench_with_input(BenchmarkId::new("frame_decode", n), &bytes, |b, bytes| {
+            b.iter(|| SwimMsg::decode(black_box(bytes)).unwrap());
+        });
+        // The responder-side merge: apply a full divergent chunk to a
+        // pre-built ledger (construction stays in the setup closure so
+        // only the merge is timed).
+        let incoming = entries(n, 1);
+        g.bench_with_input(BenchmarkId::new("ledger_merge", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut ledger = ViewLedger::new();
+                    for u in entries(n, 0) {
+                        ledger.apply(u.id, u.incarnation, u.status == SwimStatus::Faulty);
+                    }
+                    ledger
+                },
+                |mut ledger| {
+                    for u in &incoming {
+                        ledger.apply(u.id, u.incarnation, u.status == SwimStatus::Faulty);
+                    }
+                    black_box(ledger.version())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     kernels,
     bench_grid,
@@ -129,6 +191,7 @@ criterion_group!(
     bench_round_two,
     bench_wire,
     bench_multihop,
-    bench_floyd_warshall
+    bench_floyd_warshall,
+    bench_anti_entropy
 );
 criterion_main!(kernels);

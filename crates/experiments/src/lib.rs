@@ -15,6 +15,7 @@
 //! | [`ablations`] | design-choice ablations: routing interval, rec format, staleness window |
 //! | [`theory_exp`] | section 6.1's closed-form capacity table |
 //! | [`churn`] | beyond the paper: crash-detection & view convergence, SWIM vs centralized |
+//! | [`partition`] | beyond the paper: partition healing with/without push-pull anti-entropy |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +27,7 @@ pub mod fig1;
 pub mod fig9;
 pub mod lower_bound;
 pub mod multihop_exp;
+pub mod partition;
 pub mod theory_exp;
 
 /// Where experiment outputs land, relative to the workspace root.

@@ -18,6 +18,7 @@
 //!   lower-bound appendix A diamond-counting table
 //!   ablations   design-choice ablations (interval, rec format, staleness)
 //!   churn       membership churn: SWIM gossip vs centralized coordinator
+//!   partition   partition healing: push-pull anti-entropy on vs off
 //!   all         everything above
 //!
 //! `--quick` shrinks the deployment/sweep sizes for a fast smoke run.
@@ -27,7 +28,7 @@
 use apor_analysis::{write_csv, Cdf, Table};
 use apor_experiments::deployment::{self, DeploymentData, DeploymentParams};
 use apor_experiments::{
-    ablations, churn, fig1, fig9, lower_bound, multihop_exp, results_path, theory_exp,
+    ablations, churn, fig1, fig9, lower_bound, multihop_exp, partition, results_path, theory_exp,
 };
 
 fn main() {
@@ -105,6 +106,17 @@ fn main() {
             churn::ChurnParams::default()
         };
         churn::run_and_report(&params).expect("churn report");
+    }
+    if run("partition") {
+        let params = if quick {
+            partition::PartitionParams {
+                horizon_s: 120.0,
+                ..Default::default()
+            }
+        } else {
+            partition::PartitionParams::default()
+        };
+        partition::run_and_report(&params).expect("partition report");
     }
     if run("multihop") {
         let params = if quick {

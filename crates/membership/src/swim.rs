@@ -32,13 +32,64 @@
 //! [`crate::view`] for why concurrent publishers agree).
 
 use crate::view::ViewLedger;
-use crate::wire::{SwimMsg, SwimStatus, SwimUpdate};
+use crate::wire::{
+    SwimMsg, SwimStatus, SwimUpdate, SWIM_MAX_FRAME_ENTRIES, SWIM_MTU_FRAME_ENTRIES,
+};
 use apor_quorum::NodeId;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
+
+/// Anti-entropy (push-pull full-ledger sync) knobs.
+///
+/// Piggybacked gossip disseminates *fresh* events; a node that missed
+/// an event while partitioned (or that holds verdicts the other side of
+/// a healed partition never saw) has no retransmission left to learn
+/// from. Anti-entropy closes that gap: each `sync_period_s` a node
+/// picks one partner uniformly from **every member it has ever heard
+/// of — dead or alive** — and pushes its full ledger
+/// ([`SwimMsg::SyncReq`]); the partner merges and pulls back the delta
+/// it knows better ([`SwimMsg::SyncRsp`]). Including confirmed-dead
+/// partners is what heals partitions: each side of a split considers
+/// the other dead, so a live-only choice would never cross the healed
+/// boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AntiEntropyConfig {
+    /// Run the periodic push-pull sync at all.
+    pub enabled: bool,
+    /// Seconds between sync rounds initiated by this node. Random pair
+    /// selection mixes any divergence through the cluster in `O(log n)`
+    /// rounds.
+    pub sync_period_s: f64,
+    /// Ledger records per sync frame; ledgers larger than this are
+    /// chunked across frames. Defaults to the MTU-safe
+    /// [`SWIM_MTU_FRAME_ENTRIES`]; hard wire cap
+    /// [`SWIM_MAX_FRAME_ENTRIES`].
+    pub max_entries_per_frame: usize,
+}
+
+impl Default for AntiEntropyConfig {
+    fn default() -> Self {
+        AntiEntropyConfig {
+            enabled: true,
+            sync_period_s: 4.0,
+            max_entries_per_frame: SWIM_MTU_FRAME_ENTRIES,
+        }
+    }
+}
+
+impl AntiEntropyConfig {
+    /// An explicitly disabled configuration (ablation baselines).
+    #[must_use]
+    pub fn disabled() -> Self {
+        AntiEntropyConfig {
+            enabled: false,
+            ..AntiEntropyConfig::default()
+        }
+    }
+}
 
 /// SWIM protocol knobs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,9 +101,22 @@ pub struct SwimConfig {
     pub ping_timeout_s: f64,
     /// Number of helpers asked to probe indirectly after a direct miss.
     pub ping_req_fanout: usize,
-    /// Suspicion lifetime before a silent member is confirmed faulty,
-    /// in protocol periods.
+    /// Minimum suspicion lifetime before a silent member is confirmed
+    /// faulty, in protocol periods. The *effective* lifetime scales
+    /// with cluster size and local health — see
+    /// [`SwimConfig::suspicion_periods_for`].
     pub suspicion_periods: f64,
+    /// Protocol periods of suspicion per `log₂ n` of cluster size: the
+    /// effective base lifetime is
+    /// `max(suspicion_periods, suspicion_log_scale · log₂ n)`, the
+    /// SWIM/Lifeguard scaling that keeps the false-positive rate flat
+    /// as gossip needs more hops to refute. `0` pins the constant.
+    pub suspicion_log_scale: f64,
+    /// Cap on the Lifeguard local-health counter. A node that misses
+    /// acks or has to refute its own suspicion is probably the lossy
+    /// one; its counter rises and *its own* suspicion verdicts slow by
+    /// `1 + health` until evidence of good connectivity drains it.
+    pub max_local_health: u32,
     /// Maximum membership events piggybacked per message.
     pub max_piggyback: usize,
     /// Times each event is retransmitted before leaving the gossip
@@ -61,6 +125,8 @@ pub struct SwimConfig {
     /// Cadence at which ledger changes are batched into installed
     /// views, seconds.
     pub publish_period_s: f64,
+    /// Periodic push-pull full-ledger reconciliation.
+    pub anti_entropy: AntiEntropyConfig,
     /// Seed for this node's probe-order and helper-choice randomness.
     pub seed: u64,
 }
@@ -72,9 +138,12 @@ impl Default for SwimConfig {
             ping_timeout_s: 0.5,
             ping_req_fanout: 3,
             suspicion_periods: 3.0,
+            suspicion_log_scale: 1.0,
+            max_local_health: 8,
             max_piggyback: 10,
             gossip_transmissions: 10,
             publish_period_s: 2.0,
+            anti_entropy: AntiEntropyConfig::default(),
             seed: 0x5111_0000,
         }
     }
@@ -88,20 +157,46 @@ impl SwimConfig {
         self
     }
 
-    /// The suspicion timeout in seconds.
+    /// Same configuration, different anti-entropy knobs.
+    #[must_use]
+    pub fn with_anti_entropy(mut self, anti_entropy: AntiEntropyConfig) -> Self {
+        self.anti_entropy = anti_entropy;
+        self
+    }
+
+    /// The minimum suspicion timeout in seconds (cluster of 1, healthy
+    /// node).
     #[must_use]
     pub fn suspicion_timeout_s(&self) -> f64 {
         self.suspicion_periods * self.period_s
     }
 
+    /// The effective base suspicion lifetime, in protocol periods, for
+    /// a cluster of `n` live members:
+    /// `max(suspicion_periods, suspicion_log_scale · log₂ n)`.
+    #[must_use]
+    pub fn suspicion_periods_for(&self, n: usize) -> f64 {
+        let log_n = (n.max(1) as f64).log2();
+        self.suspicion_periods.max(self.suspicion_log_scale * log_n)
+    }
+
+    /// [`SwimConfig::suspicion_periods_for`] in seconds.
+    #[must_use]
+    pub fn suspicion_timeout_s_for(&self, n: usize) -> f64 {
+        self.suspicion_periods_for(n) * self.period_s
+    }
+
     /// Worst-case seconds from a member's crash to every live ledger
     /// confirming it, assuming gossip reaches the cluster within one
     /// period per hop: one period until somebody's rotation probes it,
-    /// one period of ping/ping-req silence, then the suspicion timeout.
+    /// one period of ping/ping-req silence, then the (size-scaled)
+    /// suspicion timeout. Assumes healthy observers (local-health
+    /// multiplier 1); a lossy observer's verdict is deliberately
+    /// slower.
     #[must_use]
     pub fn detection_budget_s(&self, n: usize) -> f64 {
         let rotation = (n as f64).max(1.0) * self.period_s;
-        rotation + self.period_s + self.suspicion_timeout_s() + self.publish_period_s
+        rotation + self.period_s + self.suspicion_timeout_s_for(n) + self.publish_period_s
     }
 
     /// Sanity-check the timing invariants.
@@ -116,12 +211,29 @@ impl SwimConfig {
             "ping timeout must leave room for the indirect round"
         );
         assert!(self.suspicion_periods >= 1.0, "suspicion below one period");
+        assert!(
+            self.suspicion_log_scale >= 0.0,
+            "negative suspicion scaling"
+        );
         assert!(self.max_piggyback >= 1, "piggybacking disabled");
         assert!(self.gossip_transmissions >= 1, "gossip disabled");
         assert!(
             self.publish_period_s > 0.0,
             "publish period must be positive"
         );
+        // The frame bound holds even with anti-entropy disabled: this
+        // node still *answers* other nodes' syncs and chunks its
+        // responses with it.
+        assert!(
+            (1..=SWIM_MAX_FRAME_ENTRIES).contains(&self.anti_entropy.max_entries_per_frame),
+            "sync frame size out of range"
+        );
+        if self.anti_entropy.enabled {
+            assert!(
+                self.anti_entropy.sync_period_s > 0.0,
+                "sync period must be positive"
+            );
+        }
     }
 }
 
@@ -159,6 +271,16 @@ struct Gossip {
     remaining: u32,
 }
 
+/// A partially reassembled multi-chunk sync push (one per sender at
+/// most; a newer `seq` from the same sender replaces it, so a lost
+/// chunk costs one round, not a leak).
+#[derive(Debug, Clone)]
+struct PendingSync {
+    seq: u32,
+    total: u8,
+    chunks: BTreeMap<u8, Vec<SwimUpdate>>,
+}
+
 /// The per-node SWIM state machine.
 #[derive(Debug, Clone)]
 pub struct Swim {
@@ -177,6 +299,10 @@ pub struct Swim {
     gossip: VecDeque<Gossip>,
     next_publish_at: f64,
     published_version: u32,
+    local_health: u32,
+    next_sync_at: Option<f64>,
+    pending_syncs: BTreeMap<NodeId, PendingSync>,
+    answered_syncs: BTreeMap<NodeId, u32>,
     departed: bool,
 }
 
@@ -229,6 +355,10 @@ impl Swim {
             gossip: VecDeque::new(),
             next_publish_at: 0.0,
             published_version: 0,
+            local_health: 0,
+            next_sync_at: None,
+            pending_syncs: BTreeMap::new(),
+            answered_syncs: BTreeMap::new(),
             departed: false,
         }
     }
@@ -255,6 +385,24 @@ impl Swim {
     #[must_use]
     pub fn is_suspected(&self, id: NodeId) -> bool {
         self.suspicions.contains_key(&id)
+    }
+
+    /// The Lifeguard local-health counter: 0 = healthy; each missed
+    /// ack or self-refutation raises it (capped), each clean probe
+    /// round lowers it. This node's suspicion verdicts take
+    /// `1 + local_health` times the base timeout.
+    #[must_use]
+    pub fn local_health(&self) -> u32 {
+        self.local_health
+    }
+
+    /// The suspicion timeout this node currently applies to new
+    /// suspicions: cluster-size-scaled base times the local-health
+    /// multiplier.
+    #[must_use]
+    pub fn effective_suspicion_timeout_s(&self) -> f64 {
+        let n = self.ledger.live_count();
+        self.cfg.suspicion_timeout_s_for(n) * f64::from(1 + self.local_health)
     }
 
     /// The current `(version, sorted members)` snapshot, regardless of
@@ -284,6 +432,7 @@ impl Swim {
             self.finish_probe_round(now);
             self.start_probe_round(now, out);
         }
+        self.run_anti_entropy(now, out);
     }
 
     /// Handle one decoded SWIM datagram.
@@ -375,7 +524,96 @@ impl Swim {
                     }
                 }
             }
+            SwimMsg::SyncReq {
+                from,
+                seq,
+                chunk,
+                chunks,
+                updates,
+                ..
+            } => {
+                // The push half was already merged chunk-by-chunk by
+                // `apply_updates` above; the pull half — everything we
+                // know better than the push claimed — answers once per
+                // `seq`, over the reassembled claim set, so a chunked
+                // sync still costs O(n) per round. The answered-`seq`
+                // memory also keeps a duplicated (or replayed) request
+                // from re-eliciting the delta — the merge above is an
+                // idempotent no-op, the response would be an amplifier.
+                if self.answered_syncs.get(from) == Some(seq) {
+                    return;
+                }
+                let claims = if *chunks == 1 {
+                    Some(updates.clone())
+                } else {
+                    self.absorb_sync_chunk(*from, *seq, *chunk, *chunks, updates)
+                };
+                if let Some(claims) = claims {
+                    self.answered_syncs.insert(*from, *seq);
+                    // An explicitly empty response is still sent so the
+                    // initiator learns the pair is converged (and the
+                    // partner reachable).
+                    let delta = self.sync_delta(&claims);
+                    let mut frames: Vec<Vec<SwimUpdate>> = delta
+                        .chunks(self.cfg.anti_entropy.max_entries_per_frame)
+                        .map(<[SwimUpdate]>::to_vec)
+                        .collect();
+                    if frames.is_empty() {
+                        frames.push(Vec::new());
+                    }
+                    for frame in frames {
+                        out.push((
+                            *from,
+                            SwimMsg::SyncRsp {
+                                from: self.me,
+                                to: *from,
+                                seq: *seq,
+                                updates: frame,
+                            },
+                        ));
+                    }
+                }
+            }
+            // The pull half: nothing beyond the generic merge above.
+            SwimMsg::SyncRsp { .. } => {}
         }
+    }
+
+    /// Stash one chunk of a multi-chunk sync; `Some(all claims)` once
+    /// the set is complete. At most one pending sync per sender: a
+    /// different `seq` (or shape) from the same sender replaces the old
+    /// one, so a lost chunk wastes one round and leaks nothing.
+    fn absorb_sync_chunk(
+        &mut self,
+        from: NodeId,
+        seq: u32,
+        chunk: u8,
+        total: u8,
+        updates: &[SwimUpdate],
+    ) -> Option<Vec<SwimUpdate>> {
+        let pending = self
+            .pending_syncs
+            .entry(from)
+            .and_modify(|p| {
+                if p.seq != seq || p.total != total {
+                    *p = PendingSync {
+                        seq,
+                        total,
+                        chunks: BTreeMap::new(),
+                    };
+                }
+            })
+            .or_insert_with(|| PendingSync {
+                seq,
+                total,
+                chunks: BTreeMap::new(),
+            });
+        pending.chunks.insert(chunk, updates.to_vec());
+        if pending.chunks.len() < usize::from(total) {
+            return None;
+        }
+        let complete = self.pending_syncs.remove(&from).expect("just inserted");
+        Some(complete.chunks.into_values().flatten().collect())
     }
 
     /// Batched view publication: `Some((version, members))` when the
@@ -464,16 +702,30 @@ impl Swim {
     }
 
     /// Judge the previous period's probe: a silent target becomes
-    /// suspected.
+    /// suspected. The outcome also feeds the Lifeguard local-health
+    /// counter — a missed ack is as likely our own lossy link as the
+    /// target's crash, so it slows *our* future verdicts; a clean round
+    /// drains the counter. The suspicion just started is judged with
+    /// the health accumulated *before* this round, so one isolated miss
+    /// doesn't inflate its own verdict.
     fn finish_probe_round(&mut self, now: f64) {
         let Some(o) = self.outstanding.take() else {
             return;
         };
-        if o.acked || !self.ledger.is_live(o.target) {
+        if o.acked {
+            self.local_health = self.local_health.saturating_sub(1);
+            return;
+        }
+        if !self.ledger.is_live(o.target) {
             return;
         }
         let incarnation = self.ledger.incarnation(o.target);
         self.start_suspicion(now, o.target, incarnation);
+        self.bump_local_health();
+    }
+
+    fn bump_local_health(&mut self) {
+        self.local_health = (self.local_health + 1).min(self.cfg.max_local_health);
     }
 
     fn fire_indirect_probes(&mut self, now: f64, out: &mut Vec<(NodeId, SwimMsg)>) {
@@ -538,7 +790,7 @@ impl Swim {
     // ------------------------------------------------------------------
 
     fn start_suspicion(&mut self, now: f64, id: NodeId, incarnation: u32) {
-        let deadline = now + self.cfg.suspicion_timeout_s();
+        let deadline = now + self.effective_suspicion_timeout_s();
         match self.suspicions.get_mut(&id) {
             Some(existing) if existing.incarnation >= incarnation => {}
             Some(existing) => {
@@ -643,6 +895,123 @@ impl Swim {
             incarnation: self.incarnation,
             status: SwimStatus::Alive,
         });
+        // Lifeguard: needing to defend ourselves is evidence our acks
+        // are getting lost — slow our own verdicts.
+        self.bump_local_health();
+    }
+
+    // ------------------------------------------------------------------
+    // Anti-entropy (push-pull full-ledger sync)
+    // ------------------------------------------------------------------
+
+    /// Initiate one push-pull sync round when the cadence has elapsed.
+    /// The first round is staggered uniformly inside one sync period so
+    /// a fleet bootstrapped at the same instant doesn't synchronize its
+    /// sync traffic.
+    fn run_anti_entropy(&mut self, now: f64, out: &mut Vec<(NodeId, SwimMsg)>) {
+        if !self.cfg.anti_entropy.enabled || self.departed {
+            return;
+        }
+        let period = self.cfg.anti_entropy.sync_period_s;
+        match self.next_sync_at {
+            None => {
+                self.next_sync_at = Some(now + self.rng.gen_range(0.0..period));
+            }
+            Some(t) if now >= t => {
+                self.next_sync_at = Some(now + period);
+                self.start_sync(out);
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Push the full ledger to one partner chosen uniformly from every
+    /// member ever heard of (dead or alive — see [`AntiEntropyConfig`]
+    /// for why dead partners must stay in the pool).
+    fn start_sync(&mut self, out: &mut Vec<(NodeId, SwimMsg)>) {
+        let candidates: Vec<NodeId> = self
+            .ledger
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|&id| id != self.me)
+            .collect();
+        let Some(&target) = candidates.choose(&mut self.rng) else {
+            return;
+        };
+        self.seq = self.seq.wrapping_add(1);
+        let seq = self.seq;
+        let mut entries = self.ledger_entries();
+        // Widen frames past the MTU-friendly default if the chunk index
+        // byte would otherwise overflow; a ledger beyond the wire's
+        // 255 × 255 ceiling (impossible to reach before exhausting the
+        // u16 id space minus 511) is truncated for this round.
+        let mut per_frame = self
+            .cfg
+            .anti_entropy
+            .max_entries_per_frame
+            .max(entries.len().div_ceil(u8::MAX.into()));
+        if per_frame > SWIM_MAX_FRAME_ENTRIES {
+            per_frame = SWIM_MAX_FRAME_ENTRIES;
+            entries.truncate(SWIM_MAX_FRAME_ENTRIES * usize::from(u8::MAX));
+        }
+        let total = entries.chunks(per_frame).count().max(1) as u8;
+        for (i, chunk) in entries.chunks(per_frame).enumerate() {
+            out.push((
+                target,
+                SwimMsg::SyncReq {
+                    from: self.me,
+                    to: target,
+                    seq,
+                    chunk: i as u8,
+                    chunks: total,
+                    updates: chunk.to_vec(),
+                },
+            ));
+        }
+    }
+
+    /// One ledger record as a wire record: `(incarnation, dead)`
+    /// encodes as `Alive` / `Faulty`, the exact event
+    /// [`ViewLedger::apply`] replays on the receiving side. Suspicion
+    /// is transient and never synced.
+    fn record_to_update(id: NodeId, state: crate::view::MemberState) -> SwimUpdate {
+        SwimUpdate {
+            id,
+            incarnation: state.incarnation,
+            status: if state.dead {
+                SwimStatus::Faulty
+            } else {
+                SwimStatus::Alive
+            },
+        }
+    }
+
+    /// The full ledger as wire records.
+    fn ledger_entries(&self) -> Vec<SwimUpdate> {
+        self.ledger
+            .iter()
+            .map(|(id, state)| Self::record_to_update(id, state))
+            .collect()
+    }
+
+    /// The pull half of a sync: every record where our (post-merge)
+    /// ledger strictly supersedes what the push claimed, plus every
+    /// member the push did not mention. Computed once per sync round
+    /// over the full (reassembled) claim set.
+    fn sync_delta(&self, claimed: &[SwimUpdate]) -> Vec<SwimUpdate> {
+        let claims: BTreeMap<NodeId, (u32, bool)> = claimed
+            .iter()
+            .map(|u| (u.id, (u.incarnation, u.status.is_dead())))
+            .collect();
+        self.ledger
+            .iter()
+            .filter(|&(id, state)| match claims.get(&id) {
+                None => true,
+                Some(&(incarnation, dead)) => crate::view::MemberState { incarnation, dead }
+                    .superseded_by(state.incarnation, state.dead),
+            })
+            .map(|(id, state)| Self::record_to_update(id, state))
+            .collect()
     }
 
     /// Queue an event for dissemination, superseding any queued event
@@ -682,8 +1051,23 @@ mod tests {
         v.iter().map(|&i| NodeId(i)).collect()
     }
 
+    /// Probe-centric tests count exact per-tick messages, so the
+    /// periodic sync traffic is disabled here; the anti-entropy tests
+    /// below enable it explicitly.
     fn cfg(seed: u64) -> SwimConfig {
-        SwimConfig::default().with_seed(seed)
+        SwimConfig::default()
+            .with_seed(seed)
+            .with_anti_entropy(AntiEntropyConfig::disabled())
+    }
+
+    fn sync_cfg(seed: u64, sync_period_s: f64) -> SwimConfig {
+        SwimConfig::default()
+            .with_seed(seed)
+            .with_anti_entropy(AntiEntropyConfig {
+                enabled: true,
+                sync_period_s,
+                ..AntiEntropyConfig::default()
+            })
     }
 
     #[test]
@@ -1041,6 +1425,348 @@ mod tests {
         let (vb, mb) = b.current_view();
         assert_ne!(ma, mb);
         assert_ne!(va, vb, "diverged ledgers must not share a version");
+    }
+
+    #[test]
+    fn suspicion_periods_scale_with_log_n() {
+        let c = SwimConfig::default();
+        // Small clusters keep the floor…
+        assert_eq!(c.suspicion_periods_for(2), c.suspicion_periods);
+        assert_eq!(c.suspicion_periods_for(8), c.suspicion_periods);
+        // …large clusters scale ~log₂ n.
+        assert_eq!(c.suspicion_periods_for(32), 5.0);
+        assert_eq!(c.suspicion_periods_for(1024), 10.0);
+        assert!(c.detection_budget_s(1024) > c.detection_budget_s(32));
+        // Scaling can be pinned off.
+        let pinned = SwimConfig {
+            suspicion_log_scale: 0.0,
+            ..SwimConfig::default()
+        };
+        assert_eq!(
+            pinned.suspicion_periods_for(1 << 20),
+            pinned.suspicion_periods
+        );
+    }
+
+    #[test]
+    fn local_health_slows_own_verdicts_and_drains() {
+        let members = ids(&[0, 1]);
+        let c = cfg(1);
+        let base_timeout = c.suspicion_timeout_s();
+        let mut a = Swim::bootstrap(NodeId(0), c, &members);
+        assert_eq!(a.local_health(), 0);
+        assert_eq!(a.effective_suspicion_timeout_s(), base_timeout);
+        let ack = |a: &mut Swim, out: &mut Vec<(NodeId, SwimMsg)>, t: f64| {
+            let (_, ping) = out.pop().expect("ping");
+            let SwimMsg::Ping { seq, .. } = ping else {
+                panic!("expected ping")
+            };
+            a.on_message(
+                t,
+                &SwimMsg::Ack {
+                    from: NodeId(1),
+                    to: NodeId(0),
+                    seq,
+                    updates: vec![],
+                },
+                &mut Vec::new(),
+            );
+        };
+        // Period 1 answered: health stays 0. Period 2 silent: the
+        // suspicion is judged at multiplier 1 (health *before* the
+        // miss), then health rises and future verdicts would be slower.
+        let mut out = Vec::new();
+        a.on_tick(0.0, &mut out);
+        ack(&mut a, &mut out, 0.1);
+        a.on_tick(2.0, &mut out); // period 2's probe: left silent
+        assert_eq!(a.local_health(), 0);
+        out.clear();
+        a.on_tick(4.0, &mut out); // judgment: suspect + health 1
+        assert!(a.is_suspected(NodeId(1)));
+        assert_eq!(a.local_health(), 1);
+        assert_eq!(a.effective_suspicion_timeout_s(), 2.0 * base_timeout);
+        // An answered round drains the counter back to 0.
+        ack(&mut a, &mut out, 4.1);
+        a.on_tick(6.0, &mut Vec::new());
+        assert_eq!(a.local_health(), 0);
+    }
+
+    #[test]
+    fn local_health_caps_at_config() {
+        let members = ids(&[0, 1]);
+        // Suspicion long enough that the silent peer is never confirmed
+        // dead, so every period keeps missing (and bumping health).
+        let c = SwimConfig {
+            suspicion_periods: 1_000.0,
+            ..cfg(1)
+        };
+        let mut a = Swim::bootstrap(NodeId(0), c, &members);
+        let cap = a.cfg.max_local_health;
+        let mut t = 0.0;
+        for _ in 0..(cap + 5) {
+            t += 2.0;
+            a.on_tick(t, &mut Vec::new());
+        }
+        assert_eq!(a.local_health(), cap);
+    }
+
+    #[test]
+    fn refuting_own_suspicion_raises_local_health() {
+        let members = ids(&[0, 1]);
+        let mut a = Swim::bootstrap(NodeId(0), cfg(1), &members);
+        let gossip = SwimMsg::Ping {
+            from: NodeId(1),
+            to: NodeId(0),
+            seq: 3,
+            updates: vec![SwimUpdate {
+                id: NodeId(0),
+                incarnation: 0,
+                status: SwimStatus::Suspect,
+            }],
+        };
+        a.on_message(0.5, &gossip, &mut Vec::new());
+        assert_eq!(a.incarnation(), 1);
+        assert_eq!(a.local_health(), 1);
+    }
+
+    #[test]
+    fn sync_round_trip_reconciles_divergent_ledgers() {
+        let members = ids(&[0, 1, 2, 3]);
+        let mut a = Swim::bootstrap(NodeId(0), sync_cfg(1, 2.0), &members);
+        let mut b = Swim::bootstrap(NodeId(1), sync_cfg(2, 2.0), &members);
+        // Diverge: a confirmed 2 faulty; b learned a join of 9.
+        a.apply_updates(
+            0.0,
+            &[SwimUpdate {
+                id: NodeId(2),
+                incarnation: 0,
+                status: SwimStatus::Faulty,
+            }],
+        );
+        b.apply_updates(
+            0.0,
+            &[SwimUpdate {
+                id: NodeId(9),
+                incarnation: 0,
+                status: SwimStatus::Alive,
+            }],
+        );
+        assert_ne!(a.ledger(), b.ledger());
+        // One full push-pull exchange a → b.
+        let req = SwimMsg::SyncReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 7,
+            chunk: 0,
+            chunks: 1,
+            updates: a.ledger_entries(),
+        };
+        let mut rsp = Vec::new();
+        b.on_message(1.0, &req, &mut rsp);
+        assert!(!rsp.is_empty(), "pull half must answer");
+        for (to, msg) in &rsp {
+            assert_eq!(*to, NodeId(0));
+            assert!(matches!(msg, SwimMsg::SyncRsp { seq: 7, .. }));
+            a.on_message(1.1, msg, &mut Vec::new());
+        }
+        assert_eq!(a.ledger(), b.ledger(), "push-pull must converge the pair");
+        assert_eq!(a.current_view(), b.current_view());
+    }
+
+    #[test]
+    fn converged_sync_answers_with_empty_delta() {
+        let members = ids(&[0, 1, 2]);
+        let mut b = Swim::bootstrap(NodeId(1), sync_cfg(2, 2.0), &members);
+        let a = Swim::bootstrap(NodeId(0), sync_cfg(1, 2.0), &members);
+        let req = SwimMsg::SyncReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 9,
+            chunk: 0,
+            chunks: 1,
+            updates: a.ledger_entries(),
+        };
+        let mut rsp = Vec::new();
+        b.on_message(1.0, &req, &mut rsp);
+        assert_eq!(rsp.len(), 1);
+        assert!(rsp[0].1.updates().is_empty(), "no delta when converged");
+    }
+
+    #[test]
+    fn chunked_sync_answers_once_with_one_delta() {
+        let members = ids(&[0, 1, 2, 3]);
+        let mut b = Swim::bootstrap(NodeId(1), sync_cfg(2, 2.0), &members);
+        let a = Swim::bootstrap(NodeId(0), sync_cfg(1, 2.0), &members);
+        let entries = a.ledger_entries();
+        assert!(entries.len() >= 2, "need at least two records to chunk");
+        let (first, rest) = entries.split_at(1);
+        let frame = |chunk: u8, updates: &[SwimUpdate]| SwimMsg::SyncReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 5,
+            chunk,
+            chunks: 2,
+            updates: updates.to_vec(),
+        };
+        // First chunk (delivered out of order): no response yet.
+        let mut rsp = Vec::new();
+        b.on_message(1.0, &frame(1, rest), &mut rsp);
+        assert!(rsp.is_empty(), "partial sync must not answer");
+        // Second chunk completes the set: exactly one (empty) delta —
+        // the converged pair costs O(n), not O(n) per chunk.
+        b.on_message(1.1, &frame(0, first), &mut rsp);
+        assert_eq!(rsp.len(), 1);
+        assert!(rsp[0].1.updates().is_empty());
+        // A replayed chunk from the answered round is suppressed.
+        let mut replay = Vec::new();
+        b.on_message(1.2, &frame(0, first), &mut replay);
+        assert!(replay.is_empty());
+    }
+
+    #[test]
+    fn duplicated_single_frame_sync_is_answered_once() {
+        let members = ids(&[0, 1, 2]);
+        let mut b = Swim::bootstrap(NodeId(1), sync_cfg(2, 2.0), &members);
+        let a = Swim::bootstrap(NodeId(0), sync_cfg(1, 2.0), &members);
+        let req = SwimMsg::SyncReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 11,
+            chunk: 0,
+            chunks: 1,
+            updates: a.ledger_entries(),
+        };
+        let mut rsp = Vec::new();
+        b.on_message(1.0, &req, &mut rsp);
+        assert_eq!(rsp.len(), 1);
+        // The network duplicates (or an attacker replays) the request:
+        // no fresh delta — the response would be a traffic amplifier.
+        let mut dup = Vec::new();
+        b.on_message(1.5, &req, &mut dup);
+        assert!(dup.is_empty(), "duplicate seq must not be re-answered");
+        // The next round (new seq) is served normally.
+        let next = SwimMsg::SyncReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 12,
+            chunk: 0,
+            chunks: 1,
+            updates: a.ledger_entries(),
+        };
+        let mut rsp2 = Vec::new();
+        b.on_message(3.0, &next, &mut rsp2);
+        assert_eq!(rsp2.len(), 1);
+    }
+
+    #[test]
+    fn interrupted_chunked_sync_is_replaced_by_the_next_round() {
+        let members = ids(&[0, 1, 2, 3]);
+        let mut b = Swim::bootstrap(NodeId(1), sync_cfg(2, 2.0), &members);
+        let a = Swim::bootstrap(NodeId(0), sync_cfg(1, 2.0), &members);
+        let entries = a.ledger_entries();
+        let (first, rest) = entries.split_at(1);
+        let frame = |seq: u32, chunk: u8, updates: &[SwimUpdate]| SwimMsg::SyncReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq,
+            chunk,
+            chunks: 2,
+            updates: updates.to_vec(),
+        };
+        let mut rsp = Vec::new();
+        // Round 5 loses its second chunk…
+        b.on_message(1.0, &frame(5, 0, first), &mut rsp);
+        assert!(rsp.is_empty());
+        // …round 6 replaces it and completes normally.
+        b.on_message(3.0, &frame(6, 0, first), &mut rsp);
+        assert!(rsp.is_empty(), "chunk 1 of round 6 still missing");
+        b.on_message(3.1, &frame(6, 1, rest), &mut rsp);
+        assert_eq!(rsp.len(), 1, "round 6 must complete");
+    }
+
+    #[test]
+    fn sync_targets_include_confirmed_dead_members() {
+        // The partition-healing property: a node whose ledger marks the
+        // whole other side dead must still sync *towards* it.
+        let members = ids(&[0, 1]);
+        let mut a = Swim::bootstrap(NodeId(0), sync_cfg(3, 1.0), &members);
+        a.apply_updates(
+            0.0,
+            &[SwimUpdate {
+                id: NodeId(1),
+                incarnation: 0,
+                status: SwimStatus::Faulty,
+            }],
+        );
+        assert!(!a.ledger().is_live(NodeId(1)));
+        // Node 1 is the only possible partner; over a few sync periods
+        // a SyncReq towards it must appear even though it is "dead".
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t < 10.0 {
+            a.on_tick(t, &mut out);
+            t += 0.25;
+        }
+        assert!(
+            out.iter()
+                .any(|(to, m)| *to == NodeId(1) && matches!(m, SwimMsg::SyncReq { .. })),
+            "sync must reach across the dead boundary"
+        );
+    }
+
+    #[test]
+    fn sync_tells_a_declared_dead_node_so_it_refutes() {
+        let members = ids(&[0, 1, 2]);
+        let mut alive = Swim::bootstrap(NodeId(0), sync_cfg(1, 2.0), &members);
+        alive.apply_updates(
+            0.0,
+            &[SwimUpdate {
+                id: NodeId(1),
+                incarnation: 0,
+                status: SwimStatus::Faulty,
+            }],
+        );
+        let mut zombie = Swim::bootstrap(NodeId(1), sync_cfg(2, 2.0), &members);
+        // The zombie syncs with us: our delta carries its death verdict.
+        let req = SwimMsg::SyncReq {
+            from: NodeId(1),
+            to: NodeId(0),
+            seq: 4,
+            chunk: 0,
+            chunks: 1,
+            updates: zombie.ledger_entries(),
+        };
+        let mut rsp = Vec::new();
+        alive.on_message(1.0, &req, &mut rsp);
+        let verdict = rsp
+            .iter()
+            .flat_map(|(_, m)| m.updates())
+            .find(|u| u.id == NodeId(1));
+        assert!(
+            verdict.is_some_and(|u| u.status == SwimStatus::Faulty),
+            "delta must carry the death verdict"
+        );
+        for (_, m) in &rsp {
+            zombie.on_message(1.1, m, &mut Vec::new());
+        }
+        assert_eq!(zombie.incarnation(), 1, "zombie must refute");
+        assert!(zombie.ledger().is_live(NodeId(1)));
+    }
+
+    #[test]
+    fn departed_node_stops_syncing() {
+        let members = ids(&[0, 1, 2]);
+        let mut s = Swim::bootstrap(NodeId(0), sync_cfg(1, 0.5), &members);
+        s.leave(&mut Vec::new());
+        let mut out = Vec::new();
+        for i in 0..40 {
+            s.on_tick(f64::from(i) * 0.25, &mut out);
+        }
+        assert!(
+            !out.iter()
+                .any(|(_, m)| matches!(m, SwimMsg::SyncReq { .. })),
+            "departed nodes must not initiate syncs"
+        );
     }
 
     #[test]

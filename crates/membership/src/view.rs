@@ -135,6 +135,12 @@ impl ViewLedger {
         self.records.get(&id).is_some_and(|s| !s.dead)
     }
 
+    /// Number of live members, without materializing the list.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.records.values().filter(|s| !s.dead).count()
+    }
+
     /// The live members, sorted ascending — the quorum grid's order.
     #[must_use]
     pub fn members(&self) -> Vec<NodeId> {

@@ -13,6 +13,19 @@
 //! 2 · (80 + 28) bytes per 2 s ≈ 900 bps per node, independent of
 //! `n` — the property that removes the coordinator's `Θ(n)` broadcast
 //! hot spot.
+//!
+//! The anti-entropy frames carry full-ledger records instead of a
+//! bounded piggyback: a `SyncReq` is `12 + 7·k` bytes for `k` members
+//! (two extra header bytes index the chunk), a `SyncRsp` `10 + 7·k`.
+//! Ledgers are chunked at `AntiEntropyConfig::max_entries_per_frame`
+//! records per frame — default [`SWIM_MTU_FRAME_ENTRIES`] to stay
+//! under a 1500-byte MTU, hard wire cap [`SWIM_MAX_FRAME_ENTRIES`]
+//! (the count field is one byte) — and the responder answers a sync
+//! `seq` once, with one delta over the reassembled claim set, so one
+//! push-pull round per `AntiEntropyConfig::sync_period_s` costs `O(n)`
+//! bytes — amortized well below the probing budget at the paper's
+//! scales, and the price of healing partitions that piggybacked gossip
+//! alone cannot.
 
 use apor_quorum::NodeId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -26,16 +39,28 @@ const T_PING: u8 = SWIM_TAG_BASE;
 const T_ACK: u8 = SWIM_TAG_BASE + 1;
 const T_PING_REQ: u8 = SWIM_TAG_BASE + 2;
 const T_PROXY_ACK: u8 = SWIM_TAG_BASE + 3;
+const T_SYNC_REQ: u8 = SWIM_TAG_BASE + 4;
+const T_SYNC_RSP: u8 = SWIM_TAG_BASE + 5;
 
 /// Bytes of the fixed ping/ack header (tag, from, to, seq, count).
 pub const SWIM_HEADER_SIZE: usize = 10;
 /// Bytes each piggybacked update adds.
 pub const SWIM_UPDATE_SIZE: usize = 7;
+/// Most ledger entries one sync frame can carry (the count field is one
+/// byte); larger ledgers are chunked across frames by the sender.
+pub const SWIM_MAX_FRAME_ENTRIES: usize = u8::MAX as usize;
+/// Sync entries per frame that keep the datagram inside a standard
+/// 1500-byte Ethernet MTU — the `AntiEntropyConfig` default. A
+/// `SyncReq` is `12 + 7·k` bytes plus 28 bytes of IP+UDP framing;
+/// `k = 208` gives 1 484 bytes, so real UDP transports never rely on
+/// IP fragmentation (which middleboxes drop silently — losing exactly
+/// the big post-partition syncs anti-entropy exists for).
+pub const SWIM_MTU_FRAME_ENTRIES: usize = 208;
 
 /// Does a datagram starting with `tag` belong to the SWIM plane?
 #[must_use]
 pub fn is_swim_tag(tag: u8) -> bool {
-    (T_PING..=T_PROXY_ACK).contains(&tag)
+    (T_PING..=T_SYNC_RSP).contains(&tag)
 }
 
 /// Decode errors (mirrors `apor_linkstate::wire::WireError`).
@@ -168,6 +193,40 @@ pub enum SwimMsg {
         /// Piggybacked gossip.
         updates: Vec<SwimUpdate>,
     },
+    /// Anti-entropy push: one chunk of the initiator's full ledger
+    /// (every member ever heard of, dead or alive, at its converged
+    /// `(incarnation, dead)` state encoded as `Alive` / `Faulty`). The
+    /// receiver merges each chunk on arrival and, once all `chunks`
+    /// frames of a `seq` are in, answers with the [`SwimMsg::SyncRsp`]
+    /// delta computed over the whole claim set.
+    SyncReq {
+        /// The sync initiator.
+        from: NodeId,
+        /// The randomly chosen sync partner.
+        to: NodeId,
+        /// Correlates the chunks and the response (per-sender
+        /// sequence).
+        seq: u32,
+        /// This frame's 0-based chunk index.
+        chunk: u8,
+        /// Total chunks in this sync round (≥ 1).
+        chunks: u8,
+        /// Full-ledger records (this chunk).
+        updates: Vec<SwimUpdate>,
+    },
+    /// Anti-entropy pull: the responder's delta — every record where it
+    /// holds strictly newer state than the request claimed, plus
+    /// members the request did not mention.
+    SyncRsp {
+        /// The sync responder.
+        from: NodeId,
+        /// The sync initiator.
+        to: NodeId,
+        /// Echoed sequence.
+        seq: u32,
+        /// Delta records.
+        updates: Vec<SwimUpdate>,
+    },
 }
 
 impl SwimMsg {
@@ -178,7 +237,9 @@ impl SwimMsg {
             SwimMsg::Ping { from, .. }
             | SwimMsg::Ack { from, .. }
             | SwimMsg::PingReq { from, .. }
-            | SwimMsg::ProxyAck { from, .. } => *from,
+            | SwimMsg::ProxyAck { from, .. }
+            | SwimMsg::SyncReq { from, .. }
+            | SwimMsg::SyncRsp { from, .. } => *from,
         }
     }
 
@@ -189,7 +250,9 @@ impl SwimMsg {
             SwimMsg::Ping { to, .. }
             | SwimMsg::Ack { to, .. }
             | SwimMsg::PingReq { to, .. }
-            | SwimMsg::ProxyAck { to, .. } => *to,
+            | SwimMsg::ProxyAck { to, .. }
+            | SwimMsg::SyncReq { to, .. }
+            | SwimMsg::SyncRsp { to, .. } => *to,
         }
     }
 
@@ -200,7 +263,9 @@ impl SwimMsg {
             SwimMsg::Ping { updates, .. }
             | SwimMsg::Ack { updates, .. }
             | SwimMsg::PingReq { updates, .. }
-            | SwimMsg::ProxyAck { updates, .. } => updates,
+            | SwimMsg::ProxyAck { updates, .. }
+            | SwimMsg::SyncReq { updates, .. }
+            | SwimMsg::SyncRsp { updates, .. } => updates,
         }
     }
 
@@ -208,8 +273,8 @@ impl SwimMsg {
     #[must_use]
     pub fn wire_size(&self) -> usize {
         let target = match self {
-            SwimMsg::Ping { .. } | SwimMsg::Ack { .. } => 0,
-            SwimMsg::PingReq { .. } | SwimMsg::ProxyAck { .. } => 2,
+            SwimMsg::Ping { .. } | SwimMsg::Ack { .. } | SwimMsg::SyncRsp { .. } => 0,
+            SwimMsg::PingReq { .. } | SwimMsg::ProxyAck { .. } | SwimMsg::SyncReq { .. } => 2,
         };
         SWIM_HEADER_SIZE + target + SWIM_UPDATE_SIZE * self.updates().len()
     }
@@ -222,7 +287,9 @@ impl SwimMsg {
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(self.wire_size());
-        let (tag, from, to, seq, target, updates) = match self {
+        // The two optional header bytes: a probe target for
+        // ping-req/proxy-ack, `(chunk, chunks)` for sync requests.
+        let (tag, from, to, seq, extra, updates) = match self {
             SwimMsg::Ping {
                 from,
                 to,
@@ -241,22 +308,43 @@ impl SwimMsg {
                 target,
                 seq,
                 updates,
-            } => (T_PING_REQ, from, to, seq, Some(*target), updates),
+            } => (T_PING_REQ, from, to, seq, Some(target.0), updates),
             SwimMsg::ProxyAck {
                 from,
                 to,
                 target,
                 seq,
                 updates,
-            } => (T_PROXY_ACK, from, to, seq, Some(*target), updates),
+            } => (T_PROXY_ACK, from, to, seq, Some(target.0), updates),
+            SwimMsg::SyncReq {
+                from,
+                to,
+                seq,
+                chunk,
+                chunks,
+                updates,
+            } => (
+                T_SYNC_REQ,
+                from,
+                to,
+                seq,
+                Some(u16::from_be_bytes([*chunk, *chunks])),
+                updates,
+            ),
+            SwimMsg::SyncRsp {
+                from,
+                to,
+                seq,
+                updates,
+            } => (T_SYNC_RSP, from, to, seq, None, updates),
         };
         assert!(updates.len() <= usize::from(u8::MAX), "piggyback overflow");
         b.put_u8(tag);
         b.put_u16(from.0);
         b.put_u16(to.0);
         b.put_u32(*seq);
-        if let Some(t) = target {
-            b.put_u16(t.0);
+        if let Some(x) = extra {
+            b.put_u16(x);
         }
         b.put_u8(updates.len() as u8);
         for u in updates {
@@ -284,11 +372,11 @@ impl SwimMsg {
         let from = NodeId(b.get_u16());
         let to = NodeId(b.get_u16());
         let seq = b.get_u32();
-        let target = if tag == T_PING_REQ || tag == T_PROXY_ACK {
+        let extra = if tag == T_PING_REQ || tag == T_PROXY_ACK || tag == T_SYNC_REQ {
             if b.remaining() < 3 {
                 return Err(SwimWireError::Truncated);
             }
-            Some(NodeId(b.get_u16()))
+            Some(b.get_u16())
         } else {
             None
         };
@@ -323,14 +411,34 @@ impl SwimMsg {
             T_PING_REQ => SwimMsg::PingReq {
                 from,
                 to,
-                target: target.expect("parsed above"),
+                target: NodeId(extra.expect("parsed above")),
+                seq,
+                updates,
+            },
+            T_SYNC_REQ => {
+                let [chunk, chunks] = extra.expect("parsed above").to_be_bytes();
+                if chunks == 0 || chunk >= chunks {
+                    return Err(SwimWireError::BadLength);
+                }
+                SwimMsg::SyncReq {
+                    from,
+                    to,
+                    seq,
+                    chunk,
+                    chunks,
+                    updates,
+                }
+            }
+            T_SYNC_RSP => SwimMsg::SyncRsp {
+                from,
+                to,
                 seq,
                 updates,
             },
             _ => SwimMsg::ProxyAck {
                 from,
                 to,
-                target: target.expect("parsed above"),
+                target: NodeId(extra.expect("parsed above")),
                 seq,
                 updates,
             },
@@ -398,10 +506,86 @@ mod tests {
                 seq: 78,
                 updates: vec![],
             },
+            SwimMsg::SyncReq {
+                from: NodeId(3),
+                to: NodeId(9),
+                seq: 80,
+                chunk: 1,
+                chunks: 3,
+                updates: sample_updates(),
+            },
+            SwimMsg::SyncRsp {
+                from: NodeId(9),
+                to: NodeId(3),
+                seq: 80,
+                updates: vec![],
+            },
         ];
         for m in &msgs {
             assert_eq!(&roundtrip(m), m);
         }
+    }
+
+    #[test]
+    fn sync_frames_carry_a_full_chunk() {
+        let entries = |n: usize| -> Vec<SwimUpdate> {
+            (0..n)
+                .map(|i| SwimUpdate {
+                    id: NodeId(i as u16),
+                    incarnation: i as u32,
+                    status: if i % 3 == 0 {
+                        SwimStatus::Faulty
+                    } else {
+                        SwimStatus::Alive
+                    },
+                })
+                .collect()
+        };
+        let m = SwimMsg::SyncReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 1,
+            chunk: 0,
+            chunks: 1,
+            updates: entries(SWIM_MAX_FRAME_ENTRIES),
+        };
+        assert_eq!(
+            m.wire_size(),
+            SWIM_HEADER_SIZE + 2 + SWIM_MAX_FRAME_ENTRIES * SWIM_UPDATE_SIZE
+        );
+        assert_eq!(&roundtrip(&m), &m);
+        // The default chunk size keeps the datagram inside an Ethernet
+        // MTU, IP+UDP framing included.
+        let mtu_frame = SwimMsg::SyncReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 1,
+            chunk: 0,
+            chunks: 1,
+            updates: entries(SWIM_MTU_FRAME_ENTRIES),
+        };
+        assert!(mtu_frame.wire_size() + 28 <= 1500);
+    }
+
+    #[test]
+    fn sync_req_rejects_inconsistent_chunk_header() {
+        let m = SwimMsg::SyncReq {
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 1,
+            chunk: 0,
+            chunks: 1,
+            updates: vec![],
+        };
+        let mut bytes = m.encode().to_vec();
+        // Bytes 9..11 are (chunk, chunks): index beyond the total, and
+        // a zero total, must both be rejected.
+        bytes[9] = 2;
+        bytes[10] = 2;
+        assert_eq!(SwimMsg::decode(&bytes), Err(SwimWireError::BadLength));
+        bytes[9] = 0;
+        bytes[10] = 0;
+        assert_eq!(SwimMsg::decode(&bytes), Err(SwimWireError::BadLength));
     }
 
     #[test]

@@ -126,6 +126,11 @@ pub trait NodeBehavior {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, from: usize, payload: &[u8]);
     /// Called when a timer armed with `token` fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+    /// Called when the node is shut down gracefully (via
+    /// [`Simulator::shutdown_node`]): the last chance to flush farewell
+    /// traffic — e.g. departure gossip — before the process "exits".
+    /// Default: no farewell.
+    fn on_shutdown(&mut self, _ctx: &mut Ctx<'_>) {}
     /// Downcast hook so experiment harnesses can inspect node state after
     /// a run (`sim.node(i).as_any().downcast_ref::<MyNode>()`).
     fn as_any(&self) -> &dyn std::any::Any;
@@ -222,6 +227,33 @@ impl Simulator {
     #[must_use]
     pub fn node(&self, i: usize) -> &dyn NodeBehavior {
         self.nodes[i].as_ref()
+    }
+
+    /// Gracefully shut node `i` down at the current simulation time:
+    /// its [`NodeBehavior::on_shutdown`] runs immediately and any
+    /// farewell packets it emits are transmitted through the normal
+    /// network model (timers it arms are dropped — the node is gone).
+    /// Call between [`Simulator::run_until`] segments. The behavior
+    /// itself decides whether to ignore later deliveries; packets *to*
+    /// the slot are not blocked by the simulator unless the failure
+    /// schedule also marks the node down.
+    pub fn shutdown_node(&mut self, i: usize) {
+        debug_assert!(self.cmd_buf.is_empty());
+        let mut ctx = Ctx {
+            now: self.now,
+            node: i,
+            n: self.latency.len(),
+            rng: &mut self.rng,
+            cmds: &mut self.cmd_buf,
+        };
+        self.nodes[i].on_shutdown(&mut ctx);
+        let cmds = std::mem::take(&mut self.cmd_buf);
+        for cmd in cmds {
+            match cmd {
+                Command::Send { to, class, payload } => self.transmit(i, to, class, payload),
+                Command::Timer { .. } => {} // a departing node has no future
+            }
+        }
     }
 
     /// The failure schedule driving this run.
@@ -639,6 +671,59 @@ mod tests {
             (sim.events_processed(), rtts)
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn shutdown_hook_flushes_farewell_traffic() {
+        struct Farewell {
+            peer: usize,
+        }
+        impl NodeBehavior for Farewell {
+            fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: usize, _payload: &[u8]) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+            fn on_shutdown(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(
+                    self.peer,
+                    TrafficClass::Membership,
+                    Bytes::from_static(b"bye"),
+                );
+                ctx.set_timer(1.0, 9); // must be dropped, not fire
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        struct Recorder {
+            got: Rc<RefCell<Vec<Vec<u8>>>>,
+        }
+        impl NodeBehavior for Recorder {
+            fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: usize, payload: &[u8]) {
+                self.got.borrow_mut().push(payload.to_vec());
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let m = LatencyMatrix::uniform(2, 10.0);
+        let mut sim = Simulator::new(m, FailureParams::none(2, 1e6), no_jitter_config(4));
+        sim.add_node(Box::new(Farewell { peer: 1 }), 0.0);
+        sim.add_node(
+            Box::new(Recorder {
+                got: Rc::clone(&got),
+            }),
+            0.0,
+        );
+        sim.run_until(5.0);
+        sim.shutdown_node(0);
+        let before = sim.events_processed();
+        sim.run_until(20.0);
+        assert_eq!(*got.borrow(), vec![b"bye".to_vec()]);
+        // Only the farewell delivery — the shutdown timer never fired.
+        assert_eq!(sim.events_processed(), before + 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-node overlay configuration.
 
-use apor_membership::SwimConfig;
+use apor_membership::{AntiEntropyConfig, SwimConfig};
 use apor_quorum::NodeId;
 use apor_routing::ProtocolConfig;
 use serde::{Deserialize, Serialize};
@@ -112,6 +112,17 @@ impl NodeConfig {
         self
     }
 
+    /// Same node, custom anti-entropy knobs on the SWIM plane (implies
+    /// [`Self::with_swim`]). `AntiEntropyConfig::disabled()` turns the
+    /// periodic push-pull reconciliation off — the ablation arm of
+    /// `experiments::partition`.
+    #[must_use]
+    pub fn with_anti_entropy(mut self, anti_entropy: AntiEntropyConfig) -> Self {
+        self.membership = MembershipMode::Swim;
+        self.swim.anti_entropy = anti_entropy;
+        self
+    }
+
     /// Is this node the membership coordinator?
     #[must_use]
     pub fn is_coordinator(&self) -> bool {
@@ -155,6 +166,22 @@ mod tests {
         });
         assert_eq!(custom.membership, MembershipMode::Swim);
         assert_eq!(custom.swim.period_s, 1.0);
+    }
+
+    #[test]
+    fn anti_entropy_builder_implies_swim() {
+        let c = NodeConfig::new(NodeId(1), NodeId(0), Algorithm::Quorum)
+            .with_anti_entropy(AntiEntropyConfig::disabled());
+        assert_eq!(c.membership, MembershipMode::Swim);
+        assert!(!c.swim.anti_entropy.enabled);
+        let on = NodeConfig::new(NodeId(1), NodeId(0), Algorithm::Quorum).with_anti_entropy(
+            AntiEntropyConfig {
+                sync_period_s: 2.0,
+                ..AntiEntropyConfig::default()
+            },
+        );
+        assert!(on.swim.anti_entropy.enabled);
+        assert_eq!(on.swim.anti_entropy.sync_period_s, 2.0);
     }
 
     #[test]

@@ -112,6 +112,7 @@ pub struct OverlayNode {
     coordinator: Option<Coordinator>,
     swim: Option<Swim>,
     routing_tick_armed: bool,
+    shut_down: bool,
 }
 
 impl OverlayNode {
@@ -130,6 +131,7 @@ impl OverlayNode {
             coordinator: None,
             swim: None,
             routing_tick_armed: false,
+            shut_down: false,
         }
     }
 
@@ -230,8 +232,52 @@ impl OverlayNode {
         out.timer(SWIM_TICK_S, TOKEN_SWIM);
     }
 
+    /// Graceful shutdown: announce the departure on whichever
+    /// membership plane the node runs, so the rest of the overlay
+    /// reconfigures immediately instead of waiting for failure
+    /// detection. Drivers call this exactly once, flush `out`, and then
+    /// stop delivering events; any events that still arrive are
+    /// ignored. Idempotent.
+    pub fn on_shutdown(&mut self, _now: f64, out: &mut Outbox) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        match self.cfg.membership {
+            MembershipMode::Swim => {
+                if let Some(swim) = self.swim.as_mut() {
+                    let mut msgs = Vec::new();
+                    swim.leave(&mut msgs);
+                    for (to, msg) in msgs {
+                        out.sends.push((to, TrafficClass::Membership, msg.encode()));
+                    }
+                }
+            }
+            MembershipMode::Centralized => {
+                if !self.cfg.is_coordinator() {
+                    out.send(
+                        self.cfg.coordinator,
+                        &Message::Leave {
+                            from: self.cfg.id,
+                            to: self.cfg.coordinator,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Has [`OverlayNode::on_shutdown`] run?
+    #[must_use]
+    pub fn is_shut_down(&self) -> bool {
+        self.shut_down
+    }
+
     /// A timer armed with `token` fired.
     pub fn on_timer(&mut self, now: f64, token: u64, out: &mut Outbox) {
+        if self.shut_down {
+            return;
+        }
         match token {
             TOKEN_PROBE => {
                 out.timer(PROBE_POLL_S, TOKEN_PROBE);
@@ -285,6 +331,9 @@ impl OverlayNode {
 
     /// A packet arrived.
     pub fn on_packet(&mut self, now: f64, payload: &[u8], out: &mut Outbox) {
+        if self.shut_down {
+            return;
+        }
         // The SWIM plane owns its tag space; dispatch on the first byte.
         if payload.first().copied().is_some_and(swim_wire::is_swim_tag) {
             self.on_swim_packet(now, payload, out);

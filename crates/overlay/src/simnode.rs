@@ -72,6 +72,16 @@ impl NodeBehavior for SimNode {
         Self::flush(out, ctx);
     }
 
+    /// Graceful shutdown ([`apor_netsim::Simulator::shutdown_node`]):
+    /// the overlay announces its departure (SWIM `Left` gossip or a
+    /// centralized `Leave`) and the farewell packets are flushed before
+    /// the node goes silent.
+    fn on_shutdown(&mut self, ctx: &mut Ctx<'_>) {
+        let mut out = Outbox::default();
+        self.node.on_shutdown(ctx.now(), &mut out);
+        Self::flush(out, ctx);
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -196,6 +206,38 @@ mod tests {
             (probing - theory).abs() / theory < 0.15,
             "probing {probing:.0} bps vs theory {theory:.0}"
         );
+    }
+
+    /// Graceful shutdown on the SWIM plane: the `Left` gossip flushed
+    /// by [`Simulator::shutdown_node`] reconfigures the survivors far
+    /// faster than failure detection would.
+    #[test]
+    fn graceful_leave_reconfigures_survivors() {
+        use apor_membership::SwimConfig;
+        let n = 8;
+        let m = LatencyMatrix::uniform(n, 40.0);
+        let mut sim = Simulator::new(m, FailureParams::none(n, 1e9), overlay_sim_config());
+        populate(&mut sim, n, 2.0, move |i| {
+            let members: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
+            NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum)
+                .with_static_members(members)
+                .with_swim()
+        });
+        sim.run_until(30.0);
+        sim.shutdown_node(5);
+        assert!(overlay_at(&sim, 5).is_shut_down());
+        // Far below the ~26 s failure-detection budget for n=8, every
+        // survivor has installed a view that excludes the leaver.
+        let budget = SwimConfig::default().publish_period_s + 8.0;
+        assert!(budget < SwimConfig::default().detection_budget_s(n) / 2.0);
+        sim.run_until(30.0 + budget);
+        for i in (0..n).filter(|&i| i != 5) {
+            let view = overlay_at(&sim, i).view().expect("view installed");
+            assert!(
+                !view.contains(NodeId(5)),
+                "node {i} still sees the leaver after a graceful leave"
+            );
+        }
     }
 
     /// Nodes joining through the coordinator converge to one view.

@@ -88,7 +88,11 @@ impl UdpOverlay {
     }
 
     /// Stop the driver task, wait for it to finish, and return any socket
-    /// error it hit.
+    /// error it hit. Before exiting, the driver runs the node's
+    /// graceful-shutdown path ([`OverlayNode::on_shutdown`]) and flushes
+    /// the departure announcement (SWIM `Left` gossip or a centralized
+    /// `Leave`) onto the wire, so peers reconfigure immediately instead
+    /// of waiting out failure detection.
     ///
     /// # Errors
     /// Propagates driver I/O errors.
@@ -152,6 +156,14 @@ async fn drive(
         tokio::select! {
             _ = shutdown.changed() => {
                 if *shutdown.borrow() {
+                    // Graceful exit: flush the departure gossip before
+                    // the socket closes.
+                    let at = Instant::now();
+                    let mut out = Outbox::default();
+                    node.lock().on_shutdown(now_s(at), &mut out);
+                    for (addr, payload) in flush(out, &mut timers, &mut timer_seq, at) {
+                        let _ = socket.send_to(&payload, addr).await;
+                    }
                     return Ok(());
                 }
             }
@@ -264,6 +276,58 @@ mod tests {
             assert!(n.is_member());
             assert!(n.best_hop(NodeId(0), 3.0).is_some());
             assert_eq!(n.double_rendezvous_failures(3.0), 0);
+        }
+        for o in overlays {
+            o.shutdown().await.unwrap();
+        }
+    }
+
+    /// Graceful SWIM shutdown flushes `Left` gossip: survivors drop the
+    /// leaver from their views without waiting for failure detection.
+    #[tokio::test(flavor = "multi_thread")]
+    async fn graceful_leave_reconfigures_survivors() {
+        use apor_membership::SwimConfig;
+        let n = 3u16;
+        let mut sockets = Vec::new();
+        let mut peers = PeerMap::new();
+        for i in 0..n {
+            let s = UdpSocket::bind("127.0.0.1:0").await.expect("bind");
+            peers.insert(NodeId(i), s.local_addr().expect("addr"));
+            sockets.push(s);
+        }
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let swim = SwimConfig {
+            period_s: 0.4,
+            ping_timeout_s: 0.1,
+            publish_period_s: 0.2,
+            ..SwimConfig::default()
+        };
+        let mut overlays = Vec::new();
+        for (i, socket) in sockets.into_iter().enumerate() {
+            let mut cfg = NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum)
+                .with_static_members(members.clone())
+                .with_swim_config(swim.clone());
+            cfg.protocol = fast_protocol();
+            let node = OverlayNode::new(cfg);
+            overlays.push(
+                UdpOverlay::spawn(node, socket, peers.clone())
+                    .await
+                    .unwrap(),
+            );
+        }
+        tokio::time::sleep(Duration::from_secs(1)).await;
+        // Node 2 leaves gracefully.
+        overlays.pop().unwrap().shutdown().await.unwrap();
+        tokio::time::sleep(Duration::from_secs(2)).await;
+        for (i, o) in overlays.iter().enumerate() {
+            let node = o.node();
+            let node = node.lock();
+            let view = node.view().expect("view installed");
+            assert!(
+                !view.contains(NodeId(2)),
+                "node {i} still sees the leaver: {:?}",
+                view.members
+            );
         }
         for o in overlays {
             o.shutdown().await.unwrap();

@@ -87,6 +87,37 @@ impl FailureParams {
         self
     }
 
+    /// Schedule a clean network partition: every link between a node in
+    /// `minority` and a node outside it is down during
+    /// `[start_s, end_s)`. Links *within* each side stay up (subject to
+    /// the generated background failures), so both sides keep operating
+    /// as overlays — the scenario `experiments::partition` measures.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range or duplicated minority index, or an
+    /// empty window.
+    #[must_use]
+    pub fn with_partition(mut self, minority: &[usize], start_s: f64, end_s: f64) -> Self {
+        assert!(start_s < end_s, "empty partition window");
+        let mut side = vec![false; self.n];
+        for &m in minority {
+            assert!(m < self.n, "minority index {m} out of range");
+            assert!(!side[m], "duplicate minority index {m}");
+            side[m] = true;
+        }
+        for &m in minority {
+            for other in (0..self.n).filter(|&o| !side[o]) {
+                self.link_outages.push(LinkOutage {
+                    a: m,
+                    b: other,
+                    start_s,
+                    end_s,
+                });
+            }
+        }
+        self
+    }
+
     /// A schedule with no failures at all (steady-state experiments).
     #[must_use]
     pub fn none(n: usize, duration_s: f64) -> FailureSchedule {
@@ -516,6 +547,39 @@ mod tests {
         assert!(!s.is_link_up(1, 2, 15.0));
         // Node-level queries unaffected.
         assert!(s.is_node_up(0, 175.0));
+    }
+
+    #[test]
+    fn partition_cuts_exactly_the_cross_links() {
+        let mut p = FailureParams::with_n(6);
+        p.median_concurrent = 1e-12; // isolate the partition
+        let p = p.with_partition(&[4, 5], 100.0, 200.0);
+        let s = FailureSchedule::generate(&p);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i == j {
+                    continue;
+                }
+                let crosses = (i >= 4) != (j >= 4);
+                assert_eq!(
+                    !s.is_link_up(i, j, 150.0),
+                    crosses,
+                    "link ({i},{j}) wrong during partition"
+                );
+                assert!(s.is_link_up(i, j, 50.0), "({i},{j}) down before");
+                assert!(s.is_link_up(i, j, 250.0), "({i},{j}) down after heal");
+            }
+        }
+        // Nodes themselves stay up throughout.
+        for i in 0..6 {
+            assert!(s.is_node_up(i, 150.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_rejects_bad_index() {
+        let _ = FailureParams::with_n(3).with_partition(&[7], 0.0, 1.0);
     }
 
     #[test]

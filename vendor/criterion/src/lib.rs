@@ -6,7 +6,10 @@
 //! fixed wall-clock budget, and reported as mean ns/iter on stdout. No
 //! statistics, plots or baselines — swap the real criterion back in via
 //! the manifest for those. `cargo bench` and `cargo test --benches` both
-//! work (benchmarks run one quick iteration under the test harness).
+//! work (benchmarks run one quick iteration under the test harness),
+//! and `cargo bench -- --test` mirrors real criterion's test mode:
+//! every benchmark body runs exactly once, for CI smoke coverage
+//! without the measurement budget.
 
 #![forbid(unsafe_code)]
 
@@ -115,8 +118,16 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Time `routine` repeatedly within the measurement budget.
+    /// Time `routine` repeatedly within the measurement budget (or run
+    /// it exactly once under `--test`).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            return;
+        }
         for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
@@ -137,6 +148,14 @@ impl Bencher {
         mut routine: R,
         _size: BatchSize,
     ) {
+        if test_mode() {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+            return;
+        }
         black_box(routine(setup()));
         let started = Instant::now();
         while started.elapsed() < measure_budget() {
@@ -157,6 +176,13 @@ fn measure_budget() -> Duration {
     } else {
         MEASURE_BUDGET
     }
+}
+
+/// Real criterion's `--test` flag: run every benchmark exactly once and
+/// skip measurement. Checked per `iter` call so the flag also works for
+/// benches registered after startup.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 /// How `iter_batched` amortizes setup (accepted for compatibility).
