@@ -1,8 +1,8 @@
 //! Computational-kernel benchmarks: the hot paths a deployment exercises
 //! every routing interval.
 
-use apor_bench::{bench_topology, full_table};
-use apor_linkstate::{LinkEntry, LinkStateMsg, Message};
+use apor_bench::{bench_topology, full_table, ground_truth_row};
+use apor_linkstate::{LinkEntry, LinkStateMsg, LinkStateStore, LinkStateTable, Message};
 use apor_quorum::{Grid, NodeId};
 use apor_routing::multihop::multihop_routes;
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
@@ -122,6 +122,69 @@ fn bench_floyd_warshall(c: &mut Criterion) {
     g.finish();
 }
 
+/// Dense table vs sparse row store on a quorum node's actual working
+/// set: its own row plus its `2√n` rendezvous clients' rows. Three
+/// kernels: the row merge (one client's link-state message lands), the
+/// pair best-hop, and the full round-two server tick. The sparse store
+/// pays an `O(log √n)` map walk per row access but allocates `O(n√n)`
+/// instead of `O(n²)` — at n = 1024 the dense arm is the only one that
+/// still touches a 24 MB table.
+fn bench_dense_vs_sparse(c: &mut Criterion) {
+    use apor_linkstate::RowStore;
+
+    let mut g = c.benchmark_group("dense_vs_sparse");
+    for n in [100usize, 400, 1024] {
+        let topo = bench_topology(n);
+        let grid = Grid::new(n);
+        let me = 0usize;
+        let mut held = grid.rendezvous_clients(me);
+        held.push(me);
+        held.sort_unstable();
+        let rows: Vec<(usize, Vec<LinkEntry>)> = held
+            .iter()
+            .map(|&i| (i, ground_truth_row(&topo, i)))
+            .collect();
+        let mut dense = LinkStateTable::new(n);
+        let mut sparse = RowStore::new(n);
+        for (i, row) in &rows {
+            dense.update_row(*i, row, 0.0);
+            sparse.update_row(*i, row, 0.0);
+        }
+        let (merge_origin, merge_row) = rows[rows.len() / 2].clone();
+        g.bench_with_input(BenchmarkId::new("merge_dense", n), &n, |b, _| {
+            b.iter(|| dense.update_row(black_box(merge_origin), black_box(&merge_row), 1.0));
+        });
+        g.bench_with_input(BenchmarkId::new("merge_sparse", n), &n, |b, _| {
+            b.iter(|| sparse.update_row(black_box(merge_origin), black_box(&merge_row), 1.0));
+        });
+        let (a, bb) = (held[0], held[held.len() - 1]);
+        g.bench_with_input(BenchmarkId::new("best_hop_dense", n), &n, |b, _| {
+            b.iter(|| dense.best_one_hop(black_box(a), black_box(bb), 1.0, 45.0));
+        });
+        g.bench_with_input(BenchmarkId::new("best_hop_sparse", n), &n, |b, _| {
+            b.iter(|| sparse.best_one_hop(black_box(a), black_box(bb), 1.0, 45.0));
+        });
+        let round_two = |store: &dyn Fn(usize, usize) -> Option<(usize, f64)>| {
+            let mut count = 0usize;
+            for &x in &held {
+                for &y in &held {
+                    if x != y && store(x, y).is_some() {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        };
+        g.bench_with_input(BenchmarkId::new("round_two_dense", n), &n, |b, _| {
+            b.iter(|| black_box(round_two(&|x, y| dense.best_one_hop(x, y, 1.0, 45.0))));
+        });
+        g.bench_with_input(BenchmarkId::new("round_two_sparse", n), &n, |b, _| {
+            b.iter(|| black_box(round_two(&|x, y| sparse.best_one_hop(x, y, 1.0, 45.0))));
+        });
+    }
+    g.finish();
+}
+
 /// The anti-entropy hot path: one sync frame encode + decode + merge
 /// into a divergent ledger — what every node pays once per sync period.
 fn bench_anti_entropy(c: &mut Criterion) {
@@ -189,6 +252,7 @@ criterion_group!(
     bench_grid,
     bench_best_one_hop,
     bench_round_two,
+    bench_dense_vs_sparse,
     bench_wire,
     bench_multihop,
     bench_floyd_warshall,

@@ -11,7 +11,8 @@
 
 #![forbid(unsafe_code)]
 
-use apor_linkstate::{LinkEntry, LinkStateTable};
+use apor_linkstate::{LinkEntry, LinkStateStore, LinkStateTable};
+use apor_routing::onehop;
 use apor_topology::{PlanetLabParams, Topology};
 
 /// A deterministic synthetic topology of `n` nodes.
@@ -24,6 +25,13 @@ pub fn bench_topology(n: usize) -> Topology {
     })
 }
 
+/// Node `i`'s ground-truth link-state row in `topo` (see
+/// [`onehop::ground_truth_row`]).
+#[must_use]
+pub fn ground_truth_row(topo: &Topology, i: usize) -> Vec<LinkEntry> {
+    onehop::ground_truth_row(&topo.latency, i)
+}
+
 /// A fully populated link-state table derived from the topology's ground
 /// truth (all rows fresh at t = 0).
 #[must_use]
@@ -31,19 +39,7 @@ pub fn full_table(topo: &Topology) -> LinkStateTable {
     let n = topo.len();
     let mut table = LinkStateTable::new(n);
     for i in 0..n {
-        let row: Vec<LinkEntry> = (0..n)
-            .map(|j| {
-                if i == j {
-                    LinkEntry::live(0, 0.0)
-                } else {
-                    LinkEntry::live(
-                        LinkEntry::quantize_latency(topo.latency.rtt(i, j)),
-                        topo.latency.loss(i, j) as f32,
-                    )
-                }
-            })
-            .collect();
-        table.update_row(i, &row, 0.0);
+        table.update_row(i, &ground_truth_row(topo, i), 0.0);
     }
     table
 }

@@ -16,6 +16,7 @@
 //! | [`theory_exp`] | section 6.1's closed-form capacity table |
 //! | [`churn`] | beyond the paper: crash-detection & view convergence, SWIM vs centralized |
 //! | [`partition`] | beyond the paper: partition healing with/without push-pull anti-entropy |
+//! | [`scale`] | beyond the paper: sparse row store at n ∈ {256, 1024} — state bound + quality parity |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +29,7 @@ pub mod fig9;
 pub mod lower_bound;
 pub mod multihop_exp;
 pub mod partition;
+pub mod scale;
 pub mod theory_exp;
 
 /// Where experiment outputs land, relative to the workspace root.

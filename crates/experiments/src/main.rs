@@ -19,6 +19,7 @@
 //!   ablations   design-choice ablations (interval, rec format, staleness)
 //!   churn       membership churn: SWIM gossip vs centralized coordinator
 //!   partition   partition healing: push-pull anti-entropy on vs off
+//!   scale       sparse row store at n ∈ {256, 1024}: state bound + quality parity
 //!   all         everything above
 //!
 //! `--quick` shrinks the deployment/sweep sizes for a fast smoke run.
@@ -28,7 +29,8 @@
 use apor_analysis::{write_csv, Cdf, Table};
 use apor_experiments::deployment::{self, DeploymentData, DeploymentParams};
 use apor_experiments::{
-    ablations, churn, fig1, fig9, lower_bound, multihop_exp, partition, results_path, theory_exp,
+    ablations, churn, fig1, fig9, lower_bound, multihop_exp, partition, results_path, scale,
+    theory_exp,
 };
 
 fn main() {
@@ -117,6 +119,14 @@ fn main() {
             partition::PartitionParams::default()
         };
         partition::run_and_report(&params).expect("partition report");
+    }
+    if run("scale") {
+        let params = if quick {
+            scale::ScaleParams::quick()
+        } else {
+            scale::ScaleParams::default()
+        };
+        scale::run_and_report(&params).expect("scale report");
     }
     if run("multihop") {
         let params = if quick {

@@ -101,11 +101,23 @@ pub struct PartitionOutcome {
     pub reconverge_s: Option<f64>,
     /// [`PartitionOutcome::reconverge_s`] in SWIM protocol periods.
     pub reconverge_periods: Option<f64>,
+    /// Seconds from the heal until the *routing plane* recovers too:
+    /// every cross-boundary pair (majority ↔ minority, both
+    /// directions) again has a usable route. Strictly after membership
+    /// reconvergence — the healed view must be installed, the probers
+    /// must re-mark the cross links alive, and the quorum exchange must
+    /// warm up. `None` when never within the horizon.
+    pub routes_restored_s: Option<f64>,
     /// All views identical and full at the end of the run?
     pub final_views_agree: bool,
     /// Fleet-mean per-node membership traffic over the whole run, bps
     /// (the price of the sync frames).
     pub membership_bps: f64,
+    /// Total anti-entropy transfers skipped fleet-wide by the
+    /// version-digest short-circuit (0 with anti-entropy off).
+    pub sync_skips: u64,
+    /// Total full-ledger pushes actually sent fleet-wide.
+    pub sync_full: u64,
 }
 
 /// The full study output.
@@ -148,6 +160,30 @@ fn split_views_installed(sim: &Simulator, n: usize, minority: usize) -> bool {
     })
 }
 
+/// After the heal: does every cross-boundary pair have a route again,
+/// in both directions? (The routing-plane recovery criterion — view
+/// healing alone does not move packets.)
+fn cross_routes_restored(sim: &Simulator, n: usize, minority: usize, now: f64) -> bool {
+    let cut = n - minority;
+    (0..cut).all(|i| {
+        (cut..n).all(|j| {
+            overlay_at(sim, i).best_hop(NodeId(j as u16), now).is_some()
+                && overlay_at(sim, j).best_hop(NodeId(i as u16), now).is_some()
+        })
+    })
+}
+
+/// Fleet-total anti-entropy accounting.
+fn fleet_sync_stats(sim: &Simulator, n: usize) -> (u64, u64) {
+    (0..n).fold((0, 0), |(skips, full), i| {
+        let s = overlay_at(sim, i)
+            .swim()
+            .map(apor_membership::Swim::sync_stats)
+            .unwrap_or_default();
+        (skips + s.digest_skips, full + s.full_pushes)
+    })
+}
+
 /// Run one arm of the study.
 #[must_use]
 pub fn run_arm(params: &PartitionParams, anti_entropy: bool) -> PartitionOutcome {
@@ -185,15 +221,27 @@ pub fn run_arm(params: &PartitionParams, anti_entropy: bool) -> PartitionOutcome
     sim.run_until(heal_at);
     let split_confirmed = split_views_installed(&sim, n, params.minority);
 
-    // Sample twice per second until reconvergence or the horizon.
+    // Sample twice per second until both the membership plane and the
+    // routing plane have recovered, or the horizon runs out.
     let mut reconverge_s = None;
+    let mut routes_restored_s = None;
     let mut t = heal_at;
     let end = heal_at + params.horizon_s;
     while t < end {
         t += 0.5;
         sim.run_until(t);
-        if reconverged(&sim, n) {
+        if reconverge_s.is_none() && reconverged(&sim, n) {
             reconverge_s = Some(t - heal_at);
+        }
+        // Routes can only be globally restored once everyone holds the
+        // healed view (cross entries need matching grid indices).
+        if reconverge_s.is_some()
+            && routes_restored_s.is_none()
+            && cross_routes_restored(&sim, n, params.minority, t)
+        {
+            routes_restored_s = Some(t - heal_at);
+        }
+        if reconverge_s.is_some() && routes_restored_s.is_some() {
             break;
         }
     }
@@ -201,13 +249,17 @@ pub fn run_arm(params: &PartitionParams, anti_entropy: bool) -> PartitionOutcome
     let membership_bps = sim
         .stats()
         .fleet_mean_bps(&[TrafficClass::Membership], 30.0, end);
+    let (sync_skips, sync_full) = fleet_sync_stats(&sim, n);
     PartitionOutcome {
         anti_entropy,
         split_confirmed,
         reconverge_s,
         reconverge_periods: reconverge_s.map(|s| s / params.swim.period_s),
+        routes_restored_s,
         final_views_agree: reconverged(&sim, n),
         membership_bps,
+        sync_skips,
+        sync_full,
     }
 }
 
@@ -231,8 +283,11 @@ pub fn run_and_report(params: &PartitionParams) -> std::io::Result<PartitionResu
         "split confirmed",
         "reconverged after",
         "(periods)",
+        "routes restored",
         "views agree at end",
         "membership bps",
+        "sync skips",
+        "full pushes",
     ]);
     let mut rows = Vec::new();
     for o in &r.outcomes {
@@ -242,21 +297,30 @@ pub fn run_and_report(params: &PartitionParams) -> std::io::Result<PartitionResu
         let periods = o
             .reconverge_periods
             .map_or("-".to_string(), |p| format!("{p:.1}"));
+        let routes = o
+            .routes_restored_s
+            .map_or("never".to_string(), |s| format!("{s:.1} s"));
         table.row(vec![
             o.anti_entropy.to_string(),
             o.split_confirmed.to_string(),
             after,
             periods,
+            routes,
             o.final_views_agree.to_string(),
             format!("{:.0}", o.membership_bps),
+            o.sync_skips.to_string(),
+            o.sync_full.to_string(),
         ]);
         rows.push(vec![
             o.anti_entropy.to_string(),
             o.split_confirmed.to_string(),
             o.reconverge_s.map_or(-1.0, |s| s).to_string(),
             o.reconverge_periods.map_or(-1.0, |p| p).to_string(),
+            o.routes_restored_s.map_or(-1.0, |s| s).to_string(),
             o.final_views_agree.to_string(),
             format!("{:.1}", o.membership_bps),
+            o.sync_skips.to_string(),
+            o.sync_full.to_string(),
         ]);
     }
     println!(
@@ -271,8 +335,11 @@ pub fn run_and_report(params: &PartitionParams) -> std::io::Result<PartitionResu
             "split_confirmed",
             "reconverge_s",
             "reconverge_periods",
+            "routes_restored_s",
             "views_agree",
             "membership_bps",
+            "sync_skips",
+            "sync_full",
         ],
         &rows,
     )?;
@@ -311,6 +378,29 @@ mod tests {
             "reconvergence took {periods:.1} periods, budget 10"
         );
         assert!(with.final_views_agree);
+        // The routing plane recovers after the membership plane: the
+        // healed view installs, probers re-mark the cross links alive
+        // (≤ one probe interval), and the two-round exchange warms up.
+        let routes = with
+            .routes_restored_s
+            .expect("routes must be restored within the horizon");
+        assert!(
+            routes >= with.reconverge_s.unwrap(),
+            "routes cannot recover before the views do"
+        );
+        assert!(
+            routes <= 90.0,
+            "route restoration took {routes:.0} s — more than a probe \
+             interval plus a few routing intervals after the heal"
+        );
+        // In the healthy phases almost every sync pair agrees: the
+        // digest short-circuit must be skipping transfers.
+        assert!(
+            with.sync_skips > with.sync_full,
+            "steady state should skip more transfers ({}) than it pushes ({})",
+            with.sync_skips,
+            with.sync_full
+        );
 
         let without = run_arm(&params, false);
         assert!(without.split_confirmed);
@@ -318,7 +408,12 @@ mod tests {
             without.reconverge_s, None,
             "without anti-entropy the split must persist"
         );
+        assert_eq!(
+            without.routes_restored_s, None,
+            "cross-boundary routes cannot recover while views disagree"
+        );
         assert!(!without.final_views_agree);
+        assert_eq!(without.sync_skips + without.sync_full, 0);
     }
 
     /// Bit-determinism: the identical master seed reproduces the

@@ -1,11 +1,20 @@
 //! Link-state machinery for the RON-like overlay (paper section 5).
 //!
-//! Three concerns live here, all I/O-free:
+//! Four concerns live here, all I/O-free:
 //!
-//! * [`entry`] / [`table`] — the `n × n` partial link-state table each node
-//!   maintains: its own probed row plus the rows received from rendezvous
-//!   clients, with per-row receipt timestamps for the freshness rules of
-//!   section 6.2.2.
+//! * [`store`] — the [`LinkStateStore`] trait (storage + the round-two
+//!   best-hop kernel, written once) and the sparse [`RowStore`]: an
+//!   indexed map `origin row → (receipt time, entries)` holding exactly
+//!   the rows a node's role entitles it to — its own row plus its
+//!   `~2√n` rendezvous clients' rows — so per-node state is the
+//!   paper's `O(n√n)` bound instead of `O(n²)`. Rows carry receipt
+//!   timestamps for the 3-routing-interval freshness rule of section
+//!   6.2.2; an optional row entitlement is debug-asserted so a
+//!   protocol regression back to `O(n)` rows fails loudly.
+//! * [`table`] / [`entry`] — the dense `n × n` table, kept for the
+//!   full-mesh baseline (which holds every row by design) and as the
+//!   reference store in tests; it implements the same trait, so both
+//!   stores run the identical kernel.
 //! * [`estimator`] — per-neighbour latency EWMA, loss window and the
 //!   5-consecutive-failed-probes liveness rule of RON.
 //! * [`wire`] — the compact binary message formats. The paper's section 6
@@ -25,11 +34,13 @@
 
 pub mod entry;
 pub mod estimator;
+pub mod store;
 pub mod table;
 pub mod wire;
 
 pub use entry::{Cost, LinkEntry};
 pub use estimator::{LinkEstimator, ProbeOutcome};
+pub use store::{LinkStateStore, RowStore};
 pub use table::LinkStateTable;
 pub use wire::{
     LinkStateMsg, Message, ProbeMsg, ProbeReplyMsg, RecEntry, RecFormat, RecommendationMsg,

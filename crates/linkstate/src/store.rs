@@ -1,0 +1,516 @@
+//! The link-state storage abstraction and the sparse row store.
+//!
+//! The paper's headline result is that quorum-grid rendezvous cuts
+//! per-node state and traffic from `O(n²)` to `O(n√n)`: a quorum node
+//! receives link-state rows only from its `~2√n` rendezvous clients, so
+//! there is no reason for it to *allocate* an `n × n` matrix. This
+//! module makes storage honour that bound:
+//!
+//! * [`LinkStateStore`] — the trait both stores implement. The required
+//!   methods are pure storage (put/get/drop rows); the **round-two
+//!   kernel** ([`best_one_hop`](LinkStateStore::best_one_hop),
+//!   [`one_hop_options`](LinkStateStore::one_hop_options),
+//!   [`anyone_reaches`](LinkStateStore::anyone_reaches)) is written once
+//!   as provided methods, so the dense baseline and the sparse store
+//!   run the identical routing computation.
+//! * [`RowStore`] — a sparse indexed map `origin → (receipt time, row)`
+//!   holding exactly the rows a node's role entitles it to: its own
+//!   row plus its rendezvous clients' rows (`O(√n)` rows of `n`
+//!   entries each ⇒ `O(n√n)` per-node state). An optional row
+//!   *entitlement* is debug-asserted on insert, so a protocol bug that
+//!   re-grows `O(n)` rows fails loudly in tests instead of silently
+//!   reintroducing the quadratic table.
+//!
+//! The dense [`LinkStateTable`](crate::table::LinkStateTable) stays for
+//! the full-mesh baseline (which genuinely holds all `n` rows, each
+//! dense lookups `O(1)`) and as the reference implementation in tests.
+
+use crate::entry::{Cost, LinkEntry, INFINITE_COST};
+use std::collections::BTreeMap;
+
+/// Storage of link-state rows plus the round-two route computation.
+///
+/// Rows are full-width (`n` entries — the wire format of a link-state
+/// message); what varies between implementations is *which* origins
+/// have a row at all. "Present" means a row was received (it has a
+/// receipt time); a present row may still be stale for routing — the
+/// kernel methods apply the paper's 3-routing-interval freshness rule
+/// (section 6.2.2) on top.
+pub trait LinkStateStore {
+    /// Number of nodes covered (row width).
+    fn len(&self) -> usize;
+
+    /// True when the store covers no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replace row `origin` with `entries`, stamped at `now` seconds.
+    ///
+    /// # Panics
+    /// Panics if `entries.len() != len()` or `origin ≥ len()`.
+    fn update_row(&mut self, origin: usize, entries: &[LinkEntry], now: f64);
+
+    /// Update a single entry of a row (used for the node's own row,
+    /// which its probers refresh incrementally). Creates the row (all
+    /// other entries dead) when absent.
+    fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64);
+
+    /// Forget a row (e.g. on membership change or client loss).
+    fn clear_row(&mut self, origin: usize);
+
+    /// Row `origin`, when present.
+    fn row(&self, origin: usize) -> Option<&[LinkEntry]>;
+
+    /// Receipt time of row `origin`; `None` = never received.
+    fn row_time(&self, origin: usize) -> Option<f64>;
+
+    /// The origins that currently have a row, ascending.
+    fn present_rows(&self) -> Vec<usize>;
+
+    /// Number of rows currently held — the state-accounting counter the
+    /// scale experiments assert against (`O(√n)` for a quorum node).
+    fn row_count(&self) -> usize;
+
+    /// Number of link entries currently allocated (`row_count · n` —
+    /// the per-node memory the paper bounds by `O(n√n)`).
+    fn entry_count(&self) -> usize {
+        self.row_count() * self.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Provided accessors
+    // ------------------------------------------------------------------
+
+    /// Age of row `origin` at time `now`, if ever received.
+    fn row_age(&self, origin: usize, now: f64) -> Option<f64> {
+        self.row_time(origin).map(|t| now - t)
+    }
+
+    /// Is row `origin` present and no older than `max_age` at `now`?
+    fn row_fresh(&self, origin: usize, now: f64, max_age: f64) -> bool {
+        self.row_age(origin, now).is_some_and(|a| a <= max_age)
+    }
+
+    /// The entry `origin → dst` (dead when the row is absent).
+    fn entry(&self, origin: usize, dst: usize) -> LinkEntry {
+        self.row(origin).map_or_else(LinkEntry::dead, |r| r[dst])
+    }
+
+    /// Routing cost of `origin → dst` (infinite when dead/unknown).
+    fn cost(&self, origin: usize, dst: usize) -> Cost {
+        if origin == dst {
+            return 0.0;
+        }
+        self.entry(origin, dst).cost()
+    }
+
+    // ------------------------------------------------------------------
+    // The round-two kernel — written once, over the trait
+    // ------------------------------------------------------------------
+
+    /// **The round-two kernel.** Best one-hop path `a → h → b` (or the
+    /// direct link, represented as `h == b`) computable from rows `a`
+    /// and `b`, both of which must be fresh (≤ `max_age` at `now`).
+    ///
+    /// Link costs are assumed symmetric (paper section 3), so the path
+    /// cost is `row_a[h] + row_b[h]`; the direct cost is the *minimum*
+    /// of the two directions' estimates (they may disagree
+    /// transiently). Ties prefer the direct link, then the lowest hop
+    /// index, making the recommendation deterministic across rendezvous
+    /// servers with identical data.
+    ///
+    /// Returns `None` when either row is missing/stale or no finite
+    /// path exists.
+    fn best_one_hop(&self, a: usize, b: usize, now: f64, max_age: f64) -> Option<(usize, Cost)> {
+        if a == b || !self.row_fresh(a, now, max_age) || !self.row_fresh(b, now, max_age) {
+            return None;
+        }
+        let row_a = self.row(a).expect("fresh row present");
+        let row_b = self.row(b).expect("fresh row present");
+        let direct = row_a[b].cost().min(row_b[a].cost());
+        let mut best_hop = b;
+        let mut best_cost = direct;
+        for h in 0..self.len() {
+            if h == a || h == b {
+                continue;
+            }
+            let c = row_a[h].cost() + row_b[h].cost();
+            if c < best_cost {
+                best_cost = c;
+                best_hop = h;
+            }
+        }
+        best_cost.is_finite().then_some((best_hop, best_cost))
+    }
+
+    /// All one-hop options from `a` to `b` with finite cost, sorted by
+    /// cost (the §4.2 "redundant link-state information" scavenging
+    /// uses this over the rows a node happens to hold). Only present,
+    /// fresh relay rows participate — which for a sparse store is an
+    /// `O(√n)` scan instead of `O(n)`.
+    fn one_hop_options(&self, a: usize, b: usize, now: f64, max_age: f64) -> Vec<(usize, Cost)> {
+        if a == b || !self.row_fresh(a, now, max_age) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for h in self.present_rows() {
+            if h == a || h == b {
+                continue;
+            }
+            if !self.row_fresh(h, now, max_age) {
+                continue;
+            }
+            let via = self.entry(a, h).cost() + self.cost(h, b);
+            if via.is_finite() {
+                out.push((h, via));
+            }
+        }
+        out.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap().then(x.0.cmp(&y.0)));
+        out
+    }
+
+    /// Does any fresh row report `dst` as alive? (Used to decide
+    /// whether a destination has failed outright — section 4.1's "check
+    /// if any of its rendezvous clients' link-state tables show that
+    /// Dst is reachable".)
+    fn anyone_reaches(&self, dst: usize, now: f64, max_age: f64) -> bool {
+        self.present_rows().into_iter().any(|origin| {
+            origin != dst && self.row_fresh(origin, now, max_age) && self.entry(origin, dst).alive
+        })
+    }
+
+    /// The cost of the path `a → h → b` using current rows; infinite
+    /// when anything is missing. `h == b` means the direct link.
+    fn path_cost(&self, a: usize, h: usize, b: usize) -> Cost {
+        if h == b {
+            return self.cost(a, b);
+        }
+        let c = self.cost(a, h) + self.cost(h, b);
+        if c.is_finite() {
+            c
+        } else {
+            INFINITE_COST
+        }
+    }
+}
+
+/// One stored row: receipt time plus the full-width entries.
+#[derive(Debug, Clone)]
+struct StoredRow {
+    received_at: f64,
+    entries: Box<[LinkEntry]>,
+}
+
+/// The sparse row store: `origin → (receipt time, row)` for exactly the
+/// rows this node actually receives.
+///
+/// A quorum node holds its own row plus its `~2√n` rendezvous clients'
+/// rows, so per-node state is `O(n√n)` — the paper's bound — instead of
+/// the dense table's `O(n²)`. Lookups are `O(log √n)` (the map is tiny);
+/// the round-two kernel touches only the two rows of the pair, exactly
+/// as in the dense table.
+#[derive(Debug, Clone)]
+pub struct RowStore {
+    n: usize,
+    rows: BTreeMap<usize, StoredRow>,
+    /// Maximum rows this node's role entitles it to, debug-asserted on
+    /// insert; `None` = unbounded (the full-mesh baseline).
+    entitlement: Option<usize>,
+    /// Rows older than this are evicted when a new row arrives at the
+    /// entitlement boundary. One-time senders (e.g. nodes that briefly
+    /// selected us as a failover rendezvous) would otherwise accumulate
+    /// rows forever; a stale row is useless to the kernel, so shedding
+    /// it is free.
+    stale_after: Option<f64>,
+    /// High-water mark of `row_count` over the store's lifetime.
+    peak_rows: usize,
+}
+
+impl RowStore {
+    /// An empty, unbounded store over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        RowStore {
+            n,
+            rows: BTreeMap::new(),
+            entitlement: None,
+            stale_after: None,
+            peak_rows: 0,
+        }
+    }
+
+    /// An empty store that debug-asserts `row_count ≤ max_rows` on
+    /// every insert — the `O(√n)` entitlement guard. When a new row
+    /// arrives at the boundary, rows older than `stale_after` (the
+    /// staleness window: stale rows are dead weight the kernel already
+    /// ignores) are evicted first, so only *fresh* rows beyond the
+    /// entitlement trip the assertion.
+    #[must_use]
+    pub fn with_entitlement(n: usize, max_rows: usize, stale_after: f64) -> Self {
+        RowStore {
+            entitlement: Some(max_rows),
+            stale_after: Some(stale_after),
+            ..RowStore::new(n)
+        }
+    }
+
+    /// The configured entitlement, if any.
+    #[must_use]
+    pub fn entitlement(&self) -> Option<usize> {
+        self.entitlement
+    }
+
+    /// The most rows ever held simultaneously — the state-accounting
+    /// high-water mark the scale experiment reports.
+    #[must_use]
+    pub fn peak_rows(&self) -> usize {
+        self.peak_rows
+    }
+
+    /// Make room for an insert at `now`: at the entitlement boundary,
+    /// shed rows the staleness window has already invalidated.
+    fn evict_stale(&mut self, now: f64) {
+        if let (Some(limit), Some(window)) = (self.entitlement, self.stale_after) {
+            if self.rows.len() >= limit {
+                self.rows.retain(|_, r| now - r.received_at <= window);
+            }
+        }
+    }
+
+    fn note_insert(&mut self) {
+        self.peak_rows = self.peak_rows.max(self.rows.len());
+        if let Some(limit) = self.entitlement {
+            debug_assert!(
+                self.rows.len() <= limit,
+                "row store holds {} fresh rows, entitlement is {limit} — \
+                 a quorum node's state must stay O(√n)",
+                self.rows.len()
+            );
+        }
+    }
+}
+
+impl LinkStateStore for RowStore {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn update_row(&mut self, origin: usize, entries: &[LinkEntry], now: f64) {
+        assert!(origin < self.n, "row {origin} out of range");
+        assert_eq!(entries.len(), self.n, "row must have n entries");
+        match self.rows.get_mut(&origin) {
+            Some(slot) => {
+                slot.entries.copy_from_slice(entries);
+                slot.received_at = now;
+            }
+            None => {
+                self.evict_stale(now);
+                self.rows.insert(
+                    origin,
+                    StoredRow {
+                        received_at: now,
+                        entries: entries.into(),
+                    },
+                );
+                self.note_insert();
+            }
+        }
+    }
+
+    fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64) {
+        assert!(origin < self.n && dst < self.n);
+        match self.rows.get_mut(&origin) {
+            Some(slot) => {
+                slot.entries[dst] = entry;
+                slot.received_at = now;
+            }
+            None => {
+                self.evict_stale(now);
+                let mut entries = vec![LinkEntry::dead(); self.n].into_boxed_slice();
+                entries[dst] = entry;
+                self.rows.insert(
+                    origin,
+                    StoredRow {
+                        received_at: now,
+                        entries,
+                    },
+                );
+                self.note_insert();
+            }
+        }
+    }
+
+    fn clear_row(&mut self, origin: usize) {
+        self.rows.remove(&origin);
+    }
+
+    fn row(&self, origin: usize) -> Option<&[LinkEntry]> {
+        self.rows.get(&origin).map(|s| &*s.entries)
+    }
+
+    fn row_time(&self, origin: usize) -> Option<f64> {
+        self.rows.get(&origin).map(|s| s.received_at)
+    }
+
+    fn present_rows(&self) -> Vec<usize> {
+        self.rows.keys().copied().collect()
+    }
+
+    fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::LinkStateTable;
+
+    fn live_row(costs: &[u16]) -> Vec<LinkEntry> {
+        costs.iter().map(|&c| LinkEntry::live(c, 0.0)).collect()
+    }
+
+    /// The 4-node detour world used by the table tests, loaded into both
+    /// stores.
+    fn detour_rows() -> Vec<Vec<LinkEntry>> {
+        vec![
+            live_row(&[0, 50, 200, 500]),
+            live_row(&[50, 0, 80, 100]),
+            live_row(&[200, 80, 0, 90]),
+            live_row(&[500, 100, 90, 0]),
+        ]
+    }
+
+    fn both_stores() -> (LinkStateTable, RowStore) {
+        let mut dense = LinkStateTable::new(4);
+        let mut sparse = RowStore::new(4);
+        for (i, row) in detour_rows().iter().enumerate() {
+            dense.update_row(i, row, 10.0);
+            sparse.update_row(i, row, 10.0);
+        }
+        (dense, sparse)
+    }
+
+    /// The kernel is written once, so given identical rows the two
+    /// stores must agree on every pair.
+    #[test]
+    fn stores_agree_on_the_kernel() {
+        let (dense, sparse) = both_stores();
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(
+                    dense.best_one_hop(a, b, 11.0, 45.0),
+                    sparse.best_one_hop(a, b, 11.0, 45.0),
+                    "pair ({a},{b})"
+                );
+                assert_eq!(
+                    dense.one_hop_options(a, b, 11.0, 45.0),
+                    sparse.one_hop_options(a, b, 11.0, 45.0)
+                );
+            }
+        }
+        for dst in 0..4 {
+            assert_eq!(
+                dense.anyone_reaches(dst, 11.0, 45.0),
+                sparse.anyone_reaches(dst, 11.0, 45.0)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_holds_only_received_rows() {
+        let mut s = RowStore::new(100);
+        assert_eq!(s.row_count(), 0);
+        assert_eq!(s.entry_count(), 0);
+        s.update_row(7, &vec![LinkEntry::dead(); 100], 1.0);
+        s.update_row(42, &vec![LinkEntry::dead(); 100], 2.0);
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.entry_count(), 200);
+        assert_eq!(s.present_rows(), vec![7, 42]);
+        assert_eq!(s.row_time(7), Some(1.0));
+        assert_eq!(s.row_time(8), None);
+        assert!(s.row(8).is_none());
+        // Absent rows read as dead, like the dense table's initial state.
+        assert!(s.cost(8, 9).is_infinite());
+        assert_eq!(s.cost(8, 8), 0.0);
+        // Refreshing a row does not grow the store.
+        s.update_row(7, &vec![LinkEntry::dead(); 100], 3.0);
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.row_time(7), Some(3.0));
+        // Clearing removes the allocation entirely.
+        s.clear_row(7);
+        assert_eq!(s.row_count(), 1);
+        assert_eq!(s.entry_count(), 100);
+        assert_eq!(s.peak_rows(), 2, "high-water mark is sticky");
+    }
+
+    #[test]
+    fn update_entry_creates_sparse_row() {
+        let mut s = RowStore::new(5);
+        s.update_entry(2, 4, LinkEntry::live(30, 0.0), 1.0);
+        assert_eq!(s.row_count(), 1);
+        assert_eq!(s.entry(2, 4).latency_ms, 30);
+        assert!(!s.entry(2, 3).alive);
+        assert_eq!(s.row_time(2), Some(1.0));
+    }
+
+    #[test]
+    fn one_hop_options_skip_stale_and_absent_relays() {
+        let (_, mut s) = both_stores();
+        s.clear_row(1);
+        let opts = s.one_hop_options(0, 3, 11.0, 45.0);
+        assert_eq!(opts, vec![(2, 290.0)]);
+        // A stale relay row disqualifies too.
+        s.update_row(2, &detour_rows()[2], -100.0);
+        assert!(s.one_hop_options(0, 3, 11.0, 45.0).is_empty());
+    }
+
+    #[test]
+    fn entitlement_tracks_peak() {
+        let mut s = RowStore::with_entitlement(10, 4, 45.0);
+        assert_eq!(s.entitlement(), Some(4));
+        for i in 0..4 {
+            s.update_row(i, &[LinkEntry::dead(); 10], 0.0);
+        }
+        assert_eq!(s.peak_rows(), 4);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_stale_rows_first() {
+        let mut s = RowStore::with_entitlement(10, 2, 45.0);
+        s.update_row(0, &[LinkEntry::dead(); 10], 0.0);
+        s.update_row(1, &[LinkEntry::dead(); 10], 50.0);
+        // At t=100, row 0 (age 100) and row 1 (age 50) are both stale:
+        // a new arrival at the boundary sheds them instead of tripping
+        // the entitlement assertion.
+        s.update_row(2, &[LinkEntry::dead(); 10], 100.0);
+        assert_eq!(s.present_rows(), vec![2]);
+        // A fresh row is never evicted by pressure.
+        s.update_row(3, &[LinkEntry::dead(); 10], 101.0);
+        assert_eq!(s.present_rows(), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "entitlement")]
+    #[cfg(debug_assertions)]
+    fn fresh_overflow_is_debug_asserted() {
+        // All rows fresh: eviction frees nothing, the guard must fire.
+        let mut s = RowStore::with_entitlement(10, 2, 45.0);
+        for i in 0..3 {
+            s.update_row(i, &[LinkEntry::dead(); 10], 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_row_bounds_checked() {
+        RowStore::new(2).update_row(2, &live_row(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n entries")]
+    fn update_row_length_checked() {
+        RowStore::new(3).update_row(0, &live_row(&[0, 1]), 0.0);
+    }
+}

@@ -1,9 +1,15 @@
-//! The partial `n × n` link-state table and the round-two best-hop kernel.
+//! The dense `n × n` link-state table — the full-mesh baseline's store.
+//!
+//! Kept for the RON baseline (which genuinely holds every row) and as
+//! the reference implementation in tests; quorum nodes use the sparse
+//! [`RowStore`](crate::store::RowStore) instead. All route computation
+//! lives in the [`LinkStateStore`] trait, written once over both.
 
-use crate::entry::{Cost, LinkEntry, INFINITE_COST};
+use crate::entry::LinkEntry;
+use crate::store::LinkStateStore;
 use serde::{Deserialize, Serialize};
 
-/// A node's partial view of the full `n × n` link-state matrix.
+/// A node's dense view of the full `n × n` link-state matrix.
 ///
 /// Row `i` holds node `i`'s own measurements of its direct links. A node
 /// populates its own row from its probers and the other rows from the
@@ -13,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// "sent to it within the last 3 routing intervals" (section 6.2.2).
 ///
 /// Indices are membership/grid indices, not raw [`NodeId`]s; the overlay
-/// layer owns that mapping and rebuilds tables on membership change.
+/// layer owns that mapping and remaps stores on membership change.
 ///
 /// [`NodeId`]: apor_quorum::NodeId
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,183 +40,55 @@ impl LinkStateTable {
             row_time: vec![None; n],
         }
     }
+}
 
-    /// Number of nodes covered.
-    #[must_use]
-    pub fn len(&self) -> usize {
+impl LinkStateStore for LinkStateTable {
+    fn len(&self) -> usize {
         self.n
     }
 
-    /// True when the table covers no nodes.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.n == 0
-    }
-
-    /// Replace row `origin` with `entries`, stamped at `now` seconds.
-    ///
-    /// # Panics
-    /// Panics if `entries.len() != n` or `origin ≥ n`.
-    pub fn update_row(&mut self, origin: usize, entries: &[LinkEntry], now: f64) {
+    fn update_row(&mut self, origin: usize, entries: &[LinkEntry], now: f64) {
         assert!(origin < self.n, "row {origin} out of range");
         assert_eq!(entries.len(), self.n, "row must have n entries");
         self.entries[origin * self.n..(origin + 1) * self.n].copy_from_slice(entries);
         self.row_time[origin] = Some(now);
     }
 
-    /// Update a single entry of a row (used for the node's own row, which
-    /// its probers refresh incrementally).
-    pub fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64) {
+    fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64) {
         assert!(origin < self.n && dst < self.n);
         self.entries[origin * self.n + dst] = entry;
         self.row_time[origin] = Some(now);
     }
 
-    /// The entry `origin → dst`.
-    #[must_use]
-    pub fn entry(&self, origin: usize, dst: usize) -> LinkEntry {
-        self.entries[origin * self.n + dst]
-    }
-
-    /// Routing cost of `origin → dst` (infinite when dead/unknown).
-    #[must_use]
-    pub fn cost(&self, origin: usize, dst: usize) -> Cost {
-        if origin == dst {
-            return 0.0;
-        }
-        self.entry(origin, dst).cost()
-    }
-
-    /// Full row of `origin`.
-    #[must_use]
-    pub fn row(&self, origin: usize) -> &[LinkEntry] {
-        &self.entries[origin * self.n..(origin + 1) * self.n]
-    }
-
-    /// Receipt time of row `origin`.
-    #[must_use]
-    pub fn row_time(&self, origin: usize) -> Option<f64> {
-        self.row_time[origin]
-    }
-
-    /// Age of row `origin` at time `now`, if ever received.
-    #[must_use]
-    pub fn row_age(&self, origin: usize, now: f64) -> Option<f64> {
-        self.row_time[origin].map(|t| now - t)
-    }
-
-    /// Is row `origin` present and no older than `max_age` at `now`?
-    #[must_use]
-    pub fn row_fresh(&self, origin: usize, now: f64, max_age: f64) -> bool {
-        self.row_age(origin, now).is_some_and(|a| a <= max_age)
-    }
-
-    /// Forget a row (e.g. on membership change or client loss).
-    pub fn clear_row(&mut self, origin: usize) {
+    fn clear_row(&mut self, origin: usize) {
         for e in &mut self.entries[origin * self.n..(origin + 1) * self.n] {
             *e = LinkEntry::dead();
         }
         self.row_time[origin] = None;
     }
 
-    /// **The round-two kernel.** Best one-hop path `a → h → b` (or the
-    /// direct link, represented as `h == b`) computable from rows `a` and
-    /// `b`, both of which must be fresh (≤ `max_age` at `now`).
-    ///
-    /// Link costs are assumed symmetric (paper section 3), so the path
-    /// cost is `row_a[h] + row_b[h]`; the direct cost is the *minimum* of
-    /// the two directions' estimates (they may disagree transiently).
-    /// Ties prefer the direct link, then the lowest hop index, making the
-    /// recommendation deterministic across rendezvous servers with
-    /// identical data.
-    ///
-    /// Returns `None` when either row is missing/stale or no finite path
-    /// exists.
-    #[must_use]
-    pub fn best_one_hop(
-        &self,
-        a: usize,
-        b: usize,
-        now: f64,
-        max_age: f64,
-    ) -> Option<(usize, Cost)> {
-        if a == b || !self.row_fresh(a, now, max_age) || !self.row_fresh(b, now, max_age) {
-            return None;
-        }
-        let row_a = self.row(a);
-        let row_b = self.row(b);
-        let direct = row_a[b].cost().min(row_b[a].cost());
-        let mut best_hop = b;
-        let mut best_cost = direct;
-        for h in 0..self.n {
-            if h == a || h == b {
-                continue;
-            }
-            let c = row_a[h].cost() + row_b[h].cost();
-            if c < best_cost {
-                best_cost = c;
-                best_hop = h;
-            }
-        }
-        best_cost.is_finite().then_some((best_hop, best_cost))
+    fn row(&self, origin: usize) -> Option<&[LinkEntry]> {
+        self.row_time[origin]?;
+        Some(&self.entries[origin * self.n..(origin + 1) * self.n])
     }
 
-    /// All one-hop options from `a` to `b` with finite cost, sorted by
-    /// cost (the §4.2 "redundant link-state information" scavenging uses
-    /// this over the rows a node happens to hold).
-    #[must_use]
-    pub fn one_hop_options(
-        &self,
-        a: usize,
-        b: usize,
-        now: f64,
-        max_age: f64,
-    ) -> Vec<(usize, Cost)> {
-        if a == b || !self.row_fresh(a, now, max_age) {
-            return Vec::new();
-        }
-        let row_a = self.row(a);
-        let mut out = Vec::new();
-        for h in 0..self.n {
-            if h == a || h == b {
-                continue;
-            }
-            if !self.row_fresh(h, now, max_age) {
-                continue;
-            }
-            let c = row_a[h].cost() + self.cost(h, b);
-            if c.is_finite() {
-                out.push((h, c));
-            }
-        }
-        out.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap().then(x.0.cmp(&y.0)));
-        out
+    fn row_time(&self, origin: usize) -> Option<f64> {
+        self.row_time[origin]
     }
 
-    /// Does any fresh row report `dst` as alive? (Used to decide whether a
-    /// destination has failed outright — section 4.1's "check if any of
-    /// its rendezvous clients' link-state tables show that Dst is
-    /// reachable".)
-    #[must_use]
-    pub fn anyone_reaches(&self, dst: usize, now: f64, max_age: f64) -> bool {
-        (0..self.n).any(|origin| {
-            origin != dst && self.row_fresh(origin, now, max_age) && self.entry(origin, dst).alive
-        })
+    fn present_rows(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&i| self.row_time[i].is_some())
+            .collect()
     }
 
-    /// The cost of the path `a → h → b` using current rows; infinite when
-    /// anything is missing. `h == b` means the direct link.
-    #[must_use]
-    pub fn path_cost(&self, a: usize, h: usize, b: usize) -> Cost {
-        if h == b {
-            return self.cost(a, b);
-        }
-        let c = self.cost(a, h) + self.cost(h, b);
-        if c.is_finite() {
-            c
-        } else {
-            INFINITE_COST
-        }
+    fn row_count(&self) -> usize {
+        self.row_time.iter().filter(|t| t.is_some()).count()
+    }
+
+    fn entry_count(&self) -> usize {
+        // Dense: the full matrix is allocated whether received or not.
+        self.entries.len()
     }
 }
 
@@ -359,6 +237,16 @@ mod tests {
         assert_eq!(t.row_age(0, 5.0), Some(2.0));
         assert!(t.row_fresh(0, 5.0, 2.0));
         assert!(!t.row_fresh(0, 5.1, 2.0));
+    }
+
+    #[test]
+    fn state_accounting_is_dense() {
+        let mut t = LinkStateTable::new(5);
+        assert_eq!(t.entry_count(), 25, "dense allocates n² regardless");
+        assert_eq!(t.row_count(), 0);
+        t.update_row(3, &live_row(&[1, 1, 1, 1, 1]), 0.0);
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.present_rows(), vec![3]);
     }
 
     #[test]

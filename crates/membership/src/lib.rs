@@ -67,6 +67,6 @@ pub mod swim;
 pub mod view;
 pub mod wire;
 
-pub use swim::{AntiEntropyConfig, Swim, SwimConfig};
+pub use swim::{AntiEntropyConfig, Swim, SwimConfig, SyncStats};
 pub use view::{MemberState, ViewLedger};
 pub use wire::{SwimMsg, SwimStatus, SwimUpdate};

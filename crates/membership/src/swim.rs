@@ -68,6 +68,29 @@ pub struct AntiEntropyConfig {
     /// [`SWIM_MTU_FRAME_ENTRIES`]; hard wire cap
     /// [`SWIM_MAX_FRAME_ENTRIES`].
     pub max_entries_per_frame: usize,
+    /// Open each sync round with a 15-byte version digest
+    /// ([`SwimMsg::SyncDigest`]) instead of the `O(n)` full-ledger
+    /// push. A partner whose ledger fingerprint matches answers with an
+    /// empty delta and the transfer is skipped; on mismatch the partner
+    /// echoes its digest and the initiator proceeds with the full push
+    /// (one extra RTT). In steady state almost every pair agrees, so
+    /// this turns the per-period sync cost from `O(n)` bytes into
+    /// `O(1)` — worthwhile past a few hundred members.
+    pub digest_first: bool,
+    /// Dead-record GC: a member that has been confirmed dead for this
+    /// many sync periods is *tombstone-expired* — it stops being chosen
+    /// as a sync partner, so long-lived ledgers stop wasting sync
+    /// rounds on permanently dead members. `0` disables expiry.
+    ///
+    /// The window must comfortably exceed any partition you expect to
+    /// heal: partition healing works precisely because dead members
+    /// stay in the partner pool (see the struct docs), and it keeps
+    /// working as long as the split is shorter than
+    /// `tombstone_gc_syncs · sync_period_s`. The records themselves
+    /// are never deleted from the ledger — removal would break the
+    /// version lattice's monotonicity and resurrect tombstones through
+    /// peers that still hold them; only *partner selection* forgets.
+    pub tombstone_gc_syncs: u32,
 }
 
 impl Default for AntiEntropyConfig {
@@ -76,6 +99,8 @@ impl Default for AntiEntropyConfig {
             enabled: true,
             sync_period_s: 4.0,
             max_entries_per_frame: SWIM_MTU_FRAME_ENTRIES,
+            digest_first: true,
+            tombstone_gc_syncs: 50,
         }
     }
 }
@@ -281,6 +306,20 @@ struct PendingSync {
     chunks: BTreeMap<u8, Vec<SwimUpdate>>,
 }
 
+/// Anti-entropy round accounting (per node; experiments sum these
+/// across the fleet).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SyncStats {
+    /// Digest-only rounds this node opened as initiator.
+    pub digest_rounds: u64,
+    /// Rounds where this node, as *responder*, matched the initiator's
+    /// digest — each one is a full-ledger transfer that never happened.
+    pub digest_skips: u64,
+    /// Full-ledger pushes this node sent (digest mismatch, or digests
+    /// disabled).
+    pub full_pushes: u64,
+}
+
 /// The per-node SWIM state machine.
 #[derive(Debug, Clone)]
 pub struct Swim {
@@ -303,6 +342,20 @@ pub struct Swim {
     next_sync_at: Option<f64>,
     pending_syncs: BTreeMap<NodeId, PendingSync>,
     answered_syncs: BTreeMap<NodeId, u32>,
+    /// When each currently-dead member was (last) confirmed dead here —
+    /// the clock behind [`AntiEntropyConfig::tombstone_gc_syncs`].
+    /// Entries vanish on resurrection.
+    tombstones: BTreeMap<NodeId, f64>,
+    /// The digest round in flight: `(partner, seq)` — a matching echo
+    /// triggers the full push.
+    outstanding_digest: Option<(NodeId, u32)>,
+    /// Last digest `seq` answered per sender. A duplicated (or late)
+    /// digest frame is dropped instead of re-answered: without this, a
+    /// single duplicated mismatch echo bounces between two diverged
+    /// peers forever (each side sees a "fresh" digest, mismatches, and
+    /// echoes back) — the digest analogue of `answered_syncs`.
+    answered_digests: BTreeMap<NodeId, u32>,
+    sync_stats: SyncStats,
     departed: bool,
 }
 
@@ -359,6 +412,10 @@ impl Swim {
             next_sync_at: None,
             pending_syncs: BTreeMap::new(),
             answered_syncs: BTreeMap::new(),
+            tombstones: BTreeMap::new(),
+            outstanding_digest: None,
+            answered_digests: BTreeMap::new(),
+            sync_stats: SyncStats::default(),
             departed: false,
         }
     }
@@ -412,6 +469,41 @@ impl Swim {
         (self.ledger.version(), self.ledger.members())
     }
 
+    /// Anti-entropy round accounting.
+    #[must_use]
+    pub fn sync_stats(&self) -> SyncStats {
+        self.sync_stats
+    }
+
+    /// Is `id` tombstone-expired at `now` — confirmed dead long enough
+    /// that anti-entropy partner selection has forgotten it?
+    #[must_use]
+    pub fn is_tombstone_expired(&self, id: NodeId, now: f64) -> bool {
+        let k = self.cfg.anti_entropy.tombstone_gc_syncs;
+        if k == 0 {
+            return false;
+        }
+        let window = f64::from(k) * self.cfg.anti_entropy.sync_period_s;
+        self.tombstones
+            .get(&id)
+            .is_some_and(|&dead_at| now - dead_at >= window)
+    }
+
+    /// Apply one confirmed event to the ledger, maintaining the
+    /// tombstone clock: a member that (re-)enters the dead state is
+    /// stamped `now`; a resurrection clears the stamp.
+    fn ledger_apply(&mut self, now: f64, id: NodeId, incarnation: u32, dead: bool) -> bool {
+        let moved = self.ledger.apply(id, incarnation, dead);
+        if moved {
+            if dead {
+                self.tombstones.insert(id, now);
+            } else {
+                self.tombstones.remove(&id);
+            }
+        }
+        moved
+    }
+
     // ------------------------------------------------------------------
     // Driver interface
     // ------------------------------------------------------------------
@@ -442,7 +534,7 @@ impl Swim {
             SwimMsg::Ping { from, seq, .. } => {
                 // A ping proves the sender exists; incarnation 0 is the
                 // weakest claim, so stale knowledge is never overwritten.
-                self.ledger.apply(*from, 0, false);
+                self.ledger_apply(now, *from, 0, false);
                 let mut updates = self.take_piggyback();
                 // A pinger our ledger marks dead doesn't know it was
                 // confirmed faulty (the original gossip has long left
@@ -497,7 +589,7 @@ impl Swim {
             SwimMsg::PingReq {
                 from, target, seq, ..
             } => {
-                self.ledger.apply(*from, 0, false);
+                self.ledger_apply(now, *from, 0, false);
                 self.seq = self.seq.wrapping_add(1);
                 self.relays.push(Relay {
                     origin: *from,
@@ -574,8 +666,66 @@ impl Swim {
                     }
                 }
             }
-            // The pull half: nothing beyond the generic merge above.
-            SwimMsg::SyncRsp { .. } => {}
+            // The pull half: the generic merge above does the work;
+            // an (empty or not) response also closes any digest round
+            // in flight with this partner.
+            SwimMsg::SyncRsp { from, seq, .. } => {
+                if self.outstanding_digest == Some((*from, *seq)) {
+                    self.outstanding_digest = None;
+                }
+            }
+            SwimMsg::SyncDigest {
+                from,
+                seq,
+                fingerprint,
+                known,
+                ..
+            } => {
+                if self.outstanding_digest == Some((*from, *seq)) {
+                    // The partner echoed our round's digest back: the
+                    // fingerprints disagree, so the short-circuit
+                    // failed — proceed with the full push-pull.
+                    self.outstanding_digest = None;
+                    self.sync_stats.full_pushes += 1;
+                    self.push_full_ledger(*from, out);
+                } else if self.answered_digests.get(from) == Some(seq) {
+                    // Duplicated or stale frame from an already-answered
+                    // round: answering again would start a data-free
+                    // digest ping-pong between diverged peers (and act
+                    // as a replay amplifier).
+                } else {
+                    self.answered_digests.insert(*from, *seq);
+                    let (my_fingerprint, my_known) = self.digest_fingerprint();
+                    if *fingerprint == my_fingerprint && *known == my_known {
+                        // Converged pair: skip the transfer. The empty
+                        // response still tells the initiator the
+                        // partner is reachable and the round is done.
+                        self.sync_stats.digest_skips += 1;
+                        out.push((
+                            *from,
+                            SwimMsg::SyncRsp {
+                                from: self.me,
+                                to: *from,
+                                seq: *seq,
+                                updates: Vec::new(),
+                            },
+                        ));
+                    } else {
+                        // Mismatch: echo our digest so the initiator
+                        // pushes its full ledger.
+                        out.push((
+                            *from,
+                            SwimMsg::SyncDigest {
+                                from: self.me,
+                                to: *from,
+                                seq: *seq,
+                                fingerprint: my_fingerprint,
+                                known: my_known,
+                            },
+                        ));
+                    }
+                }
+            }
         }
     }
 
@@ -823,7 +973,7 @@ impl Swim {
             .collect();
         for (id, incarnation) in expired {
             self.suspicions.remove(&id);
-            if self.ledger.apply(id, incarnation, true) {
+            if self.ledger_apply(now, id, incarnation, true) {
                 self.enqueue_gossip(SwimUpdate {
                     id,
                     incarnation,
@@ -841,7 +991,7 @@ impl Swim {
             }
             match u.status {
                 SwimStatus::Alive => {
-                    if self.ledger.apply(u.id, u.incarnation, false) {
+                    if self.ledger_apply(now, u.id, u.incarnation, false) {
                         // A higher incarnation refutes any older suspicion.
                         if self
                             .suspicions
@@ -861,7 +1011,7 @@ impl Swim {
                     }
                     // A suspected member is still a member at that
                     // incarnation.
-                    self.ledger.apply(u.id, u.incarnation, false);
+                    self.ledger_apply(now, u.id, u.incarnation, false);
                     let fresh = match self.suspicions.get(&u.id) {
                         Some(s) => u.incarnation > s.incarnation,
                         None => true,
@@ -871,7 +1021,7 @@ impl Swim {
                     }
                 }
                 SwimStatus::Faulty | SwimStatus::Left => {
-                    if self.ledger.apply(u.id, u.incarnation, true) {
+                    if self.ledger_apply(now, u.id, u.incarnation, true) {
                         self.suspicions.remove(&u.id);
                         self.enqueue_gossip(*u);
                     }
@@ -919,25 +1069,65 @@ impl Swim {
             }
             Some(t) if now >= t => {
                 self.next_sync_at = Some(now + period);
-                self.start_sync(out);
+                self.start_sync(now, out);
             }
             Some(_) => {}
         }
     }
 
-    /// Push the full ledger to one partner chosen uniformly from every
-    /// member ever heard of (dead or alive — see [`AntiEntropyConfig`]
-    /// for why dead partners must stay in the pool).
-    fn start_sync(&mut self, out: &mut Vec<(NodeId, SwimMsg)>) {
+    /// The ledger fingerprint carried by digest frames: the FNV content
+    /// hash plus the known-member count. Never the salted version sum —
+    /// its small-integer weights would let two *diverged* ledgers
+    /// (e.g. the two sides of a healed partition) collide at
+    /// percent-level odds and silently pin anti-entropy off between
+    /// them; the content hash collides at ≈ 2⁻³².
+    fn digest_fingerprint(&self) -> (u32, u16) {
+        let known = self.ledger.known().min(usize::from(u16::MAX)) as u16;
+        (self.ledger.fingerprint(), known)
+    }
+
+    /// Open one sync round towards a partner chosen uniformly from
+    /// every member ever heard of — dead or alive (see
+    /// [`AntiEntropyConfig`] for why dead partners must stay in the
+    /// pool) — except members whose tombstone has expired
+    /// ([`AntiEntropyConfig::tombstone_gc_syncs`]): a ledger full of
+    /// permanently dead members would otherwise waste a growing share
+    /// of rounds syncing into silence. With `digest_first` the round
+    /// opens with a 15-byte fingerprint; otherwise with the full push.
+    fn start_sync(&mut self, now: f64, out: &mut Vec<(NodeId, SwimMsg)>) {
         let candidates: Vec<NodeId> = self
             .ledger
             .iter()
             .map(|(id, _)| id)
             .filter(|&id| id != self.me)
+            .filter(|&id| !self.is_tombstone_expired(id, now))
             .collect();
         let Some(&target) = candidates.choose(&mut self.rng) else {
             return;
         };
+        if self.cfg.anti_entropy.digest_first {
+            self.seq = self.seq.wrapping_add(1);
+            self.outstanding_digest = Some((target, self.seq));
+            self.sync_stats.digest_rounds += 1;
+            let (fingerprint, known) = self.digest_fingerprint();
+            out.push((
+                target,
+                SwimMsg::SyncDigest {
+                    from: self.me,
+                    to: target,
+                    seq: self.seq,
+                    fingerprint,
+                    known,
+                },
+            ));
+        } else {
+            self.sync_stats.full_pushes += 1;
+            self.push_full_ledger(target, out);
+        }
+    }
+
+    /// The push half of a round: the full ledger, chunked, to `target`.
+    fn push_full_ledger(&mut self, target: NodeId, out: &mut Vec<(NodeId, SwimMsg)>) {
         self.seq = self.seq.wrapping_add(1);
         let seq = self.seq;
         let mut entries = self.ledger_entries();
@@ -1700,7 +1890,8 @@ mod tests {
         );
         assert!(!a.ledger().is_live(NodeId(1)));
         // Node 1 is the only possible partner; over a few sync periods
-        // a SyncReq towards it must appear even though it is "dead".
+        // a sync round towards it must open even though it is "dead"
+        // (with digest_first on, the opener is the digest frame).
         let mut out = Vec::new();
         let mut t = 0.0;
         while t < 10.0 {
@@ -1708,10 +1899,195 @@ mod tests {
             t += 0.25;
         }
         assert!(
-            out.iter()
-                .any(|(to, m)| *to == NodeId(1) && matches!(m, SwimMsg::SyncReq { .. })),
+            out.iter().any(|(to, m)| *to == NodeId(1)
+                && matches!(m, SwimMsg::SyncReq { .. } | SwimMsg::SyncDigest { .. })),
             "sync must reach across the dead boundary"
         );
+    }
+
+    #[test]
+    fn digest_round_skips_transfer_when_converged() {
+        let members = ids(&[0, 1, 2]);
+        let mut a = Swim::bootstrap(NodeId(0), sync_cfg(1, 1.0), &members);
+        let mut b = Swim::bootstrap(NodeId(1), sync_cfg(2, 1.0), &members);
+        // Drive a until it opens a sync round; with only digest_first
+        // rounds, the opener must be a digest, not a full push.
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while !out
+            .iter()
+            .any(|(_, m)| matches!(m, SwimMsg::SyncDigest { .. }))
+        {
+            assert!(t < 20.0, "digest round must open");
+            a.on_tick(t, &mut out);
+            t += 0.25;
+        }
+        assert!(
+            !out.iter()
+                .any(|(_, m)| matches!(m, SwimMsg::SyncReq { .. })),
+            "converged steady state must not push full ledgers"
+        );
+        let (_, digest) = out
+            .iter()
+            .find(|(_, m)| matches!(m, SwimMsg::SyncDigest { .. }))
+            .cloned()
+            .unwrap();
+        // Every bootstrapped ledger is identical, so b can answer the
+        // digest whichever partner a picked: empty delta, skip counted.
+        let mut rsp = Vec::new();
+        b.on_message(t, &digest, &mut rsp);
+        assert_eq!(b.sync_stats().digest_skips, 1);
+        assert_eq!(rsp.len(), 1);
+        let SwimMsg::SyncRsp { updates, .. } = &rsp[0].1 else {
+            panic!("converged digest must be answered with an empty SyncRsp");
+        };
+        assert!(updates.is_empty());
+        // The initiator closes the round; no full push follows.
+        let mut follow = Vec::new();
+        a.on_message(t + 0.1, &rsp[0].1, &mut follow);
+        assert!(follow.is_empty());
+        assert_eq!(a.sync_stats().full_pushes, 0);
+        assert!(a.sync_stats().digest_rounds >= 1);
+    }
+
+    #[test]
+    fn digest_mismatch_falls_back_to_full_push_pull() {
+        let members = ids(&[0, 1]);
+        let mut a = Swim::bootstrap(NodeId(0), sync_cfg(1, 1.0), &members);
+        let mut b = Swim::bootstrap(NodeId(1), sync_cfg(2, 1.0), &members);
+        // Diverge the pair.
+        a.apply_updates(
+            0.0,
+            &[SwimUpdate {
+                id: NodeId(9),
+                incarnation: 0,
+                status: SwimStatus::Alive,
+            }],
+        );
+        assert_ne!(a.ledger(), b.ledger());
+        // a opens a digest round towards b (the only partner).
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while !out
+            .iter()
+            .any(|(_, m)| matches!(m, SwimMsg::SyncDigest { .. }))
+        {
+            assert!(t < 20.0);
+            a.on_tick(t, &mut out);
+            t += 0.25;
+        }
+        let digest = out
+            .iter()
+            .find(|(_, m)| matches!(m, SwimMsg::SyncDigest { .. }))
+            .cloned()
+            .unwrap()
+            .1;
+        // b mismatches: echoes its own digest, no transfer yet.
+        let mut echo = Vec::new();
+        b.on_message(t, &digest, &mut echo);
+        assert_eq!(echo.len(), 1);
+        assert!(matches!(echo[0].1, SwimMsg::SyncDigest { .. }));
+        assert_eq!(b.sync_stats().digest_skips, 0);
+        // The echo triggers a's full push; the normal push-pull then
+        // converges the pair.
+        let mut push = Vec::new();
+        a.on_message(t + 0.1, &echo[0].1, &mut push);
+        assert!(!push.is_empty());
+        assert!(push
+            .iter()
+            .all(|(_, m)| matches!(m, SwimMsg::SyncReq { .. })));
+        assert_eq!(a.sync_stats().full_pushes, 1);
+        let mut delta = Vec::new();
+        for (_, m) in &push {
+            b.on_message(t + 0.2, m, &mut delta);
+        }
+        for (_, m) in &delta {
+            a.on_message(t + 0.3, m, &mut Vec::new());
+        }
+        assert_eq!(a.ledger(), b.ledger(), "push-pull must converge the pair");
+    }
+
+    #[test]
+    fn expired_tombstones_leave_the_partner_pool() {
+        // k = 3 sync periods of 1 s: the dead member is a valid partner
+        // inside the window and excluded after it.
+        let c = SwimConfig::default()
+            .with_seed(5)
+            .with_anti_entropy(AntiEntropyConfig {
+                enabled: true,
+                sync_period_s: 1.0,
+                tombstone_gc_syncs: 3,
+                ..AntiEntropyConfig::default()
+            });
+        let members = ids(&[0, 1]);
+        let mut a = Swim::bootstrap(NodeId(0), c, &members);
+        a.apply_updates(
+            0.0,
+            &[SwimUpdate {
+                id: NodeId(1),
+                incarnation: 0,
+                status: SwimStatus::Faulty,
+            }],
+        );
+        assert!(!a.is_tombstone_expired(NodeId(1), 2.9));
+        assert!(a.is_tombstone_expired(NodeId(1), 3.0));
+        // Within the window sync rounds still target the dead member…
+        let mut early = Vec::new();
+        let mut t = 0.0;
+        while t < 2.5 {
+            a.on_tick(t, &mut early);
+            t += 0.25;
+        }
+        assert!(
+            early.iter().any(|(to, m)| *to == NodeId(1)
+                && matches!(m, SwimMsg::SyncDigest { .. } | SwimMsg::SyncReq { .. })),
+            "dead member must stay a partner inside the tombstone window"
+        );
+        // …after it, the pool is empty (node 1 was the only partner) and
+        // rounds stop entirely. (Rounds firing in [2.5, 3.25) may still
+        // legitimately target the not-yet-expired tombstone; drain them.)
+        let mut boundary = Vec::new();
+        while t < 3.25 {
+            a.on_tick(t, &mut boundary);
+            t += 0.25;
+        }
+        let mut late = Vec::new();
+        while t < 20.0 {
+            a.on_tick(t, &mut late);
+            t += 0.25;
+        }
+        assert!(
+            !late.iter().any(|(to, m)| *to == NodeId(1)
+                && matches!(m, SwimMsg::SyncDigest { .. } | SwimMsg::SyncReq { .. })),
+            "expired tombstones must not be chosen as sync partners"
+        );
+    }
+
+    #[test]
+    fn resurrection_clears_the_tombstone() {
+        let c = sync_cfg(1, 1.0);
+        let members = ids(&[0, 1, 2]);
+        let mut a = Swim::bootstrap(NodeId(0), c, &members);
+        a.apply_updates(
+            0.0,
+            &[SwimUpdate {
+                id: NodeId(1),
+                incarnation: 0,
+                status: SwimStatus::Faulty,
+            }],
+        );
+        assert!(a.is_tombstone_expired(NodeId(1), 1e9));
+        // The member refutes with a higher incarnation: tombstone gone.
+        a.apply_updates(
+            5.0,
+            &[SwimUpdate {
+                id: NodeId(1),
+                incarnation: 1,
+                status: SwimStatus::Alive,
+            }],
+        );
+        assert!(a.ledger().is_live(NodeId(1)));
+        assert!(!a.is_tombstone_expired(NodeId(1), 1e9));
     }
 
     #[test]

@@ -182,6 +182,34 @@ impl ViewLedger {
         self.records.len()
     }
 
+    /// A 32-bit content fingerprint: FNV-1a over the sorted records,
+    /// folded from 64 bits. Equal ledgers give equal fingerprints;
+    /// *different* ledgers collide with probability ≈ 2⁻³², not the
+    /// percent-level odds of the salted [`version`](Self::version) sum
+    /// — which is why anti-entropy digests compare this, never the
+    /// version. (Unlike the version it is not monotone; it only
+    /// answers "same or different?".)
+    #[must_use]
+    pub fn fingerprint(&self) -> u32 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for (&id, s) in &self.records {
+            for b in id.0.to_be_bytes() {
+                eat(b);
+            }
+            for b in s.incarnation.to_be_bytes() {
+                eat(b);
+            }
+            eat(u8::from(s.dead));
+        }
+        (h ^ (h >> 32)) as u32
+    }
+
     /// Iterate over all records (diagnostics, anti-entropy follow-on).
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, MemberState)> + '_ {
         self.records.iter().map(|(&id, &s)| (id, s))
@@ -248,6 +276,51 @@ mod tests {
         assert!(!ledger.is_live(NodeId(4)));
         assert!(ledger.apply(NodeId(4), 2, false), "alive(2) resurrects");
         assert!(ledger.is_live(NodeId(4)));
+    }
+
+    #[test]
+    fn fingerprint_separates_what_the_version_sum_conflates() {
+        // Two ledgers diverged by different events can share a version
+        // (the salted sum has percent-level collisions); the content
+        // fingerprint must still tell them apart. Construct a real sum
+        // collision: two dead-flips whose salts are equal.
+        let ids: Vec<NodeId> = (0..200).map(NodeId).collect();
+        let (a_id, b_id) = {
+            let mut found = None;
+            'outer: for &a in &ids {
+                for &b in &ids {
+                    if a != b {
+                        let base = ViewLedger::bootstrap(&[a, b]);
+                        let mut da = base.clone();
+                        da.apply(a, 0, true);
+                        let mut db = base.clone();
+                        db.apply(b, 0, true);
+                        if da.version() == db.version() {
+                            found = Some((a, b));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            found.expect("16 salt values over 200 ids must collide")
+        };
+        let base = ViewLedger::bootstrap(&[a_id, b_id]);
+        let mut da = base.clone();
+        da.apply(a_id, 0, true);
+        let mut db = base.clone();
+        db.apply(b_id, 0, true);
+        assert_eq!(da.version(), db.version(), "constructed version collision");
+        assert_ne!(da, db);
+        assert_ne!(
+            da.fingerprint(),
+            db.fingerprint(),
+            "the content fingerprint must separate diverged ledgers"
+        );
+        // Equal ledgers always agree.
+        assert_eq!(
+            base.fingerprint(),
+            ViewLedger::bootstrap(&[b_id, a_id]).fingerprint()
+        );
     }
 
     #[test]

@@ -41,9 +41,13 @@ const T_PING_REQ: u8 = SWIM_TAG_BASE + 2;
 const T_PROXY_ACK: u8 = SWIM_TAG_BASE + 3;
 const T_SYNC_REQ: u8 = SWIM_TAG_BASE + 4;
 const T_SYNC_RSP: u8 = SWIM_TAG_BASE + 5;
+const T_SYNC_DIGEST: u8 = SWIM_TAG_BASE + 6;
 
 /// Bytes of the fixed ping/ack header (tag, from, to, seq, count).
 pub const SWIM_HEADER_SIZE: usize = 10;
+/// Bytes of a digest frame (tag, from, to, seq, version, known) — the
+/// whole message; a digest carries no updates.
+pub const SWIM_DIGEST_SIZE: usize = 15;
 /// Bytes each piggybacked update adds.
 pub const SWIM_UPDATE_SIZE: usize = 7;
 /// Most ledger entries one sync frame can carry (the count field is one
@@ -60,7 +64,7 @@ pub const SWIM_MTU_FRAME_ENTRIES: usize = 208;
 /// Does a datagram starting with `tag` belong to the SWIM plane?
 #[must_use]
 pub fn is_swim_tag(tag: u8) -> bool {
-    (T_PING..=T_SYNC_RSP).contains(&tag)
+    (T_PING..=T_SYNC_DIGEST).contains(&tag)
 }
 
 /// Decode errors (mirrors `apor_linkstate::wire::WireError`).
@@ -227,6 +231,34 @@ pub enum SwimMsg {
         /// Delta records.
         updates: Vec<SwimUpdate>,
     },
+    /// Anti-entropy version digest: a 15-byte first frame carrying only
+    /// the sender's ledger fingerprint. The initiator opens a sync
+    /// round with this instead of the `O(n)` full-ledger push; a
+    /// receiver whose fingerprint matches answers with an empty
+    /// [`SwimMsg::SyncRsp`] (transfer skipped — the steady-state case),
+    /// while a mismatching receiver echoes its *own* digest back, which
+    /// tells the initiator to proceed with the full [`SwimMsg::SyncReq`]
+    /// push. One extra RTT when ledgers diverge; `O(1)` instead of
+    /// `O(n)` bytes when they already agree.
+    SyncDigest {
+        /// The digest sender.
+        from: NodeId,
+        /// The sync partner (or, when echoing, the round's initiator).
+        to: NodeId,
+        /// Correlates the round (the initiator's per-sender sequence;
+        /// echoed verbatim in the mismatch reply).
+        seq: u32,
+        /// The sender's ledger *content fingerprint*
+        /// (`ViewLedger::fingerprint`, an FNV-1a fold) — deliberately
+        /// NOT the salted version sum, whose small-integer weights let
+        /// diverged ledgers collide at percent-level odds (which would
+        /// silently disable anti-entropy between them); the hash
+        /// collides at ≈ 2⁻³².
+        fingerprint: u32,
+        /// Number of members the sender's ledger has ever heard of
+        /// (saturating at `u16::MAX`) — a cheap second component.
+        known: u16,
+    },
 }
 
 impl SwimMsg {
@@ -239,7 +271,8 @@ impl SwimMsg {
             | SwimMsg::PingReq { from, .. }
             | SwimMsg::ProxyAck { from, .. }
             | SwimMsg::SyncReq { from, .. }
-            | SwimMsg::SyncRsp { from, .. } => *from,
+            | SwimMsg::SyncRsp { from, .. }
+            | SwimMsg::SyncDigest { from, .. } => *from,
         }
     }
 
@@ -252,11 +285,12 @@ impl SwimMsg {
             | SwimMsg::PingReq { to, .. }
             | SwimMsg::ProxyAck { to, .. }
             | SwimMsg::SyncReq { to, .. }
-            | SwimMsg::SyncRsp { to, .. } => *to,
+            | SwimMsg::SyncRsp { to, .. }
+            | SwimMsg::SyncDigest { to, .. } => *to,
         }
     }
 
-    /// The piggybacked gossip.
+    /// The piggybacked gossip (digests carry none).
     #[must_use]
     pub fn updates(&self) -> &[SwimUpdate] {
         match self {
@@ -266,6 +300,7 @@ impl SwimMsg {
             | SwimMsg::ProxyAck { updates, .. }
             | SwimMsg::SyncReq { updates, .. }
             | SwimMsg::SyncRsp { updates, .. } => updates,
+            SwimMsg::SyncDigest { .. } => &[],
         }
     }
 
@@ -275,6 +310,7 @@ impl SwimMsg {
         let target = match self {
             SwimMsg::Ping { .. } | SwimMsg::Ack { .. } | SwimMsg::SyncRsp { .. } => 0,
             SwimMsg::PingReq { .. } | SwimMsg::ProxyAck { .. } | SwimMsg::SyncReq { .. } => 2,
+            SwimMsg::SyncDigest { .. } => return SWIM_DIGEST_SIZE,
         };
         SWIM_HEADER_SIZE + target + SWIM_UPDATE_SIZE * self.updates().len()
     }
@@ -287,6 +323,23 @@ impl SwimMsg {
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(self.wire_size());
+        // The digest frame has its own fixed layout (no update list).
+        if let SwimMsg::SyncDigest {
+            from,
+            to,
+            seq,
+            fingerprint,
+            known,
+        } = self
+        {
+            b.put_u8(T_SYNC_DIGEST);
+            b.put_u16(from.0);
+            b.put_u16(to.0);
+            b.put_u32(*seq);
+            b.put_u32(*fingerprint);
+            b.put_u16(*known);
+            return b.freeze();
+        }
         // The two optional header bytes: a probe target for
         // ping-req/proxy-ack, `(chunk, chunks)` for sync requests.
         let (tag, from, to, seq, extra, updates) = match self {
@@ -337,6 +390,7 @@ impl SwimMsg {
                 seq,
                 updates,
             } => (T_SYNC_RSP, from, to, seq, None, updates),
+            SwimMsg::SyncDigest { .. } => unreachable!("encoded above"),
         };
         assert!(updates.len() <= usize::from(u8::MAX), "piggyback overflow");
         b.put_u8(tag);
@@ -372,6 +426,25 @@ impl SwimMsg {
         let from = NodeId(b.get_u16());
         let to = NodeId(b.get_u16());
         let seq = b.get_u32();
+        if tag == T_SYNC_DIGEST {
+            // Fixed 15-byte layout: no update list, no count byte.
+            if b.remaining() != 6 {
+                return Err(if b.remaining() < 6 {
+                    SwimWireError::Truncated
+                } else {
+                    SwimWireError::BadLength
+                });
+            }
+            let fingerprint = b.get_u32();
+            let known = b.get_u16();
+            return Ok(SwimMsg::SyncDigest {
+                from,
+                to,
+                seq,
+                fingerprint,
+                known,
+            });
+        }
         let extra = if tag == T_PING_REQ || tag == T_PROXY_ACK || tag == T_SYNC_REQ {
             if b.remaining() < 3 {
                 return Err(SwimWireError::Truncated);
@@ -520,10 +593,39 @@ mod tests {
                 seq: 80,
                 updates: vec![],
             },
+            SwimMsg::SyncDigest {
+                from: NodeId(3),
+                to: NodeId(9),
+                seq: 81,
+                fingerprint: 0xDEAD_BEEF,
+                known: 140,
+            },
         ];
         for m in &msgs {
             assert_eq!(&roundtrip(m), m);
         }
+    }
+
+    #[test]
+    fn digest_frame_is_constant_size() {
+        let d = SwimMsg::SyncDigest {
+            from: NodeId(1),
+            to: NodeId(2),
+            seq: 7,
+            fingerprint: u32::MAX,
+            known: u16::MAX,
+        };
+        assert_eq!(d.wire_size(), SWIM_DIGEST_SIZE);
+        assert_eq!(d.encode().len(), SWIM_DIGEST_SIZE);
+        assert!(d.updates().is_empty());
+        // Truncations and trailing garbage are rejected.
+        let bytes = d.encode();
+        for cut in 0..bytes.len() {
+            assert!(SwimMsg::decode(&bytes[..cut]).is_err());
+        }
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(SwimMsg::decode(&long), Err(SwimWireError::BadLength));
     }
 
     #[test]

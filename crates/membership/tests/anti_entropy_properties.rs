@@ -208,4 +208,85 @@ proptest! {
         sync_exchange(&mut b1, &mut a1, 6.0, 2);
         prop_assert_eq!(a1.ledger(), a2.ledger());
     }
+
+    /// Dead-record GC preserves partition healing inside the tombstone
+    /// window: for an arbitrary death-confirmation time and an
+    /// arbitrary heal time strictly within `k · sync_period_s` of it,
+    /// the "dead" partner (the other side of the split) is still in the
+    /// sync partner pool, the crossing round still happens, the victim
+    /// still refutes with a bumped incarnation, and the pull half
+    /// resurrects it on the initiator. Past the window the partner
+    /// drops out of the pool — the GC doing its job.
+    #[test]
+    fn healing_works_anywhere_inside_the_tombstone_window(
+        k in 2u32..20,
+        sync_period_ds in 2u32..40,            // 0.2 s .. 4.0 s
+        death_frac in 0.0f64..1.0,             // when the death lands
+        heal_frac in 0.05f64..0.95,            // where in the window the heal falls
+        seed in 0u64..1000,
+    ) {
+        let sync_period_s = f64::from(sync_period_ds) / 10.0;
+        let cfg = |s: u64| SwimConfig::default().with_seed(s).with_anti_entropy(
+            apor_membership::AntiEntropyConfig {
+                enabled: true,
+                sync_period_s,
+                tombstone_gc_syncs: k,
+                ..apor_membership::AntiEntropyConfig::default()
+            },
+        );
+        let members: Vec<NodeId> = vec![NodeId(0), NodeId(1)];
+        let mut a = Swim::bootstrap(NodeId(0), cfg(seed), &members);
+        let mut b = Swim::bootstrap(NodeId(1), cfg(seed ^ 0xFF), &members);
+        let window = f64::from(k) * sync_period_s;
+        let death_at = death_frac * 100.0;
+        // The split: a confirms b dead at `death_at`. (Carried on a
+        // SyncRsp so the carrier's identity is not itself enrolled —
+        // b must stay a's *only* possible sync partner.)
+        let verdict = SwimUpdate { id: NodeId(1), incarnation: 0, status: SwimStatus::Faulty };
+        let carrier = SwimMsg::SyncRsp { from: NodeId(2), to: NodeId(0), seq: 99, updates: vec![verdict] };
+        a.on_message(death_at, &SwimMsg::decode(&carrier.encode()).unwrap(), &mut Vec::new());
+        prop_assert!(!a.ledger().is_live(NodeId(1)));
+
+        // The heal lands strictly inside the tombstone window, early
+        // enough that the next scheduled round (≤ 1 period away) still
+        // precedes expiry.
+        let heal_at = death_at + heal_frac * (window - 1.5 * sync_period_s).max(0.0);
+        prop_assert!(!a.is_tombstone_expired(NodeId(1), heal_at));
+        // …so b is still a legal partner: drive a's scheduler until it
+        // opens the crossing round.
+        let mut frames: Vec<(NodeId, SwimMsg)> = Vec::new();
+        let mut t = heal_at;
+        let deadline = heal_at + 4.0 * sync_period_s + 1.0;
+        while !frames.iter().any(|(to, _)| *to == NodeId(1)) {
+            prop_assert!(t < deadline, "no sync round opened towards the dead partner");
+            a.on_tick(t, &mut frames);
+            t += sync_period_s / 4.0;
+        }
+        // Deliver the full cascade: digest → mismatch echo → full push
+        // → delta (plus slack), every frame through the wire codec.
+        for _ in 0..5 {
+            let mut replies = Vec::new();
+            for (to, m) in frames.drain(..) {
+                let m = SwimMsg::decode(&m.encode()).unwrap();
+                if to == NodeId(1) {
+                    b.on_message(t, &m, &mut replies);
+                } else if to == NodeId(0) {
+                    a.on_message(t, &m, &mut replies);
+                }
+            }
+            // Re-address: replies from b go to a and vice versa.
+            frames = replies;
+            t += 0.01;
+        }
+        prop_assert!(
+            b.incarnation() > 0,
+            "the declared-dead node must have refuted (learned its own death verdict)"
+        );
+        prop_assert!(
+            a.ledger().is_live(NodeId(1)),
+            "the refutation must resurrect the member on the initiator"
+        );
+        // Past the window (fresh death, no heal), the partner expires.
+        prop_assert!(a.is_tombstone_expired(NodeId(1), death_at + window) || a.ledger().is_live(NodeId(1)));
+    }
 }

@@ -26,6 +26,21 @@
 //! [`apor_membership`](apor_membership), which removes the coordinator
 //! single point of failure while preserving the identical-views ⇒
 //! identical-grids invariant.
+//!
+//! ## View changes and the incremental remap
+//!
+//! Routers, probers and their link-state stores operate in *grid-index
+//! space* (positions in the current sorted member list); the wire
+//! carries identities. On a membership change the node rebuilds its
+//! router for the new grid but does **not** start from empty: the
+//! [`remap`] module translates every surviving link-state row by
+//! [`NodeId`](apor_quorum::NodeId) into the new index space, dropping
+//! rows that are stale (the 3-routing-interval freshness rule) or whose
+//! origin departed, and the router's entitlement filter drops rows the
+//! node's *new* grid role no longer grants it (a quorum node keeps only
+//! its own row and its rendezvous clients' — `O(√n)` rows, `O(n√n)`
+//! state). Prober estimator history is carried the same way, so a churn
+//! event relabels state instead of discarding measurements.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +48,7 @@
 pub mod config;
 pub mod membership;
 pub mod node;
+pub mod remap;
 pub mod simnode;
 #[cfg(feature = "udp")]
 compile_error!(

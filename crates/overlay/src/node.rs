@@ -485,8 +485,8 @@ impl OverlayNode {
         let my_index = view.index_of(self.cfg.id);
         let old = self.view.take();
         let old_prober = self.prober.take();
+        let old_router = self.router.take();
         self.my_index = my_index;
-        self.router = None;
         self.prober = None;
 
         if let Some(me) = my_index {
@@ -506,7 +506,7 @@ impl OverlayNode {
                 }
             }
             self.prober = Some(prober);
-            self.router = Some(match self.cfg.algorithm {
+            let mut router = match self.cfg.algorithm {
                 Algorithm::FullMesh => RouterBox::FullMesh(FullMeshRouter::new(
                     me,
                     n,
@@ -519,7 +519,30 @@ impl OverlayNode {
                     view.version,
                     self.cfg.protocol.clone(),
                 )),
-            });
+            };
+            // Incremental remap: translate the old router's surviving
+            // rows into the new index space by NodeId instead of
+            // rebuilding from empty — a view bump relabels the grid, it
+            // doesn't invalidate fresh measurements. Stale rows (older
+            // than the 3-interval window) are dropped here; the
+            // router's own entitlement filter drops rows whose origin
+            // is no longer a rendezvous client in the new grid.
+            if let (Some(old_view), Some(old_router)) = (&old, &old_router) {
+                let exported = old_router.as_dyn().export_rows();
+                let carried = crate::remap::remap_rows(
+                    &exported,
+                    old_view,
+                    &view,
+                    now,
+                    self.cfg.protocol.staleness_s(),
+                );
+                for (origin, received_at, entries) in carried {
+                    router
+                        .as_dyn_mut()
+                        .import_row(origin, &entries, received_at);
+                }
+            }
+            self.router = Some(router);
             if !self.routing_tick_armed {
                 // Desynchronize routing ticks across the fleet.
                 let phase = self

@@ -1,0 +1,145 @@
+//! Incremental view remap: carry surviving link-state rows across
+//! membership changes.
+//!
+//! Routers and their stores operate in *grid-index space* — positions
+//! in the sorted member list of the current view. A membership change
+//! permutes that space, so the old store's rows cannot be reused as-is.
+//! The seed implementation simply rebuilt every router from empty,
+//! throwing away up to `O(n√n)` perfectly fresh measurements on every
+//! churn event and blinding the overlay for a full probe-and-exchange
+//! cycle.
+//!
+//! [`remap_rows`] instead translates each surviving row **by
+//! [`NodeId`]**: the row of origin identity `o` moves to `o`'s index in
+//! the new view; within the row, the entry for destination identity `d`
+//! moves to `d`'s new index. Entries for departed members are dropped;
+//! entries for joined members start dead (they have never been
+//! measured). Rows whose origin departed, and rows older than the
+//! staleness window (the paper's 3-routing-interval rule, section
+//! 6.2.2 — stale rows would be ignored by the kernel anyway), are not
+//! carried. Receipt times are preserved, *not* refreshed: a remap is a
+//! relabeling, not new information.
+//!
+//! The router's [`import_row`](apor_routing::RoutingAlgorithm::import_row)
+//! applies its own entitlement filter on top — a quorum router keeps
+//! only rows owned by itself or its rendezvous clients *in the new
+//! grid*, so the remap cannot re-grow `O(n)` rows.
+
+use crate::membership::MembershipView;
+use apor_linkstate::LinkEntry;
+
+/// One surviving row, translated into the new view's index space:
+/// `(new origin index, original receipt time, full-width entries)`.
+pub type RemappedRow = (usize, f64, Vec<LinkEntry>);
+
+/// Translate exported rows from `old_view`'s index space into
+/// `new_view`'s, dropping rows that are stale at `now` (older than
+/// `max_age`) or whose origin left the overlay.
+#[must_use]
+pub fn remap_rows(
+    exported: &[(usize, f64, Vec<LinkEntry>)],
+    old_view: &MembershipView,
+    new_view: &MembershipView,
+    now: f64,
+    max_age: f64,
+) -> Vec<RemappedRow> {
+    let n_new = new_view.len();
+    // Precompute new index → old index once (O(n) lookups instead of a
+    // binary search per entry).
+    let new_to_old: Vec<Option<usize>> = new_view
+        .members
+        .iter()
+        .map(|&id| old_view.index_of(id))
+        .collect();
+    let mut out = Vec::new();
+    for (old_origin, received_at, entries) in exported {
+        if now - received_at > max_age {
+            continue; // 3-interval freshness rule: stale rows are dropped
+        }
+        let Some(origin_id) = old_view.id_of(*old_origin) else {
+            continue;
+        };
+        let Some(new_origin) = new_view.index_of(origin_id) else {
+            continue; // origin departed
+        };
+        if entries.len() != old_view.len() {
+            continue; // malformed export; never expected
+        }
+        let row: Vec<LinkEntry> = (0..n_new)
+            .map(|new_dst| {
+                new_to_old[new_dst].map_or_else(LinkEntry::dead, |old_dst| entries[old_dst])
+            })
+            .collect();
+        out.push((new_origin, *received_at, row));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apor_quorum::NodeId;
+
+    fn view(version: u32, ids: &[u16]) -> MembershipView {
+        MembershipView::new(version, ids.iter().map(|&i| NodeId(i)).collect())
+    }
+
+    fn row(costs: &[u16]) -> Vec<LinkEntry> {
+        costs
+            .iter()
+            .map(|&c| {
+                if c == u16::MAX {
+                    LinkEntry::dead()
+                } else {
+                    LinkEntry::live(c, 0.0)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn entries_move_by_identity() {
+        // Old view {1, 5, 9} → indices {0, 1, 2}. Node 5 leaves, node 3
+        // joins: new view {1, 3, 9} → node 9 moves from index 2 to 2,
+        // node 1 stays at 0, the new index 1 is node 3 (unmeasured).
+        let old = view(1, &[1, 5, 9]);
+        let new = view(2, &[1, 3, 9]);
+        let exported = vec![(0usize, 10.0, row(&[0, 50, 70]))];
+        let remapped = remap_rows(&exported, &old, &new, 12.0, 45.0);
+        assert_eq!(remapped.len(), 1);
+        let (origin, t, entries) = &remapped[0];
+        assert_eq!(*origin, 0, "node 1 keeps index 0");
+        assert_eq!(*t, 10.0, "receipt time preserved, not refreshed");
+        assert_eq!(entries[0].latency_ms, 0, "1→1 self entry");
+        assert!(!entries[1].alive, "joiner 3 starts dead");
+        assert_eq!(entries[2].latency_ms, 70, "1→9 carried by identity");
+    }
+
+    #[test]
+    fn departed_origin_rows_dropped() {
+        let old = view(1, &[1, 5, 9]);
+        let new = view(2, &[1, 9]);
+        // Node 5's row (old index 1) has no home in the new view.
+        let exported = vec![
+            (1usize, 10.0, row(&[40, 0, 60])),
+            (2usize, 10.0, row(&[70, 60, 0])),
+        ];
+        let remapped = remap_rows(&exported, &old, &new, 11.0, 45.0);
+        assert_eq!(remapped.len(), 1);
+        assert_eq!(remapped[0].0, 1, "node 9 is index 1 in the new view");
+        assert_eq!(remapped[0].2.len(), 2);
+        assert_eq!(remapped[0].2[0].latency_ms, 70, "9→1 survives");
+    }
+
+    #[test]
+    fn stale_rows_dropped_per_freshness_rule() {
+        let old = view(1, &[1, 9]);
+        let new = view(2, &[1, 9]);
+        let exported = vec![(0usize, 10.0, row(&[0, 50])), (1usize, 60.0, row(&[50, 0]))];
+        // At now = 70 with max_age = 45: row stamped 10 is stale, row
+        // stamped 60 survives.
+        let remapped = remap_rows(&exported, &old, &new, 70.0, 45.0);
+        assert_eq!(remapped.len(), 1);
+        assert_eq!(remapped[0].0, 1);
+    }
+}

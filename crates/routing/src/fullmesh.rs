@@ -7,43 +7,57 @@
 
 use crate::config::ProtocolConfig;
 use crate::RoutingAlgorithm;
-use apor_linkstate::{LinkEntry, LinkStateMsg, LinkStateTable, Message};
+use apor_linkstate::{LinkEntry, LinkStateMsg, LinkStateStore, LinkStateTable, Message};
 use apor_quorum::NodeId;
 
-/// The baseline router.
+/// The baseline router, generic over its store (default: the dense
+/// table — every node legitimately holds all `n` rows here, so dense
+/// `O(1)` row lookups are the right trade).
 #[derive(Debug)]
-pub struct FullMeshRouter {
+pub struct FullMeshRouter<S: LinkStateStore = LinkStateTable> {
     me: usize,
     n: usize,
     view: u32,
     round: u32,
     config: ProtocolConfig,
-    table: LinkStateTable,
+    table: S,
 }
 
-impl FullMeshRouter {
+impl FullMeshRouter<LinkStateTable> {
     /// A baseline router for node `me` of `n` under membership `view`.
     #[must_use]
     pub fn new(me: usize, n: usize, view: u32, config: ProtocolConfig) -> Self {
+        Self::with_store(me, n, view, config, LinkStateTable::new(n))
+    }
+}
+
+impl<S: LinkStateStore> FullMeshRouter<S> {
+    /// A baseline router over an explicit store.
+    ///
+    /// # Panics
+    /// Panics if `me ≥ n` or the store covers a different `n`.
+    #[must_use]
+    pub fn with_store(me: usize, n: usize, view: u32, config: ProtocolConfig, table: S) -> Self {
         assert!(me < n);
+        assert_eq!(table.len(), n, "store must cover n nodes");
         FullMeshRouter {
             me,
             n,
             view,
             round: 0,
             config,
-            table: LinkStateTable::new(n),
+            table,
         }
     }
 
-    /// The link-state table (for inspection).
+    /// The link-state store (for inspection).
     #[must_use]
-    pub fn table(&self) -> &LinkStateTable {
+    pub fn table(&self) -> &S {
         &self.table
     }
 }
 
-impl RoutingAlgorithm for FullMeshRouter {
+impl<S: LinkStateStore> RoutingAlgorithm for FullMeshRouter<S> {
     fn on_routing_tick(
         &mut self,
         now: f64,
@@ -107,6 +121,25 @@ impl RoutingAlgorithm for FullMeshRouter {
 
     fn double_rendezvous_failures(&self, _now: f64) -> usize {
         0
+    }
+
+    fn export_rows(&self) -> Vec<(usize, f64, Vec<LinkEntry>)> {
+        self.table
+            .present_rows()
+            .into_iter()
+            .filter_map(|origin| {
+                let time = self.table.row_time(origin)?;
+                Some((origin, time, self.table.row(origin)?.to_vec()))
+            })
+            .collect()
+    }
+
+    fn import_row(&mut self, origin: usize, entries: &[LinkEntry], received_at: f64) {
+        if origin >= self.n || entries.len() != self.n {
+            return;
+        }
+        // Full mesh: every row is entitled.
+        self.table.update_row(origin, entries, received_at);
     }
 }
 

@@ -72,4 +72,23 @@ pub trait RoutingAlgorithm {
     /// failure* from this node's perspective (figure 11). Zero for the
     /// full-mesh baseline, which has no rendezvous.
     fn double_rendezvous_failures(&self, now: f64) -> usize;
+
+    /// Snapshot every held link-state row as `(origin index, receipt
+    /// time, entries)` — the overlay layer uses this on a membership
+    /// change to carry surviving measurements into the freshly built
+    /// router (the *incremental view remap*) instead of rebuilding from
+    /// empty.
+    fn export_rows(&self) -> Vec<(usize, f64, Vec<apor_linkstate::LinkEntry>)>;
+
+    /// Install a row carried over from a previous view, already
+    /// translated into this router's index space and stamped with its
+    /// *original* receipt time (so the 3-interval freshness rule keeps
+    /// applying). Implementations drop rows their role does not entitle
+    /// them to; out-of-range rows are ignored.
+    fn import_row(
+        &mut self,
+        origin: usize,
+        entries: &[apor_linkstate::LinkEntry],
+        received_at: f64,
+    );
 }

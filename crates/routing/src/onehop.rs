@@ -8,7 +8,27 @@
 //! showing that the good detours are a small, specific set that random
 //! selection will miss.
 
+use apor_linkstate::LinkEntry;
 use apor_topology::LatencyMatrix;
+
+/// Node `i`'s ground-truth link-state row: what a perfectly converged
+/// prober would report for every direct link (self entry alive at
+/// 0 ms). Shared by the benchmark fixtures and the scale study.
+#[must_use]
+pub fn ground_truth_row(m: &LatencyMatrix, i: usize) -> Vec<LinkEntry> {
+    (0..m.len())
+        .map(|j| {
+            if i == j {
+                LinkEntry::live(0, 0.0)
+            } else {
+                LinkEntry::live(
+                    LinkEntry::quantize_latency(m.rtt(i, j)),
+                    m.loss(i, j) as f32,
+                )
+            }
+        })
+        .collect()
+}
 
 /// All one-hop total costs for `(src, dst)`, sorted ascending. Excludes
 /// the endpoints themselves; includes unreachable (infinite) relays last.

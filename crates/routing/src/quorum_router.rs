@@ -8,6 +8,13 @@
 //! two rendezvous servers, so every node keeps learning its optimal
 //! one-hop route to every destination with `Θ(n√n)` per-node traffic.
 //!
+//! The router is generic over its [`LinkStateStore`]: the default
+//! [`RowStore`] holds only the `O(√n)` rows the node actually receives
+//! (so per-node state matches the paper's `O(n√n)` bound — the grid
+//! removes not just the traffic but the memory of the full mesh), while
+//! the dense [`LinkStateTable`](apor_linkstate::LinkStateTable) remains
+//! pluggable for baseline comparisons in the scale experiments.
+//!
 //! Section 4's failure machinery is implemented in full:
 //!
 //! * **proximal failures** — my own probes say the server is dead;
@@ -28,7 +35,7 @@
 use crate::config::ProtocolConfig;
 use crate::RoutingAlgorithm;
 use apor_linkstate::{
-    LinkEntry, LinkStateMsg, LinkStateTable, Message, RecEntry, RecommendationMsg,
+    LinkEntry, LinkStateMsg, LinkStateStore, Message, RecEntry, RecommendationMsg, RowStore,
 };
 use apor_quorum::{Grid, NodeId};
 use rand::seq::SliceRandom;
@@ -72,40 +79,72 @@ pub struct QuorumMetrics {
     pub rec_entries_received: u64,
 }
 
-/// The per-node quorum routing state machine.
-pub struct QuorumRouter {
+/// Sentinel for "no timestamp yet" in the dense per-server vectors.
+const NEVER: f64 = f64::NEG_INFINITY;
+
+/// The per-node quorum routing state machine, generic over its link-state
+/// store (default: the sparse [`RowStore`]).
+pub struct QuorumRouter<S: LinkStateStore = RowStore> {
     me: usize,
     n: usize,
     grid: Grid,
     view: u32,
     round: u32,
     config: ProtocolConfig,
-    table: LinkStateTable,
+    table: S,
     own_row: Vec<LinkEntry>,
     /// Cached: my default rendezvous servers (grid row + column).
     my_servers: Vec<usize>,
     /// Cached per destination: the default rendezvous pair for (me, dst).
     default_pair: Vec<Vec<usize>>,
-    /// Cached per destination: failover candidates (dst's row + column).
-    candidates: Vec<Vec<usize>>,
     /// Latest accepted recommendation per destination.
     routes: Vec<Option<RouteEntry>>,
-    /// `rec_seen[s]` (keyed by server) → per-dst last time `s` recommended
-    /// any route for dst.
-    rec_seen: std::collections::HashMap<usize, Vec<f64>>,
-    /// When I first sent link state to a server (grace-period anchor).
-    serving_since: std::collections::HashMap<usize, f64>,
+    /// `rec_seen[s][dst]` — last time server `s` recommended any route
+    /// for `dst`; grid-indexed, allocated lazily per server ([`NEVER`]
+    /// = no recommendation yet). Only the `~2√n` servers that actually
+    /// send recommendations ever allocate a row.
+    rec_seen: Vec<Option<Box<[f64]>>>,
+    /// When I first sent link state to each server (grace-period
+    /// anchor); grid-indexed, [`NEVER`] = never served.
+    serving_since: Vec<f64>,
     /// Per-destination failover machinery.
     failover: Vec<FailoverState>,
     /// Event counters.
     metrics: QuorumMetrics,
 }
 
-impl QuorumRouter {
-    /// A quorum router for node `me` under membership `view` of size `n`.
+impl QuorumRouter<RowStore> {
+    /// A quorum router for node `me` under membership `view` of size `n`,
+    /// backed by the sparse row store with the `O(√n)` entitlement guard
+    /// (stale rows are shed under capacity pressure — see
+    /// [`RowStore::with_entitlement`]).
     #[must_use]
     pub fn new(me: usize, n: usize, view: u32, config: ProtocolConfig) -> Self {
+        let store = RowStore::with_entitlement(n, Self::row_entitlement(n), config.staleness_s());
+        Self::with_store(me, n, view, config, store)
+    }
+
+    /// The debug-asserted bound on *fresh* rows a quorum node may hold:
+    /// its own row, its `≤ 2·max(rows, cols)` rendezvous clients, plus
+    /// slack for transient failover clients (nodes that selected us as
+    /// a failover rendezvous and sent us their link state).
+    #[must_use]
+    pub fn row_entitlement(n: usize) -> usize {
+        let grid = Grid::new(n.max(1));
+        2 * grid.max_rendezvous_degree() + 16
+    }
+}
+
+impl<S: LinkStateStore> QuorumRouter<S> {
+    /// A quorum router over an explicit store (the scale experiments use
+    /// this to run the identical protocol over the dense baseline).
+    ///
+    /// # Panics
+    /// Panics if `me ≥ n` or the store covers a different `n`.
+    #[must_use]
+    pub fn with_store(me: usize, n: usize, view: u32, config: ProtocolConfig, table: S) -> Self {
         assert!(me < n);
+        assert_eq!(table.len(), n, "store must cover n nodes");
         let grid = Grid::new(n);
         let my_servers = grid.rendezvous_servers(me);
         let default_pair = (0..n)
@@ -117,18 +156,6 @@ impl QuorumRouter {
                 }
             })
             .collect();
-        let candidates = (0..n)
-            .map(|dst| {
-                if dst == me {
-                    Vec::new()
-                } else {
-                    grid.failover_candidates(dst)
-                        .into_iter()
-                        .filter(|&c| c != me)
-                        .collect()
-                }
-            })
-            .collect();
         QuorumRouter {
             me,
             n,
@@ -136,14 +163,13 @@ impl QuorumRouter {
             view,
             round: 0,
             config,
-            table: LinkStateTable::new(n),
+            table,
             own_row: vec![LinkEntry::dead(); n],
             my_servers,
             default_pair,
-            candidates,
             routes: vec![None; n],
-            rec_seen: std::collections::HashMap::new(),
-            serving_since: std::collections::HashMap::new(),
+            rec_seen: vec![None; n],
+            serving_since: vec![NEVER; n],
             failover: vec![FailoverState::default(); n],
             metrics: QuorumMetrics::default(),
         }
@@ -155,9 +181,9 @@ impl QuorumRouter {
         &self.grid
     }
 
-    /// The link-state table (for inspection).
+    /// The link-state store (for inspection).
     #[must_use]
-    pub fn table(&self) -> &LinkStateTable {
+    pub fn table(&self) -> &S {
         &self.table
     }
 
@@ -181,9 +207,9 @@ impl QuorumRouter {
 
     /// Last time server `s` recommended any route to `dst`.
     fn last_rec(&self, s: usize, dst: usize) -> Option<f64> {
-        self.rec_seen.get(&s).and_then(|v| {
+        self.rec_seen[s].as_ref().and_then(|v| {
             let t = v[dst];
-            (t >= 0.0).then_some(t)
+            (t != NEVER).then_some(t)
         })
     }
 
@@ -206,10 +232,11 @@ impl QuorumRouter {
             return true;
         }
         // Remote rendezvous failure: no recommendation for dst recently.
-        let Some(since) = self.serving_since.get(&s).copied() else {
+        let since = self.serving_since[s];
+        if since == NEVER {
             // Never even sent them link state yet — not failed, just young.
             return false;
-        };
+        }
         let anchor = self
             .last_rec(s, dst)
             .unwrap_or(since + self.config.server_grace_s() - self.config.remote_failure_s());
@@ -262,11 +289,15 @@ impl QuorumRouter {
             self.failover[dst].gave_up = false;
 
             // Pick a failover uniformly at random from dst's reachable
-            // row/column, excluding already-tried candidates.
-            let pool: Vec<usize> = self.candidates[dst]
-                .iter()
-                .copied()
-                .filter(|&c| c != dst)
+            // row/column, excluding already-tried candidates. Candidates
+            // are derived from the grid on demand — caching them per
+            // destination would be O(n√n) aux state per node for a path
+            // that only runs under double failures.
+            let pool: Vec<usize> = self
+                .grid
+                .failover_candidates(dst)
+                .into_iter()
+                .filter(|&c| c != self.me && c != dst)
                 .filter(|&c| self.own_row[c].alive)
                 .filter(|c| !self.failover[dst].tried.contains(c))
                 .collect();
@@ -314,10 +345,15 @@ impl QuorumRouter {
     }
 
     /// Round two, as a rendezvous server: recommendations for each fresh
-    /// client about every other fresh client (and about me).
+    /// client about every other fresh client (and about me). With the
+    /// sparse store, enumerating clients scans the `O(√n)` held rows
+    /// instead of all `n` indices.
     fn compute_recommendations(&mut self, now: f64) -> Vec<Message> {
         let max_age = self.config.staleness_s();
-        let mut clients: Vec<usize> = (0..self.n)
+        let mut clients: Vec<usize> = self
+            .table
+            .present_rows()
+            .into_iter()
             .filter(|&c| c != self.me)
             .filter(|&c| self.table.row_fresh(c, now, max_age))
             .collect();
@@ -361,7 +397,7 @@ impl QuorumRouter {
     }
 }
 
-impl RoutingAlgorithm for QuorumRouter {
+impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
     fn on_routing_tick(
         &mut self,
         now: f64,
@@ -380,7 +416,9 @@ impl RoutingAlgorithm for QuorumRouter {
         let mut msgs = Vec::new();
         // Round one: link state to all current servers.
         for s in self.current_servers() {
-            self.serving_since.entry(s).or_insert(now);
+            if self.serving_since[s] == NEVER {
+                self.serving_since[s] = now;
+            }
             self.metrics.ls_sent += 1;
             msgs.push(self.linkstate_msg(s, now));
         }
@@ -407,10 +445,9 @@ impl RoutingAlgorithm for QuorumRouter {
                 if rm.view != self.view || server >= self.n {
                     return Vec::new();
                 }
-                let seen = self
-                    .rec_seen
-                    .entry(server)
-                    .or_insert_with(|| vec![-1.0; self.n]);
+                let n = self.n;
+                let seen =
+                    self.rec_seen[server].get_or_insert_with(|| vec![NEVER; n].into_boxed_slice());
                 for rec in &rm.recs {
                     let dst = rec.dst.index();
                     let hop = rec.hop.index();
@@ -471,11 +508,37 @@ impl RoutingAlgorithm for QuorumRouter {
             .filter(|&dst| self.both_defaults_failed(dst, now))
             .count()
     }
+
+    fn export_rows(&self) -> Vec<(usize, f64, Vec<LinkEntry>)> {
+        self.table
+            .present_rows()
+            .into_iter()
+            .filter_map(|origin| {
+                let time = self.table.row_time(origin)?;
+                Some((origin, time, self.table.row(origin)?.to_vec()))
+            })
+            .collect()
+    }
+
+    fn import_row(&mut self, origin: usize, entries: &[LinkEntry], received_at: f64) {
+        if origin >= self.n || entries.len() != self.n {
+            return;
+        }
+        // Entitlement: only keep rows this node's grid role grants it —
+        // its own row and its rendezvous clients'. Rows from origins
+        // that are no longer clients after the view change are dropped
+        // rather than remapped, keeping state O(n√n).
+        if origin != self.me && !self.grid.serves(origin, self.me) {
+            return;
+        }
+        self.table.update_row(origin, entries, received_at);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apor_linkstate::LinkStateTable;
     use rand::SeedableRng;
 
     fn rng() -> ChaCha8Rng {
@@ -589,6 +652,67 @@ mod tests {
                 } else {
                     assert_eq!(hop, 4, "{i}→{j} should relay via hub");
                 }
+            }
+        }
+    }
+
+    /// The sparse store and the dense baseline run the identical
+    /// protocol: swapping stores changes no routing decision.
+    #[test]
+    fn dense_store_reaches_identical_routes() {
+        let cfg = ProtocolConfig::quorum();
+        let n = 9;
+        let rows = nine_node_rows();
+        let mut dense: Vec<QuorumRouter<LinkStateTable>> = (0..n)
+            .map(|i| QuorumRouter::with_store(i, n, 0, cfg.clone(), LinkStateTable::new(n)))
+            .collect();
+        let mut g = rng();
+        for t in [0.0, 15.0] {
+            let mut queue: Vec<Message> = Vec::new();
+            for (i, r) in dense.iter_mut().enumerate() {
+                queue.extend(r.on_routing_tick(t, &rows[i], &mut g));
+            }
+            while let Some(m) = queue.pop() {
+                let to = m.to().index();
+                queue.extend(dense[to].on_message(t + 0.01, &m));
+            }
+        }
+        let mut sparse = Fabric::new(n, &cfg);
+        sparse.tick(0.0, &rows);
+        sparse.tick(15.0, &rows);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    assert_eq!(
+                        dense[i].best_hop(j, 16.0),
+                        sparse.routers[i].best_hop(j, 16.0),
+                        "{i}→{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The sparse store only ever holds the rows the node's role grants
+    /// it: own row + rendezvous clients — the O(√n) state bound.
+    #[test]
+    fn steady_state_holds_only_entitled_rows() {
+        let cfg = ProtocolConfig::quorum();
+        for n in [9usize, 25, 100] {
+            let mut fabric = Fabric::new(n, &cfg);
+            let row = vec![LinkEntry::live(10, 0.0); n];
+            let rows: Vec<Vec<LinkEntry>> = (0..n).map(|_| row.clone()).collect();
+            for k in 0..3 {
+                fabric.tick(k as f64 * 15.0, &rows);
+            }
+            for (i, r) in fabric.routers.iter().enumerate() {
+                let held = r.table().row_count();
+                let entitled = r.grid().rendezvous_clients(i).len() + 1;
+                assert_eq!(
+                    held, entitled,
+                    "n={n}, node {i}: holds {held} rows, entitled to {entitled}"
+                );
+                assert!(held <= QuorumRouter::row_entitlement(n));
             }
         }
     }
@@ -889,5 +1013,43 @@ mod tests {
         // dst 1 shares my row: I am one of its default rendezvous, and my
         // own data for 1 is fresh → not a double failure.
         assert!(!me.both_defaults_failed(1, 0.1));
+    }
+
+    #[test]
+    fn export_import_round_trips_entitled_rows() {
+        let cfg = ProtocolConfig::quorum();
+        let n = 9;
+        let mut a = QuorumRouter::new(0, n, 0, cfg.clone());
+        // Node 1 is a client of node 0 (shares row 0); node 4 is not.
+        let row = |base: u16| -> Vec<LinkEntry> {
+            (0..n)
+                .map(|j| LinkEntry::live(base + j as u16, 0.0))
+                .collect()
+        };
+        for from in [1usize, 4] {
+            let _ = a.on_message(
+                2.0,
+                &Message::LinkState(LinkStateMsg {
+                    from: NodeId::from_index(from),
+                    to: NodeId(0),
+                    view: 0,
+                    round: 1,
+                    basis_ms: 0,
+                    entries: row(from as u16 * 10),
+                }),
+            );
+        }
+        let exported = a.export_rows();
+        assert!(exported.iter().any(|(o, t, _)| *o == 1 && *t == 2.0));
+        // A fresh router (same position) re-imports only entitled rows.
+        let mut b = QuorumRouter::new(0, n, 1, cfg);
+        for (origin, t, entries) in exported {
+            b.import_row(origin, &entries, t);
+        }
+        assert!(b.table().row_time(1).is_some(), "client row carried");
+        assert!(
+            b.table().row_time(4).is_none(),
+            "non-client row must be dropped by the entitlement filter"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests on the routing protocol cores.
 
-use apor_linkstate::{LinkEntry, LinkStateTable};
+use apor_linkstate::{LinkEntry, LinkStateStore, LinkStateTable, RowStore};
 use apor_routing::prober::{ProbeAction, Prober};
 use apor_routing::ProtocolConfig;
 use proptest::prelude::*;
@@ -91,6 +91,31 @@ proptest! {
                 prop_assert!(table.entry(b, hop).alive);
             }
         }
+    }
+
+    /// The sparse row store is observationally equivalent to the dense
+    /// table: fed identical rows, every kernel output matches (the
+    /// kernel is written once over the trait, so this pins the storage
+    /// layer, not the algorithm).
+    #[test]
+    fn sparse_store_matches_dense(table in arb_table(12), a in 0usize..12, b in 0usize..12) {
+        let mut sparse = RowStore::new(12);
+        for origin in table.present_rows() {
+            sparse.update_row(origin, table.row(origin).unwrap(), table.row_time(origin).unwrap());
+        }
+        prop_assert_eq!(sparse.row_count(), table.row_count());
+        prop_assert_eq!(
+            table.best_one_hop(a, b, 1.0, 45.0),
+            sparse.best_one_hop(a, b, 1.0, 45.0)
+        );
+        prop_assert_eq!(
+            table.one_hop_options(a, b, 1.0, 45.0),
+            sparse.one_hop_options(a, b, 1.0, 45.0)
+        );
+        prop_assert_eq!(
+            table.anyone_reaches(b, 1.0, 45.0),
+            sparse.anyone_reaches(b, 1.0, 45.0)
+        );
     }
 
     /// Prober liveness follows the 5-consecutive-failures rule for any
