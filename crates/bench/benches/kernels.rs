@@ -8,6 +8,25 @@ use apor_routing::multihop::multihop_routes;
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+/// The perf-trajectory calibration workload: a fixed pure-integer spin
+/// whose speed tracks the machine, never the code under test. The
+/// regression gate divides every kernel median by this benchmark's
+/// ratio so a slower CI runner does not read as a kernel regression
+/// (see `apor_telemetry::regress::CALIBRATION_ID`).
+fn bench_calibration(c: &mut Criterion) {
+    c.bench_function("calibration/spin", |b| {
+        b.iter(|| {
+            let mut x = black_box(0x9E37_79B9_7F4A_7C15_u64);
+            for _ in 0..4096 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            x
+        });
+    });
+}
+
 /// Grid construction + full rendezvous-set derivation, as performed on
 /// every membership change.
 fn bench_grid(c: &mut Criterion) {
@@ -249,6 +268,7 @@ fn bench_anti_entropy(c: &mut Criterion) {
 
 criterion_group!(
     kernels,
+    bench_calibration,
     bench_grid,
     bench_best_one_hop,
     bench_round_two,

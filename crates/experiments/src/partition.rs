@@ -36,6 +36,7 @@ use apor_overlay::config::{Algorithm, NodeConfig};
 use apor_overlay::membership::MembershipView;
 use apor_overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use apor_quorum::NodeId;
+use apor_telemetry::Snapshot;
 use apor_topology::{FailureParams, FailureSchedule, LatencyMatrix};
 use serde::Serialize;
 
@@ -118,6 +119,15 @@ pub struct PartitionOutcome {
     pub sync_skips: u64,
     /// Total full-ledger pushes actually sent fleet-wide.
     pub sync_full: u64,
+    /// Round trips removed fleet-wide by the digest-mismatch piggyback
+    /// (the responder ships its first ledger chunk on the mismatch echo
+    /// instead of waiting to be pulled).
+    pub sync_piggyback_saved: u64,
+    /// The merged fleet telemetry at the end of the arm: every node's
+    /// registry plus the netsim per-node packet accounting. Not part of
+    /// the CSV — exported as `partition_telemetry.json`.
+    #[serde(skip)]
+    pub telemetry: Snapshot,
 }
 
 /// The full study output.
@@ -173,15 +183,31 @@ fn cross_routes_restored(sim: &Simulator, n: usize, minority: usize, now: f64) -
     })
 }
 
-/// Fleet-total anti-entropy accounting.
-fn fleet_sync_stats(sim: &Simulator, n: usize) -> (u64, u64) {
-    (0..n).fold((0, 0), |(skips, full), i| {
+/// Fleet-total anti-entropy accounting: digest skips, full pushes,
+/// piggyback-saved round trips.
+fn fleet_sync_stats(sim: &Simulator, n: usize) -> (u64, u64, u64) {
+    (0..n).fold((0, 0, 0), |(skips, full, saved), i| {
         let s = overlay_at(sim, i)
             .swim()
             .map(apor_membership::Swim::sync_stats)
             .unwrap_or_default();
-        (skips + s.digest_skips, full + s.full_pushes)
+        (
+            skips + s.digest_skips,
+            full + s.full_pushes,
+            saved + s.piggyback_saved,
+        )
     })
+}
+
+/// The whole fleet's telemetry in one snapshot: each overlay node's
+/// registry (membership, routing, linkstate) merged with the netsim
+/// per-node packet accounting.
+fn fleet_telemetry(sim: &Simulator, n: usize) -> Snapshot {
+    let mut snap = sim.telemetry_snapshot();
+    for i in 0..n {
+        snap.merge(&overlay_at(sim, i).telemetry().snapshot());
+    }
+    snap
 }
 
 /// Run one arm of the study.
@@ -249,7 +275,7 @@ pub fn run_arm(params: &PartitionParams, anti_entropy: bool) -> PartitionOutcome
     let membership_bps = sim
         .stats()
         .fleet_mean_bps(&[TrafficClass::Membership], 30.0, end);
-    let (sync_skips, sync_full) = fleet_sync_stats(&sim, n);
+    let (sync_skips, sync_full, sync_piggyback_saved) = fleet_sync_stats(&sim, n);
     PartitionOutcome {
         anti_entropy,
         split_confirmed,
@@ -260,6 +286,8 @@ pub fn run_arm(params: &PartitionParams, anti_entropy: bool) -> PartitionOutcome
         membership_bps,
         sync_skips,
         sync_full,
+        sync_piggyback_saved,
+        telemetry: fleet_telemetry(&sim, n),
     }
 }
 
@@ -272,10 +300,11 @@ pub fn run(params: &PartitionParams) -> PartitionResult {
     }
 }
 
-/// Run, print and write `partition.csv`.
+/// Run, print and write `partition.csv` plus the merged fleet
+/// telemetry snapshot (`partition_telemetry.json`).
 ///
 /// # Errors
-/// Propagates CSV I/O errors.
+/// Propagates CSV/JSON I/O errors.
 pub fn run_and_report(params: &PartitionParams) -> std::io::Result<PartitionResult> {
     let r = run(params);
     let mut table = Table::new(&[
@@ -343,6 +372,20 @@ pub fn run_and_report(params: &PartitionParams) -> std::io::Result<PartitionResu
         ],
         &rows,
     )?;
+    let mut fleet = Snapshot::default();
+    for o in &r.outcomes {
+        fleet.merge(&o.telemetry);
+    }
+    let json_path = crate::results_path("partition_telemetry.json");
+    std::fs::write(&json_path, fleet.to_json())?;
+    println!(
+        "fleet telemetry -> {} ({} piggyback round trips saved)",
+        json_path.display(),
+        r.outcomes
+            .iter()
+            .map(|o| o.sync_piggyback_saved)
+            .sum::<u64>()
+    );
     Ok(r)
 }
 
@@ -401,6 +444,43 @@ mod tests {
             with.sync_skips,
             with.sync_full
         );
+        // Every digest mismatch ships the responder's first ledger
+        // chunk on the echo; healing a real split must have saved at
+        // least one pull round trip.
+        assert!(
+            with.sync_piggyback_saved > 0,
+            "digest mismatches during healing must ride the piggyback"
+        );
+
+        // The merged fleet snapshot is the observability acceptance
+        // criterion: the probe, suspicion, sync-skip and drop planes
+        // must all report from at least two distinct nodes.
+        let snap = &with.telemetry;
+        for (component, name) in [
+            ("membership", "probe_sent"),
+            ("membership", "suspicion_raised"),
+            ("membership", "sync_digest_skips"),
+        ] {
+            assert!(
+                snap.nodes_with_nonzero(component, name).len() >= 2,
+                "{component}/{name} must be nonzero on >= 2 nodes"
+            );
+        }
+        let dropping: std::collections::BTreeSet<u32> = [
+            "drop_link_down",
+            "drop_unreachable",
+            "drop_loss",
+            "drop_queue_overflow",
+            "drop_receiver_down",
+        ]
+        .iter()
+        .flat_map(|name| snap.nodes_with_nonzero("netsim", name))
+        .collect();
+        assert!(
+            dropping.len() >= 2,
+            "the partition must bill drops to >= 2 nodes, got {dropping:?}"
+        );
+        assert!(snap.counter_total("routing", "rec_entries_received") > 0);
 
         let without = run_arm(&params, false);
         assert!(without.split_confirmed);

@@ -26,6 +26,7 @@
 //! dense lookups `O(1)`) and as the reference implementation in tests.
 
 use crate::entry::{Cost, LinkEntry, INFINITE_COST};
+use apor_telemetry::{Counter, EventKind, Gauge, Severity, Telemetry};
 use std::collections::BTreeMap;
 
 /// Storage of link-state rows plus the round-two route computation.
@@ -225,19 +226,57 @@ pub struct RowStore {
     stale_after: Option<f64>,
     /// High-water mark of `row_count` over the store's lifetime.
     peak_rows: usize,
+    telemetry: Telemetry,
+    rows_merged: Counter,
+    rows_evicted: Counter,
+    rows_held: Gauge,
 }
 
 impl RowStore {
     /// An empty, unbounded store over `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> Self {
+        let telemetry = Telemetry::disabled();
+        let rows_merged = telemetry.counter("linkstate", "rows_merged");
+        let rows_evicted = telemetry.counter("linkstate", "rows_evicted");
+        let rows_held = telemetry.gauge("linkstate", "rows_held");
         RowStore {
             n,
             rows: BTreeMap::new(),
             entitlement: None,
             stale_after: None,
             peak_rows: 0,
+            telemetry,
+            rows_merged,
+            rows_evicted,
+            rows_held,
         }
+    }
+
+    /// Attach a telemetry handle: row merges/evictions count under
+    /// component `"linkstate"` and enter the event journal. Call before
+    /// the store receives traffic — the attached registry starts with
+    /// fresh (zeroed) cells.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.rows_merged = telemetry.counter("linkstate", "rows_merged");
+        self.rows_evicted = telemetry.counter("linkstate", "rows_evicted");
+        self.rows_held = telemetry.gauge("linkstate", "rows_held");
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Count one merged row (counter + journal + held-rows gauge).
+    fn note_merge(&mut self, origin: usize, now: f64) {
+        self.rows_merged.inc();
+        self.rows_held.set(self.rows.len() as u64);
+        self.telemetry.event(
+            now,
+            Severity::Debug,
+            EventKind::RowMerged {
+                origin: origin as u32,
+            },
+        );
     }
 
     /// An empty store that debug-asserts `row_count ≤ max_rows` on
@@ -273,7 +312,24 @@ impl RowStore {
     fn evict_stale(&mut self, now: f64) {
         if let (Some(limit), Some(window)) = (self.entitlement, self.stale_after) {
             if self.rows.len() >= limit {
-                self.rows.retain(|_, r| now - r.received_at <= window);
+                let stale: Vec<usize> = self
+                    .rows
+                    .iter()
+                    .filter(|(_, r)| now - r.received_at > window)
+                    .map(|(&origin, _)| origin)
+                    .collect();
+                for origin in stale {
+                    self.rows.remove(&origin);
+                    self.rows_evicted.inc();
+                    self.telemetry.event(
+                        now,
+                        Severity::Info,
+                        EventKind::RowEvicted {
+                            origin: origin as u32,
+                        },
+                    );
+                }
+                self.rows_held.set(self.rows.len() as u64);
             }
         }
     }
@@ -316,6 +372,7 @@ impl LinkStateStore for RowStore {
                 self.note_insert();
             }
         }
+        self.note_merge(origin, now);
     }
 
     fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64) {
@@ -339,10 +396,12 @@ impl LinkStateStore for RowStore {
                 self.note_insert();
             }
         }
+        self.note_merge(origin, now);
     }
 
     fn clear_row(&mut self, origin: usize) {
         self.rows.remove(&origin);
+        self.rows_held.set(self.rows.len() as u64);
     }
 
     fn row(&self, origin: usize) -> Option<&[LinkEntry]> {
@@ -500,6 +559,25 @@ mod tests {
         for i in 0..3 {
             s.update_row(i, &[LinkEntry::dead(); 10], 1.0);
         }
+    }
+
+    #[test]
+    fn telemetry_counts_merges_and_evictions() {
+        let telemetry = Telemetry::new(7);
+        let mut s = RowStore::with_entitlement(10, 2, 45.0).with_telemetry(telemetry.clone());
+        s.update_row(0, &[LinkEntry::dead(); 10], 0.0);
+        s.update_row(1, &[LinkEntry::dead(); 10], 50.0);
+        // Both prior rows are stale at t=100: the boundary insert
+        // sheds them, and every arrival counted as a merge.
+        s.update_row(2, &[LinkEntry::dead(); 10], 100.0);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter(7, "linkstate", "rows_merged"), Some(3));
+        assert_eq!(snap.counter(7, "linkstate", "rows_evicted"), Some(2));
+        assert_eq!(snap.gauge(7, "linkstate", "rows_held"), Some(1));
+        assert!(telemetry
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RowEvicted { origin: 0 })));
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::wire::{
     SwimMsg, SwimStatus, SwimUpdate, SWIM_MAX_FRAME_ENTRIES, SWIM_MTU_FRAME_ENTRIES,
 };
 use apor_quorum::NodeId;
+use apor_telemetry::{Counter, EventKind, Severity, Telemetry};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -77,6 +78,16 @@ pub struct AntiEntropyConfig {
     /// this turns the per-period sync cost from `O(n)` bytes into
     /// `O(1)` — worthwhile past a few hundred members.
     pub digest_first: bool,
+    /// Piggyback the responder's first ledger chunk on the mismatch
+    /// echo ([`SwimMsg::SyncDigestPush`]). Without it, a diverged
+    /// initiator learns the responder's records only from the
+    /// [`SwimMsg::SyncRsp`] pull *after* its own full push — one RTT
+    /// later. With it, the responder→initiator half of the transfer
+    /// rides the echo itself, so a pair whose ledgers fit one frame
+    /// reconciles that direction a full round-trip earlier (counted by
+    /// the `sync_piggyback_rtt_saved` telemetry counter and
+    /// [`SyncStats::piggyback_saved`]).
+    pub digest_piggyback: bool,
     /// Dead-record GC: a member that has been confirmed dead for this
     /// many sync periods is *tombstone-expired* — it stops being chosen
     /// as a sync partner, so long-lived ledgers stop wasting sync
@@ -100,6 +111,7 @@ impl Default for AntiEntropyConfig {
             sync_period_s: 4.0,
             max_entries_per_frame: SWIM_MTU_FRAME_ENTRIES,
             digest_first: true,
+            digest_piggyback: true,
             tombstone_gc_syncs: 50,
         }
     }
@@ -318,6 +330,41 @@ pub struct SyncStats {
     /// Full-ledger pushes this node sent (digest mismatch, or digests
     /// disabled).
     pub full_pushes: u64,
+    /// Mismatch echoes this node received *with* a piggybacked ledger
+    /// chunk — each one a round-trip the slow path did not spend
+    /// waiting for the responder's pull delta.
+    pub piggyback_saved: u64,
+}
+
+/// The SWIM plane's registry-backed counters (component
+/// `"membership"`). Handles are plain atomic cells, so counting costs
+/// one relaxed add whether or not a real [`Telemetry`] registry is
+/// attached; [`Swim::sync_stats`] reads the sync counters back out.
+#[derive(Debug, Clone)]
+struct SwimMetrics {
+    probe_sent: Counter,
+    probe_acked: Counter,
+    suspicion_raised: Counter,
+    suspicion_refuted: Counter,
+    digest_rounds: Counter,
+    digest_skips: Counter,
+    full_pushes: Counter,
+    piggyback_saved: Counter,
+}
+
+impl SwimMetrics {
+    fn new(t: &Telemetry) -> Self {
+        SwimMetrics {
+            probe_sent: t.counter("membership", "probe_sent"),
+            probe_acked: t.counter("membership", "probe_acked"),
+            suspicion_raised: t.counter("membership", "suspicion_raised"),
+            suspicion_refuted: t.counter("membership", "suspicion_refuted"),
+            digest_rounds: t.counter("membership", "sync_digest_rounds"),
+            digest_skips: t.counter("membership", "sync_digest_skips"),
+            full_pushes: t.counter("membership", "sync_full_pushes"),
+            piggyback_saved: t.counter("membership", "sync_piggyback_rtt_saved"),
+        }
+    }
 }
 
 /// The per-node SWIM state machine.
@@ -355,7 +402,8 @@ pub struct Swim {
     /// peers forever (each side sees a "fresh" digest, mismatches, and
     /// echoes back) — the digest analogue of `answered_syncs`.
     answered_digests: BTreeMap<NodeId, u32>,
-    sync_stats: SyncStats,
+    telemetry: Telemetry,
+    metrics: SwimMetrics,
     departed: bool,
 }
 
@@ -392,6 +440,8 @@ impl Swim {
 
     fn with_ledger(me: NodeId, cfg: SwimConfig, ledger: ViewLedger) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let telemetry = Telemetry::disabled();
+        let metrics = SwimMetrics::new(&telemetry);
         Swim {
             me,
             cfg,
@@ -415,9 +465,21 @@ impl Swim {
             tombstones: BTreeMap::new(),
             outstanding_digest: None,
             answered_digests: BTreeMap::new(),
-            sync_stats: SyncStats::default(),
+            telemetry,
+            metrics,
             departed: false,
         }
+    }
+
+    /// Attach a telemetry handle: probe, suspicion and sync counters
+    /// register under component `"membership"` and protocol milestones
+    /// enter the event journal. Call before driving the node — the
+    /// attached registry starts with fresh (zeroed) counter cells.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.metrics = SwimMetrics::new(&telemetry);
+        self.telemetry = telemetry;
+        self
     }
 
     /// This node's identity.
@@ -469,10 +531,16 @@ impl Swim {
         (self.ledger.version(), self.ledger.members())
     }
 
-    /// Anti-entropy round accounting.
+    /// Anti-entropy round accounting, read back from the registry
+    /// counters (the counters are the single source of truth).
     #[must_use]
     pub fn sync_stats(&self) -> SyncStats {
-        self.sync_stats
+        SyncStats {
+            digest_rounds: self.metrics.digest_rounds.get(),
+            digest_skips: self.metrics.digest_skips.get(),
+            full_pushes: self.metrics.full_pushes.get(),
+            piggyback_saved: self.metrics.piggyback_saved.get(),
+        }
     }
 
     /// Is `id` tombstone-expired at `now` — confirmed dead long enough
@@ -562,8 +630,16 @@ impl Swim {
             }
             SwimMsg::Ack { from, seq, .. } => {
                 if let Some(o) = &mut self.outstanding {
-                    if o.seq == *seq && o.target == *from {
+                    if o.seq == *seq && o.target == *from && !o.acked {
                         o.acked = true;
+                        self.metrics.probe_acked.inc();
+                        self.telemetry.event(
+                            now,
+                            Severity::Debug,
+                            EventKind::ProbeAcked {
+                                from: u32::from(from.0),
+                            },
+                        );
                     }
                 }
                 // Serve any ping-req this ack answers.
@@ -611,8 +687,16 @@ impl Swim {
             }
             SwimMsg::ProxyAck { target, seq, .. } => {
                 if let Some(o) = &mut self.outstanding {
-                    if o.seq == *seq && o.target == *target {
+                    if o.seq == *seq && o.target == *target && !o.acked {
                         o.acked = true;
+                        self.metrics.probe_acked.inc();
+                        self.telemetry.event(
+                            now,
+                            Severity::Debug,
+                            EventKind::ProbeAcked {
+                                from: u32::from(target.0),
+                            },
+                        );
                     }
                 }
             }
@@ -686,7 +770,7 @@ impl Swim {
                     // fingerprints disagree, so the short-circuit
                     // failed — proceed with the full push-pull.
                     self.outstanding_digest = None;
-                    self.sync_stats.full_pushes += 1;
+                    self.count_full_push(now, *from);
                     self.push_full_ledger(*from, out);
                 } else if self.answered_digests.get(from) == Some(seq) {
                     // Duplicated or stale frame from an already-answered
@@ -700,7 +784,14 @@ impl Swim {
                         // Converged pair: skip the transfer. The empty
                         // response still tells the initiator the
                         // partner is reachable and the round is done.
-                        self.sync_stats.digest_skips += 1;
+                        self.metrics.digest_skips.inc();
+                        self.telemetry.event(
+                            now,
+                            Severity::Info,
+                            EventKind::SyncSkip {
+                                peer: u32::from(from.0),
+                            },
+                        );
                         out.push((
                             *from,
                             SwimMsg::SyncRsp {
@@ -708,6 +799,24 @@ impl Swim {
                                 to: *from,
                                 seq: *seq,
                                 updates: Vec::new(),
+                            },
+                        ));
+                    } else if self.cfg.anti_entropy.digest_piggyback {
+                        // Mismatch: echo our digest so the initiator
+                        // pushes its full ledger — and piggyback the
+                        // first chunk of ours on the echo, sparing the
+                        // initiator the round-trip it would otherwise
+                        // spend waiting for our pull delta.
+                        let updates = self.first_ledger_chunk();
+                        out.push((
+                            *from,
+                            SwimMsg::SyncDigestPush {
+                                from: self.me,
+                                to: *from,
+                                seq: *seq,
+                                fingerprint: my_fingerprint,
+                                known: my_known,
+                                updates,
                             },
                         ));
                     } else {
@@ -726,7 +835,41 @@ impl Swim {
                     }
                 }
             }
+            SwimMsg::SyncDigestPush { from, seq, .. } => {
+                // The piggybacked chunk was already merged by the
+                // generic `apply_updates` above; what remains is the
+                // mismatch echo closing our digest round. A frame that
+                // matches no round in flight (duplicate or replay) is
+                // dropped — the merge above was an idempotent no-op and
+                // answering would amplify.
+                if self.outstanding_digest == Some((*from, *seq)) {
+                    self.outstanding_digest = None;
+                    self.metrics.piggyback_saved.inc();
+                    self.count_full_push(now, *from);
+                    self.push_full_ledger(*from, out);
+                }
+            }
         }
+    }
+
+    /// Count one full-ledger push towards `peer` (counter + journal).
+    fn count_full_push(&mut self, now: f64, peer: NodeId) {
+        self.metrics.full_pushes.inc();
+        self.telemetry.event(
+            now,
+            Severity::Info,
+            EventKind::SyncPush {
+                peer: u32::from(peer.0),
+            },
+        );
+    }
+
+    /// The first frame's worth of the full ledger — what a mismatch
+    /// echo piggybacks.
+    fn first_ledger_chunk(&self) -> Vec<SwimUpdate> {
+        let mut entries = self.ledger_entries();
+        entries.truncate(self.cfg.anti_entropy.max_entries_per_frame);
+        entries
     }
 
     /// Stash one chunk of a multi-chunk sync; `Some(all claims)` once
@@ -839,6 +982,14 @@ impl Swim {
             indirect_sent: false,
             acked: false,
         });
+        self.metrics.probe_sent.inc();
+        self.telemetry.event(
+            now,
+            Severity::Debug,
+            EventKind::ProbeSent {
+                to: u32::from(target.0),
+            },
+        );
         let updates = self.take_piggyback();
         out.push((
             target,
@@ -955,6 +1106,14 @@ impl Swim {
                         deadline,
                     },
                 );
+                self.metrics.suspicion_raised.inc();
+                self.telemetry.event(
+                    now,
+                    Severity::Warn,
+                    EventKind::SuspicionRaised {
+                        about: u32::from(id.0),
+                    },
+                );
             }
         }
         self.enqueue_gossip(SwimUpdate {
@@ -986,7 +1145,7 @@ impl Swim {
     fn apply_updates(&mut self, now: f64, updates: &[SwimUpdate]) {
         for u in updates {
             if u.id == self.me {
-                self.refute_if_needed(*u);
+                self.refute_if_needed(now, *u);
                 continue;
             }
             match u.status {
@@ -999,6 +1158,14 @@ impl Swim {
                             .is_some_and(|s| u.incarnation > s.incarnation)
                         {
                             self.suspicions.remove(&u.id);
+                            self.metrics.suspicion_refuted.inc();
+                            self.telemetry.event(
+                                now,
+                                Severity::Info,
+                                EventKind::SuspicionRefuted {
+                                    about: u32::from(u.id.0),
+                                },
+                            );
                         }
                         self.enqueue_gossip(*u);
                     }
@@ -1034,12 +1201,20 @@ impl Swim {
     /// and gossip a fresh `Alive`, the SWIM refutation. A node that
     /// announced its own departure stops refuting — otherwise its
     /// `Left` gossip echoing back would resurrect it.
-    fn refute_if_needed(&mut self, u: SwimUpdate) {
+    fn refute_if_needed(&mut self, now: f64, u: SwimUpdate) {
         if self.departed || u.status == SwimStatus::Alive || u.incarnation < self.incarnation {
             return;
         }
         self.incarnation = u.incarnation.wrapping_add(1);
         self.ledger.apply(self.me, self.incarnation, false);
+        self.metrics.suspicion_refuted.inc();
+        self.telemetry.event(
+            now,
+            Severity::Info,
+            EventKind::SuspicionRefuted {
+                about: u32::from(self.me.0),
+            },
+        );
         self.enqueue_gossip(SwimUpdate {
             id: self.me,
             incarnation: self.incarnation,
@@ -1108,7 +1283,7 @@ impl Swim {
         if self.cfg.anti_entropy.digest_first {
             self.seq = self.seq.wrapping_add(1);
             self.outstanding_digest = Some((target, self.seq));
-            self.sync_stats.digest_rounds += 1;
+            self.metrics.digest_rounds.inc();
             let (fingerprint, known) = self.digest_fingerprint();
             out.push((
                 target,
@@ -1121,7 +1296,7 @@ impl Swim {
                 },
             ));
         } else {
-            self.sync_stats.full_pushes += 1;
+            self.count_full_push(now, target);
             self.push_full_ledger(target, out);
         }
     }
@@ -1982,11 +2157,12 @@ mod tests {
             .cloned()
             .unwrap()
             .1;
-        // b mismatches: echoes its own digest, no transfer yet.
+        // b mismatches: echoes its own digest with its first ledger
+        // chunk piggybacked (the default), no pull transfer yet.
         let mut echo = Vec::new();
         b.on_message(t, &digest, &mut echo);
         assert_eq!(echo.len(), 1);
-        assert!(matches!(echo[0].1, SwimMsg::SyncDigest { .. }));
+        assert!(matches!(echo[0].1, SwimMsg::SyncDigestPush { .. }));
         assert_eq!(b.sync_stats().digest_skips, 0);
         // The echo triggers a's full push; the normal push-pull then
         // converges the pair.
@@ -1997,6 +2173,7 @@ mod tests {
             .iter()
             .all(|(_, m)| matches!(m, SwimMsg::SyncReq { .. })));
         assert_eq!(a.sync_stats().full_pushes, 1);
+        assert_eq!(a.sync_stats().piggyback_saved, 1);
         let mut delta = Vec::new();
         for (_, m) in &push {
             b.on_message(t + 0.2, m, &mut delta);
@@ -2005,6 +2182,121 @@ mod tests {
             a.on_message(t + 0.3, m, &mut Vec::new());
         }
         assert_eq!(a.ledger(), b.ledger(), "push-pull must converge the pair");
+    }
+
+    #[test]
+    fn piggybacked_echo_reconciles_the_initiator_without_the_pull_rtt() {
+        let members = ids(&[0, 1]);
+        let mut a = Swim::bootstrap(NodeId(0), sync_cfg(1, 1.0), &members);
+        let mut b = Swim::bootstrap(NodeId(1), sync_cfg(2, 1.0), &members);
+        // The *responder* holds the newer record this time.
+        b.apply_updates(
+            0.0,
+            &[SwimUpdate {
+                id: NodeId(9),
+                incarnation: 0,
+                status: SwimStatus::Alive,
+            }],
+        );
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while !out
+            .iter()
+            .any(|(_, m)| matches!(m, SwimMsg::SyncDigest { .. }))
+        {
+            assert!(t < 20.0);
+            a.on_tick(t, &mut out);
+            t += 0.25;
+        }
+        let digest = out
+            .iter()
+            .find(|(_, m)| matches!(m, SwimMsg::SyncDigest { .. }))
+            .cloned()
+            .unwrap()
+            .1;
+        let mut echo = Vec::new();
+        b.on_message(t, &digest, &mut echo);
+        assert_eq!(echo.len(), 1);
+        // The echo alone — before b's SyncRsp pull would ever arrive —
+        // already hands a the record it was missing.
+        a.on_message(t + 0.1, &echo[0].1, &mut Vec::new());
+        assert!(a.ledger().is_live(NodeId(9)), "piggyback must merge");
+        assert_eq!(a.sync_stats().piggyback_saved, 1);
+        // A replayed echo is dropped: the round is closed.
+        let mut replay = Vec::new();
+        a.on_message(t + 0.2, &echo[0].1, &mut replay);
+        assert!(replay.is_empty());
+        assert_eq!(a.sync_stats().piggyback_saved, 1);
+    }
+
+    #[test]
+    fn digest_piggyback_disabled_falls_back_to_plain_echo() {
+        let c = |seed: u64| {
+            SwimConfig::default()
+                .with_seed(seed)
+                .with_anti_entropy(AntiEntropyConfig {
+                    enabled: true,
+                    sync_period_s: 1.0,
+                    digest_piggyback: false,
+                    ..AntiEntropyConfig::default()
+                })
+        };
+        let members = ids(&[0, 1]);
+        let mut a = Swim::bootstrap(NodeId(0), c(1), &members);
+        let mut b = Swim::bootstrap(NodeId(1), c(2), &members);
+        a.apply_updates(
+            0.0,
+            &[SwimUpdate {
+                id: NodeId(9),
+                incarnation: 0,
+                status: SwimStatus::Alive,
+            }],
+        );
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while !out
+            .iter()
+            .any(|(_, m)| matches!(m, SwimMsg::SyncDigest { .. }))
+        {
+            assert!(t < 20.0);
+            a.on_tick(t, &mut out);
+            t += 0.25;
+        }
+        let digest = out
+            .iter()
+            .find(|(_, m)| matches!(m, SwimMsg::SyncDigest { .. }))
+            .cloned()
+            .unwrap()
+            .1;
+        let mut echo = Vec::new();
+        b.on_message(t, &digest, &mut echo);
+        assert_eq!(echo.len(), 1);
+        assert!(matches!(echo[0].1, SwimMsg::SyncDigest { .. }));
+        let mut push = Vec::new();
+        a.on_message(t + 0.1, &echo[0].1, &mut push);
+        assert!(!push.is_empty());
+        assert_eq!(a.sync_stats().piggyback_saved, 0);
+    }
+
+    #[test]
+    fn telemetry_counts_probes_and_suspicions() {
+        use apor_telemetry::Telemetry;
+        let members = ids(&[0, 1]);
+        let telemetry = Telemetry::new(0);
+        let mut a = Swim::bootstrap(NodeId(0), cfg(1), &members).with_telemetry(telemetry.clone());
+        let mut out = Vec::new();
+        a.on_tick(0.0, &mut out); // ping sent, never answered
+        a.on_tick(0.6, &mut out);
+        a.on_tick(2.0, &mut out); // judgment → suspicion
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter(0, "membership", "probe_sent"), Some(2));
+        assert_eq!(snap.counter(0, "membership", "probe_acked"), Some(0));
+        assert_eq!(snap.counter(0, "membership", "suspicion_raised"), Some(1));
+        // The suspicion milestone is journaled at Warn.
+        assert!(telemetry.events().iter().any(|e| matches!(
+            e.kind,
+            apor_telemetry::EventKind::SuspicionRaised { about: 1 }
+        )));
     }
 
     #[test]

@@ -42,6 +42,7 @@ const T_PROXY_ACK: u8 = SWIM_TAG_BASE + 3;
 const T_SYNC_REQ: u8 = SWIM_TAG_BASE + 4;
 const T_SYNC_RSP: u8 = SWIM_TAG_BASE + 5;
 const T_SYNC_DIGEST: u8 = SWIM_TAG_BASE + 6;
+const T_SYNC_DIGEST_PUSH: u8 = SWIM_TAG_BASE + 7;
 
 /// Bytes of the fixed ping/ack header (tag, from, to, seq, count).
 pub const SWIM_HEADER_SIZE: usize = 10;
@@ -64,7 +65,7 @@ pub const SWIM_MTU_FRAME_ENTRIES: usize = 208;
 /// Does a datagram starting with `tag` belong to the SWIM plane?
 #[must_use]
 pub fn is_swim_tag(tag: u8) -> bool {
-    (T_PING..=T_SYNC_DIGEST).contains(&tag)
+    (T_PING..=T_SYNC_DIGEST_PUSH).contains(&tag)
 }
 
 /// Decode errors (mirrors `apor_linkstate::wire::WireError`).
@@ -259,6 +260,30 @@ pub enum SwimMsg {
         /// (saturating at `u16::MAX`) — a cheap second component.
         known: u16,
     },
+    /// Mismatch echo with the responder's data piggybacked: a
+    /// [`SwimMsg::SyncDigest`] whose fingerprint disagreed, answered
+    /// with the responder's own digest *plus* the first chunk of its
+    /// ledger. Without the piggyback the initiator learns the
+    /// responder's records only from the [`SwimMsg::SyncRsp`] pull
+    /// after its own full push — one RTT later. With it, a diverged
+    /// pair whose ledgers fit one frame (the common case) completes the
+    /// responder→initiator transfer inside the digest exchange itself.
+    SyncDigestPush {
+        /// The echoing responder.
+        from: NodeId,
+        /// The round's initiator.
+        to: NodeId,
+        /// The initiator's round sequence, echoed verbatim.
+        seq: u32,
+        /// The responder's ledger fingerprint (mismatching by
+        /// construction).
+        fingerprint: u32,
+        /// The responder's known-member count.
+        known: u16,
+        /// The first chunk of the responder's full ledger (up to the
+        /// sender's per-frame entry cap).
+        updates: Vec<SwimUpdate>,
+    },
 }
 
 impl SwimMsg {
@@ -272,7 +297,8 @@ impl SwimMsg {
             | SwimMsg::ProxyAck { from, .. }
             | SwimMsg::SyncReq { from, .. }
             | SwimMsg::SyncRsp { from, .. }
-            | SwimMsg::SyncDigest { from, .. } => *from,
+            | SwimMsg::SyncDigest { from, .. }
+            | SwimMsg::SyncDigestPush { from, .. } => *from,
         }
     }
 
@@ -286,7 +312,8 @@ impl SwimMsg {
             | SwimMsg::ProxyAck { to, .. }
             | SwimMsg::SyncReq { to, .. }
             | SwimMsg::SyncRsp { to, .. }
-            | SwimMsg::SyncDigest { to, .. } => *to,
+            | SwimMsg::SyncDigest { to, .. }
+            | SwimMsg::SyncDigestPush { to, .. } => *to,
         }
     }
 
@@ -299,7 +326,8 @@ impl SwimMsg {
             | SwimMsg::PingReq { updates, .. }
             | SwimMsg::ProxyAck { updates, .. }
             | SwimMsg::SyncReq { updates, .. }
-            | SwimMsg::SyncRsp { updates, .. } => updates,
+            | SwimMsg::SyncRsp { updates, .. }
+            | SwimMsg::SyncDigestPush { updates, .. } => updates,
             SwimMsg::SyncDigest { .. } => &[],
         }
     }
@@ -311,6 +339,10 @@ impl SwimMsg {
             SwimMsg::Ping { .. } | SwimMsg::Ack { .. } | SwimMsg::SyncRsp { .. } => 0,
             SwimMsg::PingReq { .. } | SwimMsg::ProxyAck { .. } | SwimMsg::SyncReq { .. } => 2,
             SwimMsg::SyncDigest { .. } => return SWIM_DIGEST_SIZE,
+            // Digest layout plus a count byte and the piggybacked chunk.
+            SwimMsg::SyncDigestPush { updates, .. } => {
+                return SWIM_DIGEST_SIZE + 1 + SWIM_UPDATE_SIZE * updates.len()
+            }
         };
         SWIM_HEADER_SIZE + target + SWIM_UPDATE_SIZE * self.updates().len()
     }
@@ -338,6 +370,32 @@ impl SwimMsg {
             b.put_u32(*seq);
             b.put_u32(*fingerprint);
             b.put_u16(*known);
+            return b.freeze();
+        }
+        // So does the piggybacked mismatch echo: the digest header
+        // followed by a counted update list.
+        if let SwimMsg::SyncDigestPush {
+            from,
+            to,
+            seq,
+            fingerprint,
+            known,
+            updates,
+        } = self
+        {
+            assert!(updates.len() <= usize::from(u8::MAX), "piggyback overflow");
+            b.put_u8(T_SYNC_DIGEST_PUSH);
+            b.put_u16(from.0);
+            b.put_u16(to.0);
+            b.put_u32(*seq);
+            b.put_u32(*fingerprint);
+            b.put_u16(*known);
+            b.put_u8(updates.len() as u8);
+            for u in updates {
+                b.put_u16(u.id.0);
+                b.put_u32(u.incarnation);
+                b.put_u8(u.status.code());
+            }
             return b.freeze();
         }
         // The two optional header bytes: a probe target for
@@ -390,7 +448,9 @@ impl SwimMsg {
                 seq,
                 updates,
             } => (T_SYNC_RSP, from, to, seq, None, updates),
-            SwimMsg::SyncDigest { .. } => unreachable!("encoded above"),
+            SwimMsg::SyncDigest { .. } | SwimMsg::SyncDigestPush { .. } => {
+                unreachable!("encoded above")
+            }
         };
         assert!(updates.len() <= usize::from(u8::MAX), "piggyback overflow");
         b.put_u8(tag);
@@ -443,6 +503,37 @@ impl SwimMsg {
                 seq,
                 fingerprint,
                 known,
+            });
+        }
+        if tag == T_SYNC_DIGEST_PUSH {
+            // Digest fields, then a counted update list.
+            if b.remaining() < 7 {
+                return Err(SwimWireError::Truncated);
+            }
+            let fingerprint = b.get_u32();
+            let known = b.get_u16();
+            let count = usize::from(b.get_u8());
+            if b.remaining() != count * SWIM_UPDATE_SIZE {
+                return Err(SwimWireError::BadLength);
+            }
+            let mut updates = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = NodeId(b.get_u16());
+                let incarnation = b.get_u32();
+                let status = SwimStatus::from_code(b.get_u8())?;
+                updates.push(SwimUpdate {
+                    id,
+                    incarnation,
+                    status,
+                });
+            }
+            return Ok(SwimMsg::SyncDigestPush {
+                from,
+                to,
+                seq,
+                fingerprint,
+                known,
+                updates,
             });
         }
         let extra = if tag == T_PING_REQ || tag == T_PROXY_ACK || tag == T_SYNC_REQ {
@@ -600,6 +691,14 @@ mod tests {
                 fingerprint: 0xDEAD_BEEF,
                 known: 140,
             },
+            SwimMsg::SyncDigestPush {
+                from: NodeId(9),
+                to: NodeId(3),
+                seq: 81,
+                fingerprint: 0xFEED_F00D,
+                known: 141,
+                updates: sample_updates(),
+            },
         ];
         for m in &msgs {
             assert_eq!(&roundtrip(m), m);
@@ -620,6 +719,39 @@ mod tests {
         assert!(d.updates().is_empty());
         // Truncations and trailing garbage are rejected.
         let bytes = d.encode();
+        for cut in 0..bytes.len() {
+            assert!(SwimMsg::decode(&bytes[..cut]).is_err());
+        }
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(SwimMsg::decode(&long), Err(SwimWireError::BadLength));
+    }
+
+    #[test]
+    fn digest_push_carries_chunk_and_rejects_malformed() {
+        let m = SwimMsg::SyncDigestPush {
+            from: NodeId(9),
+            to: NodeId(3),
+            seq: 5,
+            fingerprint: 0x1234_5678,
+            known: 4,
+            updates: sample_updates(),
+        };
+        assert_eq!(m.wire_size(), SWIM_DIGEST_SIZE + 1 + 3 * SWIM_UPDATE_SIZE);
+        assert_eq!(&roundtrip(&m), &m);
+        // An empty piggyback is legal (a bare mismatch echo).
+        let empty = SwimMsg::SyncDigestPush {
+            from: NodeId(9),
+            to: NodeId(3),
+            seq: 5,
+            fingerprint: 0x1234_5678,
+            known: 4,
+            updates: vec![],
+        };
+        assert_eq!(empty.wire_size(), SWIM_DIGEST_SIZE + 1);
+        assert_eq!(&roundtrip(&empty), &empty);
+        // Truncations and trailing garbage are rejected.
+        let bytes = m.encode();
         for cut in 0..bytes.len() {
             assert!(SwimMsg::decode(&bytes[..cut]).is_err());
         }

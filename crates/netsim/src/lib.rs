@@ -31,5 +31,6 @@ mod queue;
 mod sim;
 mod stats;
 
+pub use apor_telemetry::DropCause;
 pub use sim::{Ctx, NodeBehavior, Simulator, SimulatorConfig};
 pub use stats::{Direction, TrafficClass, TrafficStats};

@@ -2,6 +2,7 @@
 
 use crate::queue::EventQueue;
 use crate::stats::{Direction, TrafficClass, TrafficStats};
+use apor_telemetry::{Counter, DropCause, EventKind, Histogram, Severity, Snapshot, Telemetry};
 use apor_topology::{FailureSchedule, LatencyMatrix};
 use bytes::Bytes;
 use rand::{Rng, SeedableRng};
@@ -27,6 +28,13 @@ pub struct SimulatorConfig {
     /// — the overlay uses `apor_overlay::simnode::overlay_sim_config()`,
     /// which injects `apor_linkstate::wire::UDP_IP_OVERHEAD`.
     pub per_packet_overhead: usize,
+    /// Per-node bound on packets in flight *towards* a node (its
+    /// ingress queue). A packet that would exceed it is dropped with
+    /// [`DropCause::QueueOverflow`] — distinguishable in the metrics
+    /// from partition/outage drops ([`DropCause::LinkDown`]). The
+    /// default is unbounded, which leaves the delivery schedule (and
+    /// the RNG stream) of existing experiments untouched.
+    pub rx_queue_cap: usize,
 }
 
 impl Default for SimulatorConfig {
@@ -37,6 +45,7 @@ impl Default for SimulatorConfig {
             bucket_secs: 60.0,
             max_events: 200_000_000,
             per_packet_overhead: 0,
+            rx_queue_cap: usize::MAX,
         }
     }
 }
@@ -145,11 +154,54 @@ enum Event {
         to: usize,
         class: TrafficClass,
         payload: Bytes,
+        sent_at: f64,
     },
     Timer {
         node: usize,
         token: u64,
     },
+}
+
+/// Pre-registered per-node network metrics: the packet fate counters
+/// (one per [`DropCause`], so partition drops never collapse into the
+/// same cell as queue overflows) and the delivery latency histogram.
+struct NetMetrics {
+    telemetry: Telemetry,
+    sent: Counter,
+    delivered: Counter,
+    queued: Counter,
+    drops: [Counter; 5],
+    deliver_latency_us: Histogram,
+}
+
+fn drop_slot(cause: DropCause) -> usize {
+    match cause {
+        DropCause::LinkDown => 0,
+        DropCause::Unreachable => 1,
+        DropCause::Loss => 2,
+        DropCause::QueueOverflow => 3,
+        DropCause::ReceiverDown => 4,
+    }
+}
+
+impl NetMetrics {
+    fn new(node: u32) -> Self {
+        let telemetry = Telemetry::new(node);
+        NetMetrics {
+            sent: telemetry.counter("netsim", "pkt_sent"),
+            delivered: telemetry.counter("netsim", "pkt_delivered"),
+            queued: telemetry.counter("netsim", "pkt_queued"),
+            drops: [
+                telemetry.counter("netsim", "drop_link_down"),
+                telemetry.counter("netsim", "drop_unreachable"),
+                telemetry.counter("netsim", "drop_loss"),
+                telemetry.counter("netsim", "drop_queue_overflow"),
+                telemetry.counter("netsim", "drop_receiver_down"),
+            ],
+            deliver_latency_us: telemetry.histogram("netsim", "deliver_latency_us"),
+            telemetry,
+        }
+    }
 }
 
 /// The discrete-event simulator.
@@ -164,6 +216,10 @@ pub struct Simulator {
     stats: TrafficStats,
     events_processed: u64,
     cmd_buf: Vec<Command>,
+    net: Vec<NetMetrics>,
+    /// Packets currently in flight towards each node (its ingress
+    /// queue, bounded by `SimulatorConfig::rx_queue_cap`).
+    inflight: Vec<usize>,
 }
 
 impl Simulator {
@@ -190,6 +246,8 @@ impl Simulator {
             stats,
             events_processed: 0,
             cmd_buf: Vec::new(),
+            net: (0..n).map(|i| NetMetrics::new(i as u32)).collect(),
+            inflight: vec![0; n],
         }
     }
 
@@ -215,6 +273,23 @@ impl Simulator {
     #[must_use]
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// Node `i`'s network-layer telemetry handle (packet fate counters
+    /// and the delivery-latency histogram).
+    #[must_use]
+    pub fn telemetry(&self, i: usize) -> &Telemetry {
+        &self.net[i].telemetry
+    }
+
+    /// Every node's network metrics merged into one fleet snapshot.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for m in &self.net {
+            snap.merge(&m.telemetry.snapshot());
+        }
+        snap
     }
 
     /// Number of events processed so far.
@@ -310,12 +385,19 @@ impl Simulator {
                 to,
                 class,
                 payload,
+                sent_at,
             } => {
                 node_idx = to;
+                self.inflight[to] = self.inflight[to].saturating_sub(1);
                 // A crashed receiver takes no delivery.
                 if !self.schedule.is_node_up(to, self.now) {
+                    self.drop_packet(from, to, DropCause::ReceiverDown);
                     return;
                 }
+                self.net[to].delivered.inc();
+                self.net[to]
+                    .deliver_latency_us
+                    .observe(((self.now - sent_at).max(0.0) * 1e6) as u64);
                 self.stats.record(
                     to,
                     class,
@@ -360,6 +442,29 @@ impl Simulator {
         }
     }
 
+    /// Account a dropped packet to the node that owns the failure:
+    /// send-side causes (down link, unreachable pair, Bernoulli loss)
+    /// bill the sender, receive-side causes (ingress overflow, crashed
+    /// receiver) bill the receiver. Each cause has its own counter, so
+    /// a partition cut never collapses into the same cell as a queue
+    /// overflow.
+    fn drop_packet(&mut self, from: usize, to: usize, cause: DropCause) {
+        let owner = match cause {
+            DropCause::LinkDown | DropCause::Unreachable | DropCause::Loss => from,
+            DropCause::QueueOverflow | DropCause::ReceiverDown => to,
+        };
+        let m = &self.net[owner];
+        m.drops[drop_slot(cause)].inc();
+        m.telemetry.event(
+            self.now,
+            Severity::Warn,
+            EventKind::PacketDropped {
+                to: to as u32,
+                cause,
+            },
+        );
+    }
+
     /// The network model: account the transmission, then decide loss and
     /// delay.
     fn transmit(&mut self, from: usize, to: usize, class: TrafficClass, payload: Bytes) {
@@ -367,17 +472,29 @@ impl Simulator {
         // The sender pays for the transmission whether or not it arrives.
         self.stats
             .record(from, class, Direction::Out, size, self.now);
+        self.net[from].sent.inc();
 
         // A down link (or endpoint) swallows the packet.
         if !self.schedule.is_link_up(from, to, self.now) {
+            self.drop_packet(from, to, DropCause::LinkDown);
             return;
         }
         if !self.latency.reachable(from, to) {
+            self.drop_packet(from, to, DropCause::Unreachable);
             return;
         }
         // Bernoulli loss.
         if self.latency.loss(from, to) > 0.0 && self.rng.gen::<f64>() < self.latency.loss(from, to)
         {
+            self.drop_packet(from, to, DropCause::Loss);
+            return;
+        }
+        // The receiver's bounded ingress queue. Checked after the loss
+        // draw so an unbounded queue (the default) leaves the RNG
+        // stream — and therefore every existing experiment's schedule —
+        // bit-identical.
+        if self.inflight[to] >= self.config.rx_queue_cap {
+            self.drop_packet(from, to, DropCause::QueueOverflow);
             return;
         }
         let base = self.latency.one_way(from, to) / 1000.0; // ms → s
@@ -387,6 +504,13 @@ impl Simulator {
             1.0
         };
         let arrival = self.now + (base * jitter).max(0.0);
+        self.inflight[to] += 1;
+        self.net[to].queued.inc();
+        self.net[to].telemetry.event(
+            self.now,
+            Severity::Debug,
+            EventKind::PacketQueued { to: to as u32 },
+        );
         self.queue.push(
             arrival,
             Event::Deliver {
@@ -394,6 +518,7 @@ impl Simulator {
                 to,
                 class,
                 payload,
+                sent_at: self.now,
             },
         );
     }
@@ -724,6 +849,178 @@ mod tests {
         assert_eq!(*got.borrow(), vec![b"bye".to_vec()]);
         // Only the farewell delivery — the shutdown timer never fired.
         assert_eq!(sim.events_processed(), before + 1);
+    }
+
+    /// Every drop cause must land in its own counter — a partition cut
+    /// and a queue overflow are different diagnoses.
+    fn drop_counts(sim: &Simulator, node: usize) -> [u64; 5] {
+        let snap = sim.telemetry(node).snapshot();
+        [
+            "drop_link_down",
+            "drop_unreachable",
+            "drop_loss",
+            "drop_queue_overflow",
+            "drop_receiver_down",
+        ]
+        .map(|name| snap.counter(node as u32, "netsim", name).unwrap_or(0))
+    }
+
+    #[test]
+    fn loss_drop_is_counted_as_loss() {
+        let mut m = LatencyMatrix::uniform(2, 10.0);
+        m.set_loss(0, 1, 1.0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, FailureParams::none(2, 1e6), no_jitter_config(3));
+        sim.add_node(
+            Box::new(Pinger {
+                peer: 1,
+                sent_at: 0.0,
+                log,
+            }),
+            0.0,
+        );
+        sim.add_node(Box::new(Echoer), 0.0);
+        sim.run_until(10.0);
+        assert_eq!(drop_counts(&sim, 0), [0, 0, 1, 0, 0], "loss bills sender");
+        assert_eq!(drop_counts(&sim, 1), [0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn unreachable_drop_is_counted_as_unreachable() {
+        let m = LatencyMatrix::unreachable(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, FailureParams::none(2, 1e6), no_jitter_config(3));
+        sim.add_node(
+            Box::new(Pinger {
+                peer: 1,
+                sent_at: 0.0,
+                log,
+            }),
+            0.0,
+        );
+        sim.add_node(Box::new(Echoer), 0.0);
+        sim.run_until(10.0);
+        assert_eq!(drop_counts(&sim, 0), [0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn partition_drop_is_counted_as_link_down() {
+        use apor_topology::failures::NodeOutage;
+        let m = LatencyMatrix::uniform(2, 10.0);
+        let mut params = FailureParams::with_n(2);
+        params.median_concurrent = 1e-9;
+        params.duration_s = 1e6;
+        params.node_outages = vec![NodeOutage {
+            node: 1,
+            start_s: 0.0,
+            end_s: 100.0,
+        }];
+        let schedule = apor_topology::FailureSchedule::generate(&params);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, schedule, no_jitter_config(3));
+        sim.add_node(
+            Box::new(Pinger {
+                peer: 1,
+                sent_at: 0.0,
+                log,
+            }),
+            0.0,
+        );
+        sim.add_node(Box::new(Echoer), 0.0);
+        sim.run_until(50.0);
+        assert_eq!(drop_counts(&sim, 0), [1, 0, 0, 0, 0]);
+        // The journal carries the structured drop event with its cause.
+        let events = sim.telemetry(0).events();
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            apor_telemetry::EventKind::PacketDropped {
+                to: 1,
+                cause: DropCause::LinkDown
+            }
+        )));
+    }
+
+    #[test]
+    fn rx_queue_overflow_drop_is_counted_and_bills_receiver() {
+        struct Burst {
+            peer: usize,
+        }
+        impl NodeBehavior for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for _ in 0..3 {
+                    ctx.send(self.peer, TrafficClass::Probing, Bytes::from_static(b"x"));
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _from: usize, _payload: &[u8]) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let m = LatencyMatrix::uniform(2, 10.0);
+        let cfg = SimulatorConfig {
+            rx_queue_cap: 2,
+            ..no_jitter_config(3)
+        };
+        let mut sim = Simulator::new(m, FailureParams::none(2, 1e6), cfg);
+        sim.add_node(Box::new(Burst { peer: 1 }), 0.0);
+        sim.add_node(Box::new(Echoer), 0.0);
+        sim.run_until(10.0);
+        // Three packets burst into a queue of two: one overflow, billed
+        // to the receiver, and the two queued ones still deliver.
+        assert_eq!(drop_counts(&sim, 0), [0, 0, 0, 0, 0]);
+        assert_eq!(drop_counts(&sim, 1), [0, 0, 0, 1, 0]);
+        let snap = sim.telemetry(1).snapshot();
+        assert_eq!(snap.counter(1, "netsim", "pkt_delivered"), Some(2));
+        assert_eq!(snap.counter(1, "netsim", "pkt_queued"), Some(2));
+        // After delivery the queue drains: a later burst fits again.
+        assert_eq!(sim.inflight[1], 0);
+    }
+
+    #[test]
+    fn mid_flight_crash_is_counted_as_receiver_down() {
+        use apor_topology::failures::NodeOutage;
+        let m = LatencyMatrix::uniform(2, 100.0); // 50 ms one-way
+        let mut params = FailureParams::with_n(2);
+        params.median_concurrent = 1e-9;
+        params.duration_s = 1e6;
+        params.node_outages = vec![NodeOutage {
+            node: 1,
+            start_s: 5.0,
+            end_s: 100.0,
+        }];
+        let schedule = apor_topology::FailureSchedule::generate(&params);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, schedule, no_jitter_config(3));
+        // Sent at t=4.99 (link up), arrives t=5.04 (receiver down).
+        sim.add_node(
+            Box::new(Pinger {
+                peer: 1,
+                sent_at: 0.0,
+                log: Rc::clone(&log),
+            }),
+            4.99,
+        );
+        sim.add_node(Box::new(Echoer), 0.0);
+        sim.run_until(50.0);
+        assert!(log.borrow().is_empty());
+        assert_eq!(drop_counts(&sim, 0), [0, 0, 0, 0, 0]);
+        assert_eq!(drop_counts(&sim, 1), [0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn delivery_metrics_and_latency_histogram() {
+        let (mut sim, _log) = two_node_sim(80.0, 7);
+        sim.run_until(10.0);
+        let fleet = sim.telemetry_snapshot();
+        // Ping (0→1) and pong (1→0): one delivery each.
+        assert_eq!(fleet.counter(0, "netsim", "pkt_delivered"), Some(1));
+        assert_eq!(fleet.counter(1, "netsim", "pkt_delivered"), Some(1));
+        assert_eq!(fleet.counter_total("netsim", "pkt_sent"), 2);
+        let h = fleet.histogram(0, "netsim", "deliver_latency_us").unwrap();
+        // 40 ms one-way = 40 000 µs.
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 40_000);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use apor_membership::{wire as swim_wire, Swim, SwimMsg};
 use apor_netsim::TrafficClass;
 use apor_quorum::NodeId;
 use apor_routing::{FullMeshRouter, ProbeAction, Prober, QuorumRouter, RoutingAlgorithm};
+use apor_telemetry::{EventKind, Severity, Telemetry};
 
 /// The concrete router running inside a node.
 // The size gap between the two routers is fine: exactly one RouterBox
@@ -104,6 +105,7 @@ pub fn class_of(msg: &Message) -> TrafficClass {
 /// The overlay node state machine.
 pub struct OverlayNode {
     cfg: NodeConfig,
+    telemetry: Telemetry,
     rng: ChaCha8Rng,
     view: Option<MembershipView>,
     my_index: Option<usize>,
@@ -121,8 +123,10 @@ impl OverlayNode {
     pub fn new(cfg: NodeConfig) -> Self {
         cfg.protocol.validate();
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let telemetry = Telemetry::new(u32::from(cfg.id.0));
         OverlayNode {
             cfg,
+            telemetry,
             rng,
             view: None,
             my_index: None,
@@ -164,6 +168,15 @@ impl OverlayNode {
     #[must_use]
     pub fn config(&self) -> &NodeConfig {
         &self.cfg
+    }
+
+    /// This node's telemetry registry. Every subsystem the node runs
+    /// (SWIM membership, the quorum router, its row store) reports into
+    /// this handle; experiments snapshot it per node and
+    /// [`merge`](apor_telemetry::Snapshot::merge) across the fleet.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     // ------------------------------------------------------------------
@@ -224,7 +237,8 @@ impl OverlayNode {
             Swim::bootstrap(self.cfg.id, swim_cfg, &[self.cfg.id])
         } else {
             Swim::new(self.cfg.id, swim_cfg, &[self.cfg.coordinator])
-        };
+        }
+        .with_telemetry(self.telemetry.clone());
         if let Some((version, members)) = swim.poll_view(now) {
             self.install_view(MembershipView::new(version, members), now, out);
         }
@@ -513,11 +527,12 @@ impl OverlayNode {
                     view.version,
                     self.cfg.protocol.clone(),
                 )),
-                Algorithm::Quorum => RouterBox::Quorum(QuorumRouter::new(
+                Algorithm::Quorum => RouterBox::Quorum(QuorumRouter::new_with_telemetry(
                     me,
                     n,
                     view.version,
                     self.cfg.protocol.clone(),
+                    &self.telemetry,
                 )),
             };
             // Incremental remap: translate the old router's surviving
@@ -552,6 +567,14 @@ impl OverlayNode {
                 self.routing_tick_armed = true;
             }
         }
+        self.telemetry.event(
+            now,
+            Severity::Info,
+            EventKind::ViewInstalled {
+                version: u64::from(view.version),
+                members: view.len() as u32,
+            },
+        );
         self.view = Some(view);
     }
 

@@ -38,9 +38,10 @@ use apor_linkstate::{
     LinkEntry, LinkStateMsg, LinkStateStore, Message, RecEntry, RecommendationMsg, RowStore,
 };
 use apor_quorum::{Grid, NodeId};
+use apor_telemetry::{Counter, Gauge, Telemetry};
 use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A received best-hop recommendation for one destination.
 #[derive(Debug, Clone, Copy)]
@@ -79,8 +80,40 @@ pub struct QuorumMetrics {
     pub rec_entries_received: u64,
 }
 
-/// Sentinel for "no timestamp yet" in the dense per-server vectors.
+/// Sentinel for "no timestamp yet" in the dense `serving_since` vector.
 const NEVER: f64 = f64::NEG_INFINITY;
+
+/// Registry-backed cells behind [`QuorumMetrics`]. The counters are the
+/// single source of truth — [`QuorumRouter::metrics`] reconstructs the
+/// public struct from them — so a router attached to a live [`Telemetry`]
+/// feeds the fleet snapshot for free, and a detached one (the default
+/// disabled registry) still counts for tests and experiments.
+#[derive(Debug, Clone)]
+struct RouterCounters {
+    failovers_selected: Counter,
+    ls_sent: Counter,
+    recs_sent: Counter,
+    rec_entries_received: Counter,
+    /// Estimated heap bytes of the sparse `rec_seen` maps (16 bytes per
+    /// `(dst, timestamp)` entry).
+    rec_seen_bytes: Gauge,
+    /// What the pre-compaction dense layout would cost for the same
+    /// state: one `n × 8`-byte row per server that has ever recommended.
+    rec_seen_bytes_dense: Gauge,
+}
+
+impl RouterCounters {
+    fn new(t: &Telemetry) -> Self {
+        RouterCounters {
+            failovers_selected: t.counter("routing", "failovers_selected"),
+            ls_sent: t.counter("routing", "ls_sent"),
+            recs_sent: t.counter("routing", "recs_sent"),
+            rec_entries_received: t.counter("routing", "rec_entries_received"),
+            rec_seen_bytes: t.gauge("routing", "rec_seen_bytes"),
+            rec_seen_bytes_dense: t.gauge("routing", "rec_seen_bytes_dense"),
+        }
+    }
+}
 
 /// The per-node quorum routing state machine, generic over its link-state
 /// store (default: the sparse [`RowStore`]).
@@ -99,18 +132,20 @@ pub struct QuorumRouter<S: LinkStateStore = RowStore> {
     default_pair: Vec<Vec<usize>>,
     /// Latest accepted recommendation per destination.
     routes: Vec<Option<RouteEntry>>,
-    /// `rec_seen[s][dst]` — last time server `s` recommended any route
-    /// for `dst`; grid-indexed, allocated lazily per server ([`NEVER`]
-    /// = no recommendation yet). Only the `~2√n` servers that actually
-    /// send recommendations ever allocate a row.
-    rec_seen: Vec<Option<Box<[f64]>>>,
+    /// `rec_seen[s]` — last time server `s` recommended any route for a
+    /// destination, as a sparse map keyed by destination (absent key =
+    /// no recommendation yet). Only the `~2√n` servers that actually
+    /// send recommendations hold entries, and each holds only the
+    /// destinations it has vouched for — `O(√n · √n)` entries total
+    /// versus the `n` slots per server a dense row would burn.
+    rec_seen: Vec<BTreeMap<usize, f64>>,
     /// When I first sent link state to each server (grace-period
     /// anchor); grid-indexed, [`NEVER`] = never served.
     serving_since: Vec<f64>,
     /// Per-destination failover machinery.
     failover: Vec<FailoverState>,
-    /// Event counters.
-    metrics: QuorumMetrics,
+    /// Registry-backed event counters (see [`QuorumMetrics`]).
+    counters: RouterCounters,
 }
 
 impl QuorumRouter<RowStore> {
@@ -122,6 +157,21 @@ impl QuorumRouter<RowStore> {
     pub fn new(me: usize, n: usize, view: u32, config: ProtocolConfig) -> Self {
         let store = RowStore::with_entitlement(n, Self::row_entitlement(n), config.staleness_s());
         Self::with_store(me, n, view, config, store)
+    }
+
+    /// [`QuorumRouter::new`] with both the router counters and the
+    /// backing [`RowStore`] registered against a live `telemetry`.
+    #[must_use]
+    pub fn new_with_telemetry(
+        me: usize,
+        n: usize,
+        view: u32,
+        config: ProtocolConfig,
+        telemetry: &Telemetry,
+    ) -> Self {
+        let store = RowStore::with_entitlement(n, Self::row_entitlement(n), config.staleness_s())
+            .with_telemetry(telemetry.clone());
+        Self::with_store(me, n, view, config, store).with_telemetry(telemetry)
     }
 
     /// The debug-asserted bound on *fresh* rows a quorum node may hold:
@@ -168,11 +218,25 @@ impl<S: LinkStateStore> QuorumRouter<S> {
             my_servers,
             default_pair,
             routes: vec![None; n],
-            rec_seen: vec![None; n],
+            rec_seen: vec![BTreeMap::new(); n],
             serving_since: vec![NEVER; n],
             failover: vec![FailoverState::default(); n],
-            metrics: QuorumMetrics::default(),
+            counters: RouterCounters::new(&Telemetry::disabled()),
         }
+    }
+
+    /// Attach a live telemetry registry: the counters and the `rec_seen`
+    /// byte gauges re-register against `telemetry`. Counts recorded on
+    /// the previous (default: disabled) registry are left behind, but
+    /// re-attaching the same registry — e.g. when a view change rebuilds
+    /// the router — resumes its cumulative cells. The link-state store
+    /// keeps its own registration — build it via
+    /// [`RowStore::with_telemetry`] and [`QuorumRouter::with_store`]
+    /// (or [`QuorumRouter::new_with_telemetry`]) to instrument both.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.counters = RouterCounters::new(telemetry);
+        self
     }
 
     /// The grid this router derives its quorum from.
@@ -187,10 +251,32 @@ impl<S: LinkStateStore> QuorumRouter<S> {
         &self.table
     }
 
-    /// Event counters.
+    /// Event counters, reconstructed from the registry-backed cells.
     #[must_use]
     pub fn metrics(&self) -> QuorumMetrics {
-        self.metrics
+        QuorumMetrics {
+            failovers_selected: self.counters.failovers_selected.get(),
+            ls_sent: self.counters.ls_sent.get(),
+            recs_sent: self.counters.recs_sent.get(),
+            rec_entries_received: self.counters.rec_entries_received.get(),
+        }
+    }
+
+    /// Estimated heap bytes of the sparse `rec_seen` state, and what the
+    /// dense pre-compaction layout would cost for the same coverage.
+    #[must_use]
+    pub fn rec_seen_bytes(&self) -> (u64, u64) {
+        let entries: usize = self.rec_seen.iter().map(BTreeMap::len).sum();
+        let active = self.rec_seen.iter().filter(|m| !m.is_empty()).count();
+        let sparse = (entries * 16) as u64;
+        let dense = (active * self.n * 8) as u64;
+        (sparse, dense)
+    }
+
+    fn update_rec_seen_gauges(&self) {
+        let (sparse, dense) = self.rec_seen_bytes();
+        self.counters.rec_seen_bytes.set(sparse);
+        self.counters.rec_seen_bytes_dense.set(dense);
     }
 
     /// The latest recommendation stored for `dst`.
@@ -207,10 +293,7 @@ impl<S: LinkStateStore> QuorumRouter<S> {
 
     /// Last time server `s` recommended any route to `dst`.
     fn last_rec(&self, s: usize, dst: usize) -> Option<f64> {
-        self.rec_seen[s].as_ref().and_then(|v| {
-            let t = v[dst];
-            (t != NEVER).then_some(t)
-        })
+        self.rec_seen[s].get(&dst).copied()
     }
 
     /// Has rendezvous server `s` failed *for destination `dst`*, judged at
@@ -310,7 +393,7 @@ impl<S: LinkStateStore> QuorumRouter<S> {
             let f = *pool.choose(rng).expect("non-empty pool");
             self.failover[dst].current = Some(f);
             self.failover[dst].tried.insert(f);
-            self.metrics.failovers_selected += 1;
+            self.counters.failovers_selected.inc();
             newly_selected.push(f);
         }
         newly_selected.sort_unstable();
@@ -382,7 +465,7 @@ impl<S: LinkStateStore> QuorumRouter<S> {
             if recs.is_empty() {
                 continue;
             }
-            self.metrics.recs_sent += 1;
+            self.counters.recs_sent.inc();
             msgs.push(Message::Recommendations(RecommendationMsg {
                 from: NodeId::from_index(self.me),
                 to: NodeId::from_index(c),
@@ -419,7 +502,7 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
             if self.serving_since[s] == NEVER {
                 self.serving_since[s] = now;
             }
-            self.metrics.ls_sent += 1;
+            self.counters.ls_sent.inc();
             msgs.push(self.linkstate_msg(s, now));
         }
         // Round two: recommendations to all fresh clients.
@@ -445,17 +528,14 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
                 if rm.view != self.view || server >= self.n {
                     return Vec::new();
                 }
-                let n = self.n;
-                let seen =
-                    self.rec_seen[server].get_or_insert_with(|| vec![NEVER; n].into_boxed_slice());
                 for rec in &rm.recs {
                     let dst = rec.dst.index();
                     let hop = rec.hop.index();
                     if dst >= self.n || hop >= self.n || dst == self.me {
                         continue;
                     }
-                    seen[dst] = now;
-                    self.metrics.rec_entries_received += 1;
+                    self.rec_seen[server].insert(dst, now);
+                    self.counters.rec_entries_received.inc();
                     let newer = self.routes[dst].is_none_or(|r| now >= r.received_at);
                     if newer {
                         self.routes[dst] = Some(RouteEntry {
@@ -466,6 +546,7 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
                         });
                     }
                 }
+                self.update_rec_seen_gauges();
                 Vec::new()
             }
             _ => Vec::new(),
@@ -654,6 +735,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// `rec_seen` holds entries only for (server, dst) pairs that were
+    /// actually recommended, and the byte gauges report the sparse
+    /// layout as strictly cheaper than the dense one it replaced.
+    #[test]
+    fn rec_seen_is_sparse_and_gauged() {
+        let telemetry = Telemetry::new(3);
+        let cfg = ProtocolConfig::quorum();
+        let n = 9;
+        let mut fabric = Fabric::new(n, &cfg);
+        fabric.routers[3] = QuorumRouter::new_with_telemetry(3, n, 0, cfg.clone(), &telemetry);
+        let rows = nine_node_rows();
+        fabric.tick(0.0, &rows);
+        fabric.tick(15.0, &rows);
+
+        let r = &fabric.routers[3];
+        let servers_with_entries = r.rec_seen.iter().filter(|m| !m.is_empty()).count();
+        let total_entries: usize = r.rec_seen.iter().map(BTreeMap::len).sum();
+        // Only my ~2√n rendezvous servers recommend to me, about n-1
+        // destinations each — nowhere near the n² dense worst case.
+        assert!(servers_with_entries > 0);
+        assert!(servers_with_entries <= r.grid().max_rendezvous_degree() * 2 + 1);
+        assert!(total_entries <= servers_with_entries * (n - 1));
+        for (s, m) in r.rec_seen.iter().enumerate() {
+            for &dst in m.keys() {
+                assert!(r.last_rec(s, dst).is_some());
+                assert_ne!(dst, 3, "never records recs about myself");
+            }
+        }
+
+        let (sparse, dense) = r.rec_seen_bytes();
+        assert!(
+            sparse > 0 && sparse < dense,
+            "sparse {sparse} vs dense {dense}"
+        );
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.gauge(3, "routing", "rec_seen_bytes"), Some(sparse));
+        assert_eq!(
+            snap.gauge(3, "routing", "rec_seen_bytes_dense"),
+            Some(dense)
+        );
+        assert_eq!(
+            snap.counter(3, "routing", "rec_entries_received"),
+            Some(r.metrics().rec_entries_received)
+        );
+        assert!(snap.counter(3, "routing", "ls_sent").unwrap_or(0) > 0);
     }
 
     /// The sparse store and the dense baseline run the identical

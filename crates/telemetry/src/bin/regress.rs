@@ -1,0 +1,95 @@
+//! CI gate comparing a bench run against the checked-in baseline.
+//!
+//! ```text
+//! regress --baseline bench/baselines/BENCH_kernels.json \
+//!         --current BENCH_kernels.json \
+//!         [--threshold 0.25] [--filter prefix,prefix,...] [--no-calibration]
+//! ```
+//!
+//! Exit codes: 0 = pass, 1 = regression beyond threshold, 2 =
+//! operational error (bad args, unreadable/unparsable report, or zero
+//! gated benchmarks matched — the silent-pass guard).
+
+use apor_telemetry::regress::{compare, parse_report, RegressConfig};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("regress: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut cfg = RegressConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next(),
+            "--current" => current_path = args.next(),
+            "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => cfg.threshold = t,
+                _ => return fail("--threshold needs a positive number"),
+            },
+            "--filter" => match args.next() {
+                Some(list) => {
+                    cfg.prefixes = list.split(',').map(str::to_string).collect();
+                }
+                None => return fail("--filter needs a comma-separated prefix list"),
+            },
+            "--no-calibration" => cfg.calibrate = false,
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        return fail("usage: regress --baseline <file> --current <file>");
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| parse_report(&text).map_err(|e| format!("{path}: {e}")))
+    };
+    let baseline = match read(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    let current = match read(&current_path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    let verdict = compare(&baseline, &current, &cfg);
+    if verdict.compared.is_empty() {
+        return fail("no gated benchmarks matched both reports — baseline drift?");
+    }
+    println!(
+        "perf trajectory: {} gated benchmarks, calibration scale {:.3}, threshold +{:.0}%",
+        verdict.compared.len(),
+        verdict.scale,
+        cfg.threshold * 100.0
+    );
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline ns", "current ns", "ratio"
+    );
+    for c in &verdict.compared {
+        println!(
+            "{:<44} {:>12.0} {:>12.0} {:>7.2}x{}",
+            c.id,
+            c.baseline_ns,
+            c.current_ns,
+            c.ratio,
+            if c.regressed { "  << REGRESSED" } else { "" }
+        );
+    }
+    if verdict.passed() {
+        println!("perf trajectory: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "perf trajectory: FAIL — {} kernel(s) regressed beyond +{:.0}%",
+            verdict.regressions().len(),
+            cfg.threshold * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

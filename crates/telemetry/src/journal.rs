@@ -1,0 +1,261 @@
+//! The bounded event journal: timestamped structured protocol events.
+//!
+//! Convergence studies read the journal to reconstruct *why* something
+//! happened — which suspicion raised, which sync pushed, which packets
+//! a partition swallowed — instead of inferring it from endpoint
+//! counters. The ring is bounded: when full, the oldest event is
+//! overwritten and a drop counter ticks, so a long run can never grow
+//! memory without bound.
+
+use std::collections::VecDeque;
+
+/// Event importance, ordered `Debug < Info < Warn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// High-rate detail (per-packet queueing).
+    Debug,
+    /// Protocol-rate milestones (view installs, syncs).
+    Info,
+    /// Anomalies worth surfacing (drops, suspicions).
+    Warn,
+}
+
+/// Why the simulated network dropped a packet. The distinction is the
+/// point: a queue-overflow drop indicts the receiver's capacity, a
+/// link-down drop indicts the failure schedule (partition or outage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The failure schedule had the link (or an endpoint) down —
+    /// partitions and outages land here.
+    LinkDown,
+    /// The latency matrix marks the pair unreachable (no path exists).
+    Unreachable,
+    /// Bernoulli packet loss on an up link.
+    Loss,
+    /// The receiver's bounded ingress queue was full.
+    QueueOverflow,
+    /// The receiver was down at delivery time (crashed mid-flight).
+    ReceiverDown,
+}
+
+impl DropCause {
+    /// Stable lowercase label (metric names, JSON).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::LinkDown => "link_down",
+            DropCause::Unreachable => "unreachable",
+            DropCause::Loss => "loss",
+            DropCause::QueueOverflow => "queue_overflow",
+            DropCause::ReceiverDown => "receiver_down",
+        }
+    }
+}
+
+/// What happened. Variants cover the protocol milestones every layer
+/// reports; ids are raw node indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A liveness probe left for `to`.
+    ProbeSent {
+        /// Probed node.
+        to: u32,
+    },
+    /// A probe ack arrived from `from`.
+    ProbeAcked {
+        /// Acking node.
+        from: u32,
+    },
+    /// Suspicion opened about `about`.
+    SuspicionRaised {
+        /// Suspected node.
+        about: u32,
+    },
+    /// Suspicion about `about` was refuted in time.
+    SuspicionRefuted {
+        /// Cleared node.
+        about: u32,
+    },
+    /// A membership view was installed.
+    ViewInstalled {
+        /// View version.
+        version: u64,
+        /// Members in the view.
+        members: u32,
+    },
+    /// A link-state row from `origin` was merged into a store.
+    RowMerged {
+        /// Row origin.
+        origin: u32,
+    },
+    /// A link-state row from `origin` was evicted (staleness pressure).
+    RowEvicted {
+        /// Row origin.
+        origin: u32,
+    },
+    /// Anti-entropy digest matched: full transfer skipped with `peer`.
+    SyncSkip {
+        /// Sync partner.
+        peer: u32,
+    },
+    /// Anti-entropy pushed a full ledger to `peer`.
+    SyncPush {
+        /// Sync partner.
+        peer: u32,
+    },
+    /// The network dropped a packet bound for `to`.
+    PacketDropped {
+        /// Intended receiver.
+        to: u32,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// A packet bound for `to` entered the in-flight queue.
+    PacketQueued {
+        /// Receiver.
+        to: u32,
+    },
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation (or wall) time, seconds.
+    pub t: f64,
+    /// Importance.
+    pub severity: Severity,
+    /// Reporting node.
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The ring buffer behind a [`Telemetry`](crate::Telemetry) handle's
+/// journal.
+#[derive(Debug)]
+pub(crate) struct JournalInner {
+    capacity: usize,
+    min_severity: Severity,
+    ring: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl JournalInner {
+    pub(crate) fn new(capacity: usize, min_severity: Severity) -> Self {
+        JournalInner {
+            capacity,
+            min_severity,
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn min_severity(&self) -> Severity {
+        self.min_severity
+    }
+
+    pub(crate) fn set_min_severity(&mut self, min: Severity) {
+        self.min_severity = min;
+    }
+
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.ring.len() > capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    pub(crate) fn record(&mut self, event: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+
+    pub(crate) fn events(&self) -> Vec<Event> {
+        self.ring.iter().copied().collect()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let t = Telemetry::new(0)
+            .with_journal_capacity(3)
+            .with_journal_severity(Severity::Debug);
+        for i in 0..5u32 {
+            t.event(
+                f64::from(i),
+                Severity::Info,
+                EventKind::PacketQueued { to: i },
+            );
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3, "bounded at capacity");
+        // Oldest two were overwritten; the survivors are 2, 3, 4 in order.
+        let tos: Vec<u32> = events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::PacketQueued { to } => to,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tos, vec![2, 3, 4]);
+        assert_eq!(t.events_dropped(), 2);
+    }
+
+    #[test]
+    fn severity_filter_drops_below_threshold() {
+        let t = Telemetry::new(0).with_journal_severity(Severity::Warn);
+        t.event(0.0, Severity::Debug, EventKind::PacketQueued { to: 1 });
+        t.event(0.0, Severity::Info, EventKind::SyncSkip { peer: 1 });
+        t.event(
+            0.0,
+            Severity::Warn,
+            EventKind::PacketDropped {
+                to: 1,
+                cause: DropCause::LinkDown,
+            },
+        );
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].severity, Severity::Warn);
+        // Filtered events are not "dropped" — they were never recorded.
+        assert_eq!(t.events_dropped(), 0);
+    }
+
+    #[test]
+    fn drop_cause_labels_are_distinct() {
+        let all = [
+            DropCause::LinkDown,
+            DropCause::Unreachable,
+            DropCause::Loss,
+            DropCause::QueueOverflow,
+            DropCause::ReceiverDown,
+        ];
+        let mut labels: Vec<&str> = all.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+}

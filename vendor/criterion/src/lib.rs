@@ -3,17 +3,28 @@
 //!
 //! With no crates.io access, this stand-in keeps the bench suites
 //! compiling and *running*: each benchmark is warmed up, timed over a
-//! fixed wall-clock budget, and reported as mean ns/iter on stdout. No
-//! statistics, plots or baselines — swap the real criterion back in via
-//! the manifest for those. `cargo bench` and `cargo test --benches` both
-//! work (benchmarks run one quick iteration under the test harness),
-//! and `cargo bench -- --test` mirrors real criterion's test mode:
-//! every benchmark body runs exactly once, for CI smoke coverage
-//! without the measurement budget.
+//! fixed wall-clock budget split into sample slices, and reported as
+//! the median ns/iter across slices (with the median absolute
+//! deviation as the dispersion). `cargo bench` and `cargo test
+//! --benches` both work (benchmarks run one quick iteration under the
+//! test harness), and `cargo bench -- --test` mirrors real criterion's
+//! test mode: every benchmark body runs exactly once, for CI smoke
+//! coverage without the measurement budget.
+//!
+//! ## Perf-trajectory reports
+//!
+//! After the groups finish, [`criterion_main!`] writes every measured
+//! benchmark to `BENCH_<suite>.json` (suite = the bench target name,
+//! recovered from the executable), the format consumed by the
+//! `apor-telemetry` regression gate. The report lands in
+//! `$APOR_BENCH_DIR` (created if missing) or, when the variable is
+//! unset, the working directory; `--test` mode measures nothing and
+//! writes nothing.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -22,6 +33,21 @@ pub use std::hint::black_box;
 const MEASURE_BUDGET: Duration = Duration::from_millis(300);
 /// Iterations of warm-up before measuring.
 const WARMUP_ITERS: u64 = 2;
+/// Sample slices the measurement budget is divided into; the reported
+/// median and MAD are computed across the per-slice means.
+const SAMPLE_SLICES: usize = 16;
+
+/// One finished benchmark, queued for the suite report.
+struct Record {
+    id: String,
+    median_ns: f64,
+    mad_ns: f64,
+    samples: u64,
+    iters: u64,
+}
+
+/// Benchmarks measured so far in this process.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
 
 /// The benchmark driver.
 #[derive(Debug, Default)]
@@ -96,47 +122,92 @@ impl BenchmarkGroup<'_> {
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
     let mut b = Bencher {
-        total: Duration::ZERO,
         iters: 0,
+        samples: Vec::new(),
     };
     f(&mut b);
     if b.iters == 0 {
         println!("bench {label:<40} (no iterations)");
+        return;
+    }
+    let median_ns = median(&mut b.samples.clone());
+    let mad_ns = {
+        let mut dev: Vec<f64> = b.samples.iter().map(|s| (s - median_ns).abs()).collect();
+        median(&mut dev)
+    };
+    println!(
+        "bench {label:<40} {median_ns:>14.0} ns/iter (±{mad_ns:.0} MAD, {} samples, {} iters)",
+        b.samples.len(),
+        b.iters
+    );
+    if !test_mode() {
+        RECORDS.lock().unwrap().push(Record {
+            id: label.to_string(),
+            median_ns,
+            mad_ns,
+            samples: b.samples.len() as u64,
+            iters: b.iters,
+        });
+    }
+}
+
+/// Median of `values` (sorts in place; 0.0 when empty).
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
     } else {
-        let per_iter = b.total.as_nanos() as f64 / b.iters as f64;
-        println!(
-            "bench {label:<40} {per_iter:>14.0} ns/iter ({} iters)",
-            b.iters
-        );
+        (values[mid - 1] + values[mid]) / 2.0
     }
 }
 
 /// Times closures handed to it by a benchmark body.
 pub struct Bencher {
-    total: Duration,
     iters: u64,
+    /// Mean ns/iter of each sample slice.
+    samples: Vec<f64>,
 }
 
 impl Bencher {
+    /// Record one sample slice's outcome.
+    fn sample(&mut self, elapsed: Duration, iters: u64) {
+        if iters > 0 {
+            self.iters += iters;
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
     /// Time `routine` repeatedly within the measurement budget (or run
     /// it exactly once under `--test`).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         if test_mode() {
             let t0 = Instant::now();
             black_box(routine());
-            self.total += t0.elapsed();
-            self.iters += 1;
+            self.sample(t0.elapsed(), 1);
             return;
         }
         for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
-        let started = Instant::now();
-        while started.elapsed() < measure_budget() {
-            let t0 = Instant::now();
-            black_box(routine());
-            self.total += t0.elapsed();
-            self.iters += 1;
+        let slice_budget = measure_budget() / SAMPLE_SLICES as u32;
+        for _ in 0..SAMPLE_SLICES {
+            let mut elapsed = Duration::ZERO;
+            let mut iters = 0;
+            let started = Instant::now();
+            loop {
+                let t0 = Instant::now();
+                black_box(routine());
+                elapsed += t0.elapsed();
+                iters += 1;
+                if started.elapsed() >= slice_budget {
+                    break;
+                }
+            }
+            self.sample(elapsed, iters);
         }
     }
 
@@ -152,19 +223,99 @@ impl Bencher {
             let input = setup();
             let t0 = Instant::now();
             black_box(routine(input));
-            self.total += t0.elapsed();
-            self.iters += 1;
+            self.sample(t0.elapsed(), 1);
             return;
         }
         black_box(routine(setup()));
-        let started = Instant::now();
-        while started.elapsed() < measure_budget() {
-            let input = setup();
-            let t0 = Instant::now();
-            black_box(routine(input));
-            self.total += t0.elapsed();
-            self.iters += 1;
+        let slice_budget = measure_budget() / SAMPLE_SLICES as u32;
+        for _ in 0..SAMPLE_SLICES {
+            let mut elapsed = Duration::ZERO;
+            let mut iters = 0;
+            let started = Instant::now();
+            loop {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                elapsed += t0.elapsed();
+                iters += 1;
+                if started.elapsed() >= slice_budget {
+                    break;
+                }
+            }
+            self.sample(elapsed, iters);
         }
+    }
+}
+
+/// Write the finished benchmarks to `BENCH_<suite>.json` in the
+/// report directory (see the crate docs). Called by
+/// [`criterion_main!`] after all groups have run; a run with nothing
+/// measured (e.g. `--test` mode) writes nothing.
+pub fn write_report() {
+    let records = RECORDS.lock().unwrap();
+    if records.is_empty() {
+        return;
+    }
+    let dir = std::env::var_os("APOR_BENCH_DIR")
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from);
+    if std::fs::create_dir_all(&dir).is_err() {
+        eprintln!("criterion: cannot create report dir {}", dir.display());
+        return;
+    }
+    let suite = suite_name();
+    let mut out = String::new();
+    out.push_str("{\n  \"suite\": \"");
+    out.push_str(&escape(&suite));
+    out.push_str("\",\n  \"benches\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mad_ns\": {:.1}, \
+             \"samples\": {}, \"iters\": {}}}",
+            escape(&r.id),
+            r.median_ns,
+            r.mad_ns,
+            r.samples,
+            r.iters
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    let path = dir.join(format!("BENCH_{suite}.json"));
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench report -> {}", path.display()),
+        Err(e) => eprintln!("criterion: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Minimal JSON string escaping for ids and suite names.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The bench-target name, recovered from the executable: cargo builds
+/// bench binaries as `<target>-<16-hex-digit hash>`.
+fn suite_name() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let base = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    strip_bin_hash(base).to_string()
+}
+
+/// Strip cargo's trailing `-<hex hash>` from a binary stem, if present.
+fn strip_bin_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty()
+                && hash.len() == 16
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name
+        }
+        _ => stem,
     }
 }
 
@@ -258,12 +409,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Entry point running the given groups.
+/// Entry point running the given groups, then writing the suite's
+/// `BENCH_<suite>.json` perf-trajectory report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_report();
         }
     };
 }
@@ -291,5 +444,32 @@ mod tests {
         c.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput);
         });
+    }
+
+    #[test]
+    fn median_and_mad_are_order_free() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn bench_hash_suffix_is_stripped() {
+        assert_eq!(strip_bin_hash("kernels-0123456789abcdef"), "kernels");
+        assert_eq!(strip_bin_hash("kernels"), "kernels");
+        assert_eq!(strip_bin_hash("round-two"), "round-two");
+        assert_eq!(strip_bin_hash("-0123456789abcdef"), "-0123456789abcdef");
+    }
+
+    #[test]
+    fn measured_benchmarks_are_recorded() {
+        let mut c = Criterion::default();
+        c.bench_function("record/probe", |b| b.iter(|| black_box(1 + 1)));
+        let records = RECORDS.lock().unwrap();
+        let r = records
+            .iter()
+            .find(|r| r.id == "record/probe")
+            .expect("recorded");
+        assert!(r.median_ns >= 0.0 && r.samples > 0 && r.iters > 0);
     }
 }
