@@ -31,6 +31,7 @@ use apor_overlay::config::{Algorithm, MembershipMode, NodeConfig};
 use apor_overlay::membership::MembershipView;
 use apor_overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use apor_quorum::NodeId;
+use apor_telemetry::Snapshot;
 use apor_topology::{FailureParams, FailureSchedule, LatencyMatrix, NodeOutage};
 use serde::Serialize;
 
@@ -88,6 +89,11 @@ pub struct ChurnOutcome {
     pub final_views_agree: bool,
     /// Fleet-mean per-node membership traffic before the crash, bps.
     pub membership_bps: f64,
+    /// Fleet telemetry aggregated over all nodes at the end of the
+    /// scenario (sync frame sizes, probe RTTs, queue depth, …).
+    /// Exported as `churn_telemetry.json`, not part of the CSV.
+    #[serde(skip)]
+    pub telemetry: Snapshot,
 }
 
 /// The full study output.
@@ -182,6 +188,10 @@ fn run_scenario(params: &ChurnParams, mode: MembershipMode, victim: usize) -> Ch
         }
     }
     sim.run_until(end);
+    let mut fleet = sim.telemetry_snapshot();
+    for i in 0..n {
+        fleet.merge(&overlay_at(&sim, i).telemetry().snapshot());
+    }
     ChurnOutcome {
         mode: match mode {
             MembershipMode::Centralized => "centralized".to_string(),
@@ -191,6 +201,7 @@ fn run_scenario(params: &ChurnParams, mode: MembershipMode, victim: usize) -> Ch
         convergence_s,
         final_views_agree: converged(&sim, n, victim),
         membership_bps,
+        telemetry: crate::aggregate_fleet(&fleet),
     }
 }
 
@@ -211,7 +222,8 @@ pub fn run(params: &ChurnParams) -> ChurnResult {
     }
 }
 
-/// Run, print and write `churn.csv`.
+/// Run, print and write `churn.csv` plus the per-scenario aggregated
+/// fleet telemetry (`churn_telemetry.json`).
 ///
 /// # Errors
 /// Propagates CSV I/O errors.
@@ -266,6 +278,28 @@ pub fn run_and_report(params: &ChurnParams) -> std::io::Result<ChurnResult> {
         ],
         &rows,
     )?;
+
+    // The aggregated fleet telemetry, one JSON object per scenario.
+    let mut json = String::from("{\n  \"arms\": [");
+    for (k, o) in r.outcomes.iter().enumerate() {
+        if k > 0 {
+            json.push(',');
+        }
+        let victim = if o.victim_is_coordinator {
+            "coordinator"
+        } else {
+            "member"
+        };
+        json.push_str(&format!(
+            "\n    {{\"membership\": \"{}\", \"victim\": \"{victim}\", \"telemetry\": {}}}",
+            o.mode,
+            o.telemetry.to_json().trim_end()
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    let json_path = crate::results_path("churn_telemetry.json");
+    std::fs::write(&json_path, json)?;
+    println!("fleet telemetry -> {}", json_path.display());
     Ok(r)
 }
 

@@ -28,7 +28,13 @@ pub struct DeploymentParams {
     pub seed: u64,
     /// Routing algorithm for all nodes.
     pub algorithm: Algorithm,
-    /// Freshness sampling period (paper: 30 s).
+    /// Freshness sampling period (paper: 30 s; default 29 s). The
+    /// default is deliberately co-prime with the 15 s / 30 s routing
+    /// intervals: a 30 s grid is phase-locked to the routing ticks, so
+    /// every sample of a pair sees the *same* point of the
+    /// recommendation cycle and the measured "freshness" collapses to
+    /// a per-pair phase constant (aliasing) instead of a draw from the
+    /// actual freshness distribution.
     pub freshness_sample_s: f64,
     /// Failure-metric sampling period (paper: 1 minute).
     pub failure_sample_s: f64,
@@ -45,7 +51,7 @@ impl Default for DeploymentParams {
             warmup_s: 180.0,
             seed: 0xDE9107,
             algorithm: Algorithm::Quorum,
-            freshness_sample_s: 30.0,
+            freshness_sample_s: 29.0,
             failure_sample_s: 60.0,
             protocol_override: None,
         }

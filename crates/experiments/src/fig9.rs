@@ -10,8 +10,9 @@
 use apor_analysis::{theory, write_csv, Table};
 use apor_netsim::{Simulator, SimulatorConfig, TrafficClass};
 use apor_overlay::config::{Algorithm, NodeConfig};
-use apor_overlay::simnode::{overlay_sim_config, populate};
+use apor_overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use apor_quorum::NodeId;
+use apor_telemetry::Snapshot;
 use apor_topology::{FailureParams, PlanetLabParams, Topology};
 use serde::Serialize;
 
@@ -48,6 +49,11 @@ pub struct Fig9Point {
     pub measured_bps: f64,
     /// The paper's closed-form prediction.
     pub theory_bps: f64,
+    /// Fleet telemetry aggregated over all nodes (probe RTTs, round-two
+    /// latency, queue depth, …). Exported as `fig9_telemetry.json`, not
+    /// part of the CSV.
+    #[serde(skip)]
+    pub telemetry: Snapshot,
 }
 
 /// The sweep output.
@@ -59,7 +65,7 @@ pub struct Fig9Result {
     pub quorum: Vec<Fig9Point>,
 }
 
-fn measure(n: usize, algorithm: Algorithm, params: &Fig9Params) -> f64 {
+fn measure(n: usize, algorithm: Algorithm, params: &Fig9Params) -> (f64, Snapshot) {
     let topo = Topology::generate(&PlanetLabParams {
         n,
         seed: params.seed ^ n as u64,
@@ -78,8 +84,14 @@ fn measure(n: usize, algorithm: Algorithm, params: &Fig9Params) -> f64 {
         NodeConfig::new(NodeId(i as u16), NodeId(0), algorithm).with_static_members(members.clone())
     });
     sim.run_until(params.duration_s);
-    sim.stats()
-        .fleet_mean_bps(&[TrafficClass::Routing], params.warmup_s, params.duration_s)
+    let bps =
+        sim.stats()
+            .fleet_mean_bps(&[TrafficClass::Routing], params.warmup_s, params.duration_s);
+    let mut fleet = sim.telemetry_snapshot();
+    for i in 0..n {
+        fleet.merge(&overlay_at(&sim, i).telemetry().snapshot());
+    }
+    (bps, crate::aggregate_fleet(&fleet))
 }
 
 /// Run the sweep.
@@ -88,21 +100,26 @@ pub fn run(params: &Fig9Params) -> Fig9Result {
     let mut ron = Vec::new();
     let mut quorum = Vec::new();
     for &n in &params.sizes {
+        let (measured_bps, telemetry) = measure(n, Algorithm::FullMesh, params);
         ron.push(Fig9Point {
             n,
-            measured_bps: measure(n, Algorithm::FullMesh, params),
+            measured_bps,
             theory_bps: theory::ron_routing_bps(n as f64),
+            telemetry,
         });
+        let (measured_bps, telemetry) = measure(n, Algorithm::Quorum, params);
         quorum.push(Fig9Point {
             n,
-            measured_bps: measure(n, Algorithm::Quorum, params),
+            measured_bps,
             theory_bps: theory::quorum_routing_bps(n as f64),
+            telemetry,
         });
     }
     Fig9Result { ron, quorum }
 }
 
-/// Run, print and write `fig9.csv`.
+/// Run, print and write `fig9.csv` plus the per-arm aggregated fleet
+/// telemetry (`fig9_telemetry.json`).
 ///
 /// # Errors
 /// Propagates CSV I/O errors.
@@ -151,6 +168,28 @@ pub fn run_and_report(params: &Fig9Params) -> std::io::Result<Fig9Result> {
         ],
         &rows,
     )?;
+
+    // The aggregated fleet telemetry, one JSON object per (algorithm, n).
+    let mut json = String::from("{\n  \"arms\": [");
+    let arms = r
+        .ron
+        .iter()
+        .map(|p| ("ron", p))
+        .chain(r.quorum.iter().map(|p| ("quorum", p)));
+    for (k, (algorithm, p)) in arms.enumerate() {
+        if k > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n    {{\"algorithm\": \"{algorithm}\", \"n\": {}, \"telemetry\": {}}}",
+            p.n,
+            p.telemetry.to_json().trim_end()
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    let json_path = crate::results_path("fig9_telemetry.json");
+    std::fs::write(&json_path, json)?;
+    println!("fleet telemetry -> {}", json_path.display());
     Ok(r)
 }
 

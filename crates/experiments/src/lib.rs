@@ -16,7 +16,7 @@
 //! | [`theory_exp`] | section 6.1's closed-form capacity table |
 //! | [`churn`] | beyond the paper: crash-detection & view convergence, SWIM vs centralized |
 //! | [`partition`] | beyond the paper: partition healing with/without push-pull anti-entropy |
-//! | [`scale`] | beyond the paper: sparse row store at n ∈ {256, 1024} — state bound + quality parity |
+//! | [`scale`] | beyond the paper: sparse store + idle-aware netsim at n up to 4096 — state, probe bytes, coverage |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,4 +41,19 @@ pub const RESULTS_DIR: &str = "results";
 pub fn results_path(file: &str) -> std::path::PathBuf {
     let base = std::env::var("APOR_RESULTS_DIR").unwrap_or_else(|_| RESULTS_DIR.to_string());
     std::path::Path::new(&base).join(file)
+}
+
+/// Fold a per-node fleet snapshot into a single-row aggregate (node 0):
+/// counters/gauges sum, histograms merge. Thousands of per-node
+/// registries would be megabytes of JSON; the fleet-wide distributions
+/// are what the studies export.
+#[must_use]
+pub fn aggregate_fleet(snap: &apor_telemetry::Snapshot) -> apor_telemetry::Snapshot {
+    let mut agg = apor_telemetry::Snapshot::default();
+    for (_, component, name, value) in snap.iter() {
+        let mut one = apor_telemetry::Snapshot::default();
+        one.insert(0, component, name, value.clone());
+        agg.merge(&one);
+    }
+    agg
 }

@@ -19,7 +19,7 @@
 //!   ablations   design-choice ablations (interval, rec format, staleness)
 //!   churn       membership churn: SWIM gossip vs centralized coordinator
 //!   partition   partition healing: push-pull anti-entropy on vs off
-//!   scale       sparse row store at n ∈ {256, 1024}: state bound + quality parity
+//!   scale       sparse store + netsim at n up to 4096: state, probe bytes, coverage
 //!   all         everything above
 //!
 //! `--quick` shrinks the deployment/sweep sizes for a fast smoke run.

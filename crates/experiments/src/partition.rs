@@ -466,6 +466,24 @@ mod tests {
                 "{component}/{name} must be nonzero on >= 2 nodes"
             );
         }
+        // The hot-path latency/size distributions must actually be
+        // populated — an instrumented path that never observes is
+        // indistinguishable from a broken one. p50 and p99 nonzero
+        // means real observations, not a single stray zero sample.
+        for (component, name) in [
+            ("routing", "probe_rtt_us"),
+            ("routing", "round_two_us"),
+            ("membership", "sync_frame_bytes"),
+            ("netsim", "event_queue_depth"),
+        ] {
+            let h = snap.histogram_total(component, name);
+            assert!(h.count > 0, "{component}/{name} recorded nothing");
+            assert!(
+                h.quantile(0.5) > 0 && h.quantile(0.99) > 0,
+                "{component}/{name}: zero p50/p99 over {} observations",
+                h.count
+            );
+        }
         let dropping: std::collections::BTreeSet<u32> = [
             "drop_link_down",
             "drop_unreachable",

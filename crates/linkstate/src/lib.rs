@@ -40,9 +40,10 @@ pub mod wire;
 
 pub use entry::{Cost, LinkEntry};
 pub use estimator::{LinkEstimator, ProbeOutcome};
-pub use store::{LinkStateStore, RowStore};
+pub use store::{LinkStateStore, LiveEntries, RowRef, RowStore};
 pub use table::LinkStateTable;
 pub use wire::{
-    LinkStateMsg, Message, ProbeMsg, ProbeReplyMsg, RecEntry, RecFormat, RecommendationMsg,
-    LINKSTATE_HEADER_SIZE, PROBE_WIRE_SIZE, REC_HEADER_SIZE, UDP_IP_OVERHEAD,
+    LinkStateMsg, Message, ProbeBatchMsg, ProbeItem, ProbeMsg, ProbeReplyMsg, RecEntry, RecFormat,
+    RecommendationMsg, SparseLinkStateMsg, LINKSTATE_HEADER_SIZE, PROBE_BATCH_HEADER_SIZE,
+    PROBE_WIRE_SIZE, REC_HEADER_SIZE, SPARSE_LINKSTATE_HEADER_SIZE, UDP_IP_OVERHEAD,
 };

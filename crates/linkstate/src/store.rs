@@ -15,11 +15,20 @@
 //!   run the identical routing computation.
 //! * [`RowStore`] — a sparse indexed map `origin → (receipt time, row)`
 //!   holding exactly the rows a node's role entitles it to: its own
-//!   row plus its rendezvous clients' rows (`O(√n)` rows of `n`
-//!   entries each ⇒ `O(n√n)` per-node state). An optional row
-//!   *entitlement* is debug-asserted on insert, so a protocol bug that
-//!   re-grows `O(n)` rows fails loudly in tests instead of silently
-//!   reintroducing the quadratic table.
+//!   row plus its rendezvous clients' rows. Since PR 7 each held row is
+//!   itself sparse — only the *live* entries, ascending by destination
+//!   — so a node probing `O(√n)` targets stores `O(√n)` entries per row
+//!   and `O(n)` overall, far below even the paper's `O(n√n)` wire
+//!   bound. An optional row *entitlement* is debug-asserted on insert,
+//!   so a protocol bug that re-grows `O(n)` rows fails loudly in tests
+//!   instead of silently reintroducing the quadratic table.
+//! * [`RowRef`] — a borrowed view of one row, dense or sparse. The
+//!   kernel is written once over it: [`best_one_hop`]
+//!   (LinkStateStore::best_one_hop) walks the *live* entries of both
+//!   rows in an ascending merge-join, which reproduces the dense
+//!   `h = 0..n` scan's lowest-index tie-break exactly (dead entries
+//!   have infinite cost and can never win, so skipping them is
+//!   observationally neutral).
 //!
 //! The dense [`LinkStateTable`](crate::table::LinkStateTable) stays for
 //! the full-mesh baseline (which genuinely holds all `n` rows, each
@@ -29,13 +38,128 @@ use crate::entry::{Cost, LinkEntry, INFINITE_COST};
 use apor_telemetry::{Counter, EventKind, Gauge, Severity, Telemetry};
 use std::collections::BTreeMap;
 
+/// A borrowed view of one link-state row, dense or sparse.
+///
+/// Sparse rows hold `(dst, entry)` pairs strictly ascending by `dst`;
+/// destinations not listed read as [`LinkEntry::dead`]. Both variants
+/// expose `O(1)`/`O(log k)` random access and an ascending iterator
+/// over *live* entries, which is all the round-two kernel needs.
+#[derive(Debug, Clone, Copy)]
+pub enum RowRef<'a> {
+    /// A full-width row — every destination has an explicit entry.
+    Dense(&'a [LinkEntry]),
+    /// Live-entries-only row over a row of `width` destinations.
+    Sparse {
+        /// Full row width (`n`); destinations ≥ `width` are out of range.
+        width: usize,
+        /// `(dst, entry)` pairs, strictly ascending by `dst`.
+        entries: &'a [(u16, LinkEntry)],
+    },
+}
+
+impl<'a> RowRef<'a> {
+    /// Full width of the row (`n`).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        match self {
+            RowRef::Dense(r) => r.len(),
+            RowRef::Sparse { width, .. } => *width,
+        }
+    }
+
+    /// The entry for `dst` (dead when not stored).
+    ///
+    /// # Panics
+    /// Panics if `dst ≥ width()`.
+    #[must_use]
+    pub fn get(&self, dst: usize) -> LinkEntry {
+        match self {
+            RowRef::Dense(r) => r[dst],
+            RowRef::Sparse { width, entries } => {
+                assert!(dst < *width, "dst {dst} out of range");
+                match entries.binary_search_by_key(&(dst as u16), |e| e.0) {
+                    Ok(i) => entries[i].1,
+                    Err(_) => LinkEntry::dead(),
+                }
+            }
+        }
+    }
+
+    /// Iterate the live entries as `(dst, entry)`, ascending by `dst`.
+    #[must_use]
+    pub fn iter_live(&self) -> LiveEntries<'a> {
+        match self {
+            RowRef::Dense(r) => LiveEntries::Dense { row: r, next: 0 },
+            RowRef::Sparse { entries, .. } => LiveEntries::Sparse {
+                iter: entries.iter(),
+            },
+        }
+    }
+
+    /// Materialise a full-width row (absent entries dead).
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<LinkEntry> {
+        match self {
+            RowRef::Dense(r) => r.to_vec(),
+            RowRef::Sparse { width, entries } => {
+                let mut out = vec![LinkEntry::dead(); *width];
+                for &(dst, e) in *entries {
+                    out[dst as usize] = e;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Ascending iterator over the live entries of a [`RowRef`].
+#[derive(Debug)]
+pub enum LiveEntries<'a> {
+    /// Scanning a dense row, skipping dead entries.
+    Dense {
+        /// The row being scanned.
+        row: &'a [LinkEntry],
+        /// Next index to examine.
+        next: usize,
+    },
+    /// Walking a sparse row's stored pairs.
+    Sparse {
+        /// Remaining pairs.
+        iter: std::slice::Iter<'a, (u16, LinkEntry)>,
+    },
+}
+
+impl Iterator for LiveEntries<'_> {
+    type Item = (usize, LinkEntry);
+
+    fn next(&mut self) -> Option<(usize, LinkEntry)> {
+        match self {
+            LiveEntries::Dense { row, next } => {
+                while *next < row.len() {
+                    let i = *next;
+                    *next += 1;
+                    if row[i].alive {
+                        return Some((i, row[i]));
+                    }
+                }
+                None
+            }
+            LiveEntries::Sparse { iter } => iter
+                .by_ref()
+                .find(|(_, e)| e.alive)
+                .map(|&(d, e)| (d as usize, e)),
+        }
+    }
+}
+
 /// Storage of link-state rows plus the round-two route computation.
 ///
-/// Rows are full-width (`n` entries — the wire format of a link-state
-/// message); what varies between implementations is *which* origins
-/// have a row at all. "Present" means a row was received (it has a
-/// receipt time); a present row may still be stale for routing — the
-/// kernel methods apply the paper's 3-routing-interval freshness rule
+/// A row logically covers all `n` destinations; what varies between
+/// implementations is *which* origins have a row at all and whether a
+/// held row is materialised densely or as its live entries only (see
+/// [`RowRef`]). "Present" means a row was received (it has a receipt
+/// time); a present row may still be stale for routing — the kernel
+/// methods apply the paper's 3-routing-interval freshness rule
 /// (section 6.2.2) on top.
 pub trait LinkStateStore {
     /// Number of nodes covered (row width).
@@ -52,6 +176,16 @@ pub trait LinkStateStore {
     /// Panics if `entries.len() != len()` or `origin ≥ len()`.
     fn update_row(&mut self, origin: usize, entries: &[LinkEntry], now: f64);
 
+    /// Replace row `origin` with sparse `(dst, entry)` pairs (strictly
+    /// ascending by `dst` — the wire decoder guarantees this for
+    /// [`SparseLinkStateMsg`](crate::wire::SparseLinkStateMsg) rows);
+    /// destinations not listed become dead. Stamped at `now`.
+    ///
+    /// # Panics
+    /// Panics if `origin ≥ len()` or any `dst ≥ len()`; ordering is
+    /// debug-asserted.
+    fn update_row_sparse(&mut self, origin: usize, entries: &[(u16, LinkEntry)], now: f64);
+
     /// Update a single entry of a row (used for the node's own row,
     /// which its probers refresh incrementally). Creates the row (all
     /// other entries dead) when absent.
@@ -60,8 +194,8 @@ pub trait LinkStateStore {
     /// Forget a row (e.g. on membership change or client loss).
     fn clear_row(&mut self, origin: usize);
 
-    /// Row `origin`, when present.
-    fn row(&self, origin: usize) -> Option<&[LinkEntry]>;
+    /// A borrowed view of row `origin`, when present.
+    fn row_ref(&self, origin: usize) -> Option<RowRef<'_>>;
 
     /// Receipt time of row `origin`; `None` = never received.
     fn row_time(&self, origin: usize) -> Option<f64>;
@@ -73,8 +207,9 @@ pub trait LinkStateStore {
     /// scale experiments assert against (`O(√n)` for a quorum node).
     fn row_count(&self) -> usize;
 
-    /// Number of link entries currently allocated (`row_count · n` —
-    /// the per-node memory the paper bounds by `O(n√n)`).
+    /// Number of link entries currently allocated — the per-node memory
+    /// figure the scale experiments report. Dense stores count the full
+    /// matrix; sparse stores count only what they hold.
     fn entry_count(&self) -> usize {
         self.row_count() * self.len()
     }
@@ -93,9 +228,16 @@ pub trait LinkStateStore {
         self.row_age(origin, now).is_some_and(|a| a <= max_age)
     }
 
+    /// Row `origin` materialised full-width, when present (absent
+    /// entries dead). Export paths use this; the kernel never does.
+    fn row_dense(&self, origin: usize) -> Option<Vec<LinkEntry>> {
+        self.row_ref(origin).map(|r| r.to_dense())
+    }
+
     /// The entry `origin → dst` (dead when the row is absent).
     fn entry(&self, origin: usize, dst: usize) -> LinkEntry {
-        self.row(origin).map_or_else(LinkEntry::dead, |r| r[dst])
+        self.row_ref(origin)
+            .map_or_else(LinkEntry::dead, |r| r.get(dst))
     }
 
     /// Routing cost of `origin → dst` (infinite when dead/unknown).
@@ -121,25 +263,41 @@ pub trait LinkStateStore {
     /// index, making the recommendation deterministic across rendezvous
     /// servers with identical data.
     ///
+    /// Implemented as an ascending merge-join over the *live* entries
+    /// of both rows: a finite path cost needs both legs alive, so only
+    /// the intersection of the live sets can win, and ascending order
+    /// reproduces the dense `h = 0..n` scan's lowest-index tie-break
+    /// exactly. Cost is `O(k_a + k_b)` live entries instead of `O(n)`.
+    ///
     /// Returns `None` when either row is missing/stale or no finite
     /// path exists.
     fn best_one_hop(&self, a: usize, b: usize, now: f64, max_age: f64) -> Option<(usize, Cost)> {
         if a == b || !self.row_fresh(a, now, max_age) || !self.row_fresh(b, now, max_age) {
             return None;
         }
-        let row_a = self.row(a).expect("fresh row present");
-        let row_b = self.row(b).expect("fresh row present");
-        let direct = row_a[b].cost().min(row_b[a].cost());
+        let row_a = self.row_ref(a).expect("fresh row present");
+        let row_b = self.row_ref(b).expect("fresh row present");
+        let direct = row_a.get(b).cost().min(row_b.get(a).cost());
         let mut best_hop = b;
         let mut best_cost = direct;
-        for h in 0..self.len() {
-            if h == a || h == b {
-                continue;
-            }
-            let c = row_a[h].cost() + row_b[h].cost();
-            if c < best_cost {
-                best_cost = c;
-                best_hop = h;
+        let mut it_a = row_a.iter_live();
+        let mut it_b = row_b.iter_live();
+        let (mut cur_a, mut cur_b) = (it_a.next(), it_b.next());
+        while let (Some((ha, ea)), Some((hb, eb))) = (cur_a, cur_b) {
+            match ha.cmp(&hb) {
+                std::cmp::Ordering::Less => cur_a = it_a.next(),
+                std::cmp::Ordering::Greater => cur_b = it_b.next(),
+                std::cmp::Ordering::Equal => {
+                    if ha != a && ha != b {
+                        let c = ea.cost() + eb.cost();
+                        if c < best_cost {
+                            best_cost = c;
+                            best_hop = ha;
+                        }
+                    }
+                    cur_a = it_a.next();
+                    cur_b = it_b.next();
+                }
             }
         }
         best_cost.is_finite().then_some((best_hop, best_cost))
@@ -196,21 +354,23 @@ pub trait LinkStateStore {
     }
 }
 
-/// One stored row: receipt time plus the full-width entries.
+/// One stored row: receipt time plus the live entries, ascending by
+/// destination. Dead/unknown destinations are not materialised.
 #[derive(Debug, Clone)]
 struct StoredRow {
     received_at: f64,
-    entries: Box<[LinkEntry]>,
+    entries: Box<[(u16, LinkEntry)]>,
 }
 
-/// The sparse row store: `origin → (receipt time, row)` for exactly the
-/// rows this node actually receives.
+/// The sparse row store: `origin → (receipt time, live entries)` for
+/// exactly the rows this node actually receives.
 ///
 /// A quorum node holds its own row plus its `~2√n` rendezvous clients'
-/// rows, so per-node state is `O(n√n)` — the paper's bound — instead of
-/// the dense table's `O(n²)`. Lookups are `O(log √n)` (the map is tiny);
-/// the round-two kernel touches only the two rows of the pair, exactly
-/// as in the dense table.
+/// rows, and since PR 7 each row stores only its live entries — which
+/// under entitled + sampled probing is `O(√n)` per row, so per-node
+/// state is `O(n)` where the dense table needs `O(n²)`. Lookups are
+/// `O(log √n)` map + `O(log k)` row binary search; the round-two kernel
+/// merge-joins the two rows of the pair in `O(k)`.
 #[derive(Debug, Clone)]
 pub struct RowStore {
     n: usize,
@@ -347,45 +507,16 @@ impl RowStore {
     }
 }
 
-impl LinkStateStore for RowStore {
-    fn len(&self) -> usize {
-        self.n
-    }
-
-    fn update_row(&mut self, origin: usize, entries: &[LinkEntry], now: f64) {
-        assert!(origin < self.n, "row {origin} out of range");
-        assert_eq!(entries.len(), self.n, "row must have n entries");
+impl RowStore {
+    /// Insert or replace a row already reduced to its live entries.
+    fn put_row(&mut self, origin: usize, entries: Box<[(u16, LinkEntry)]>, now: f64) {
         match self.rows.get_mut(&origin) {
             Some(slot) => {
-                slot.entries.copy_from_slice(entries);
+                slot.entries = entries;
                 slot.received_at = now;
             }
             None => {
                 self.evict_stale(now);
-                self.rows.insert(
-                    origin,
-                    StoredRow {
-                        received_at: now,
-                        entries: entries.into(),
-                    },
-                );
-                self.note_insert();
-            }
-        }
-        self.note_merge(origin, now);
-    }
-
-    fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64) {
-        assert!(origin < self.n && dst < self.n);
-        match self.rows.get_mut(&origin) {
-            Some(slot) => {
-                slot.entries[dst] = entry;
-                slot.received_at = now;
-            }
-            None => {
-                self.evict_stale(now);
-                let mut entries = vec![LinkEntry::dead(); self.n].into_boxed_slice();
-                entries[dst] = entry;
                 self.rows.insert(
                     origin,
                     StoredRow {
@@ -398,14 +529,72 @@ impl LinkStateStore for RowStore {
         }
         self.note_merge(origin, now);
     }
+}
+
+impl LinkStateStore for RowStore {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn update_row(&mut self, origin: usize, entries: &[LinkEntry], now: f64) {
+        assert!(origin < self.n, "row {origin} out of range");
+        assert_eq!(entries.len(), self.n, "row must have n entries");
+        let live: Box<[(u16, LinkEntry)]> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(d, &e)| (d as u16, e))
+            .collect();
+        self.put_row(origin, live, now);
+    }
+
+    fn update_row_sparse(&mut self, origin: usize, entries: &[(u16, LinkEntry)], now: f64) {
+        assert!(origin < self.n, "row {origin} out of range");
+        assert!(
+            entries.last().is_none_or(|&(d, _)| (d as usize) < self.n),
+            "sparse row destination out of range"
+        );
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let live: Box<[(u16, LinkEntry)]> =
+            entries.iter().filter(|(_, e)| e.alive).copied().collect();
+        self.put_row(origin, live, now);
+    }
+
+    fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64) {
+        assert!(origin < self.n && dst < self.n);
+        if let Some(slot) = self.rows.get_mut(&origin) {
+            let mut entries = std::mem::take(&mut slot.entries).into_vec();
+            match entries.binary_search_by_key(&(dst as u16), |e| e.0) {
+                Ok(i) if entry.alive => entries[i].1 = entry,
+                Ok(i) => {
+                    entries.remove(i);
+                }
+                Err(i) if entry.alive => entries.insert(i, (dst as u16, entry)),
+                Err(_) => {}
+            }
+            slot.entries = entries.into_boxed_slice();
+            slot.received_at = now;
+            self.note_merge(origin, now);
+        } else {
+            let live: Box<[(u16, LinkEntry)]> = if entry.alive {
+                Box::new([(dst as u16, entry)])
+            } else {
+                Box::new([])
+            };
+            self.put_row(origin, live, now);
+        }
+    }
 
     fn clear_row(&mut self, origin: usize) {
         self.rows.remove(&origin);
         self.rows_held.set(self.rows.len() as u64);
     }
 
-    fn row(&self, origin: usize) -> Option<&[LinkEntry]> {
-        self.rows.get(&origin).map(|s| &*s.entries)
+    fn row_ref(&self, origin: usize) -> Option<RowRef<'_>> {
+        self.rows.get(&origin).map(|s| RowRef::Sparse {
+            width: self.n,
+            entries: &s.entries,
+        })
     }
 
     fn row_time(&self, origin: usize) -> Option<f64> {
@@ -418,6 +607,10 @@ impl LinkStateStore for RowStore {
 
     fn row_count(&self) -> usize {
         self.rows.len()
+    }
+
+    fn entry_count(&self) -> usize {
+        self.rows.values().map(|r| r.entries.len()).sum()
     }
 }
 
@@ -485,11 +678,13 @@ mod tests {
         s.update_row(7, &vec![LinkEntry::dead(); 100], 1.0);
         s.update_row(42, &vec![LinkEntry::dead(); 100], 2.0);
         assert_eq!(s.row_count(), 2);
-        assert_eq!(s.entry_count(), 200);
+        // All-dead rows are present (they have a receipt time) but
+        // materialise zero entries — absent reads as dead.
+        assert_eq!(s.entry_count(), 0);
         assert_eq!(s.present_rows(), vec![7, 42]);
         assert_eq!(s.row_time(7), Some(1.0));
         assert_eq!(s.row_time(8), None);
-        assert!(s.row(8).is_none());
+        assert!(s.row_ref(8).is_none());
         // Absent rows read as dead, like the dense table's initial state.
         assert!(s.cost(8, 9).is_infinite());
         assert_eq!(s.cost(8, 8), 0.0);
@@ -500,8 +695,32 @@ mod tests {
         // Clearing removes the allocation entirely.
         s.clear_row(7);
         assert_eq!(s.row_count(), 1);
-        assert_eq!(s.entry_count(), 100);
         assert_eq!(s.peak_rows(), 2, "high-water mark is sticky");
+    }
+
+    #[test]
+    fn rows_store_live_entries_only() {
+        let mut s = RowStore::new(100);
+        let mut row = vec![LinkEntry::dead(); 100];
+        row[3] = LinkEntry::live(10, 0.0);
+        row[64] = LinkEntry::live(20, 0.01);
+        s.update_row(7, &row, 1.0);
+        assert_eq!(s.entry_count(), 2, "dense input reduced to live entries");
+        assert_eq!(s.entry(7, 64).latency_ms, 20);
+        assert!(!s.entry(7, 4).alive);
+        assert_eq!(s.row_dense(7).unwrap(), row);
+        // The sparse ingest path stores the same thing.
+        let mut t = RowStore::new(100);
+        t.update_row_sparse(
+            7,
+            &[
+                (3, LinkEntry::live(10, 0.0)),
+                (64, LinkEntry::live(20, 0.01)),
+            ],
+            1.0,
+        );
+        assert_eq!(t.row_dense(7).unwrap(), row);
+        assert_eq!(t.entry_count(), 2);
     }
 
     #[test]
@@ -512,6 +731,63 @@ mod tests {
         assert_eq!(s.entry(2, 4).latency_ms, 30);
         assert!(!s.entry(2, 3).alive);
         assert_eq!(s.row_time(2), Some(1.0));
+        // Killing the entry removes it from the stored row; the row and
+        // its receipt time survive.
+        s.update_entry(2, 4, LinkEntry::dead(), 2.0);
+        assert_eq!(s.row_count(), 1);
+        assert_eq!(s.entry_count(), 0);
+        assert!(!s.entry(2, 4).alive);
+        assert_eq!(s.row_time(2), Some(2.0));
+        // Inserting out of order lands sorted.
+        s.update_entry(2, 3, LinkEntry::live(9, 0.0), 3.0);
+        s.update_entry(2, 1, LinkEntry::live(8, 0.0), 3.0);
+        assert_eq!(
+            s.row_ref(2).unwrap().iter_live().collect::<Vec<_>>(),
+            vec![(1, LinkEntry::live(8, 0.0)), (3, LinkEntry::live(9, 0.0))]
+        );
+    }
+
+    /// Partial (sparse) rows run the same merge-join kernel as dense
+    /// rows holding the identical information.
+    #[test]
+    fn kernel_parity_on_partial_rows() {
+        let n = 12;
+        let mut dense = LinkStateTable::new(n);
+        let mut sparse = RowStore::new(n);
+        // Row a: live to {1, 3, 5, 7}; row b: live to {3, 4, 7, 11}.
+        let rows: Vec<(usize, Vec<(u16, LinkEntry)>)> = vec![
+            (
+                0,
+                vec![
+                    (1, LinkEntry::live(10, 0.0)),
+                    (3, LinkEntry::live(40, 0.0)),
+                    (5, LinkEntry::live(25, 0.0)),
+                    (7, LinkEntry::live(60, 0.0)),
+                ],
+            ),
+            (
+                9,
+                vec![
+                    (3, LinkEntry::live(15, 0.0)),
+                    (4, LinkEntry::live(5, 0.0)),
+                    (7, LinkEntry::live(30, 0.0)),
+                    (11, LinkEntry::live(80, 0.0)),
+                ],
+            ),
+        ];
+        for (origin, entries) in &rows {
+            dense.update_row_sparse(*origin, entries, 1.0);
+            sparse.update_row_sparse(*origin, entries, 1.0);
+        }
+        let d = dense.best_one_hop(0, 9, 2.0, 45.0);
+        assert_eq!(d, sparse.best_one_hop(0, 9, 2.0, 45.0));
+        // Best hop is the live-intersection minimum: h=3 (40+15=55)
+        // beats h=7 (60+30=90); no direct link exists.
+        assert_eq!(d, Some((3, 55.0)));
+        assert_eq!(
+            dense.one_hop_options(0, 9, 2.0, 45.0),
+            sparse.one_hop_options(0, 9, 2.0, 45.0)
+        );
     }
 
     #[test]

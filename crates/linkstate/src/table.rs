@@ -6,7 +6,7 @@
 //! lives in the [`LinkStateStore`] trait, written once over both.
 
 use crate::entry::LinkEntry;
-use crate::store::LinkStateStore;
+use crate::store::{LinkStateStore, RowRef};
 use serde::{Deserialize, Serialize};
 
 /// A node's dense view of the full `n × n` link-state matrix.
@@ -54,6 +54,17 @@ impl LinkStateStore for LinkStateTable {
         self.row_time[origin] = Some(now);
     }
 
+    fn update_row_sparse(&mut self, origin: usize, entries: &[(u16, LinkEntry)], now: f64) {
+        assert!(origin < self.n, "row {origin} out of range");
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let row = &mut self.entries[origin * self.n..(origin + 1) * self.n];
+        row.fill(LinkEntry::dead());
+        for &(dst, e) in entries {
+            row[dst as usize] = e;
+        }
+        self.row_time[origin] = Some(now);
+    }
+
     fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64) {
         assert!(origin < self.n && dst < self.n);
         self.entries[origin * self.n + dst] = entry;
@@ -67,9 +78,11 @@ impl LinkStateStore for LinkStateTable {
         self.row_time[origin] = None;
     }
 
-    fn row(&self, origin: usize) -> Option<&[LinkEntry]> {
+    fn row_ref(&self, origin: usize) -> Option<RowRef<'_>> {
         self.row_time[origin]?;
-        Some(&self.entries[origin * self.n..(origin + 1) * self.n])
+        Some(RowRef::Dense(
+            &self.entries[origin * self.n..(origin + 1) * self.n],
+        ))
     }
 
     fn row_time(&self, origin: usize) -> Option<f64> {

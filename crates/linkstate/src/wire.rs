@@ -34,6 +34,10 @@ pub const PROBE_WIRE_SIZE: usize = 18;
 pub const LINKSTATE_HEADER_SIZE: usize = 21;
 /// Wire size of the recommendation message header (entries add 4 or 6 each).
 pub const REC_HEADER_SIZE: usize = 23;
+/// Wire size of the probe-batch header (items add their own sizes).
+pub const PROBE_BATCH_HEADER_SIZE: usize = 12;
+/// Wire size of the sparse link-state header (entries add 5 each).
+pub const SPARSE_LINKSTATE_HEADER_SIZE: usize = 23;
 
 /// Message type tags.
 const T_PROBE: u8 = 1;
@@ -43,6 +47,13 @@ const T_RECOMMENDATIONS: u8 = 4;
 const T_JOIN: u8 = 5;
 const T_LEAVE: u8 = 6;
 const T_VIEW: u8 = 7;
+const T_PROBE_BATCH: u8 = 8;
+const T_LINKSTATE_SPARSE: u8 = 9;
+
+/// Probe-batch item tags.
+const TI_PING: u8 = 1;
+const TI_PONG: u8 = 2;
+const TI_GAUGE: u8 = 3;
 
 /// Errors from [`Message::decode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +108,63 @@ pub struct ProbeReplyMsg {
     pub echo_sent_ms: u32,
 }
 
+/// One item of a [`ProbeBatchMsg`]: everything one node owes one peer in
+/// a probing round rides a single frame instead of one 46-byte packet
+/// (18 B payload + 28 B framing) per ping, pong and gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeItem {
+    /// An outgoing probe: 9 bytes on the wire.
+    Ping {
+        /// Probe sequence number (echoed by the matching pong).
+        seq: u32,
+        /// Sender clock at transmission, milliseconds.
+        sent_ms: u32,
+    },
+    /// A probe reply: 9 bytes on the wire.
+    Pong {
+        /// Echoed probe sequence number.
+        seq: u32,
+        /// Echoed sender clock from the probe.
+        echo_sent_ms: u32,
+    },
+    /// The sender's current measurement of the *reverse* path (its
+    /// smoothed RTT and loss towards the addressee), piggybacked so the
+    /// addressee can adopt the symmetric estimate without probing back
+    /// at full rate. 5 bytes on the wire.
+    Gauge {
+        /// Sender's smoothed RTT to the addressee, ms.
+        rtt_ms: u16,
+        /// Sender's loss estimate towards the addressee, per-mille.
+        loss_pm: u16,
+    },
+}
+
+impl ProbeItem {
+    /// Serialized size of this item, including its 1-byte tag.
+    #[must_use]
+    pub fn wire_size(self) -> usize {
+        match self {
+            ProbeItem::Ping { .. } | ProbeItem::Pong { .. } => 9,
+            ProbeItem::Gauge { .. } => 5,
+        }
+    }
+}
+
+/// A batched probe frame: all outstanding probe work towards one peer
+/// (pings, pongs and the reverse-path gauge) in one transmission.
+/// `12 + Σ item` bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeBatchMsg {
+    /// Sender.
+    pub from: NodeId,
+    /// Destination.
+    pub to: NodeId,
+    /// Sender's membership view version.
+    pub view: u32,
+    /// The batched items, in send order.
+    pub items: Vec<ProbeItem>,
+}
+
 /// A round-one link-state message: the origin's full measured row.
 /// `21 + 3·n` bytes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -114,6 +182,31 @@ pub struct LinkStateMsg {
     pub basis_ms: u32,
     /// One entry per grid index (length = view size).
     pub entries: Vec<LinkEntry>,
+}
+
+/// A round-one link-state message carrying only the *live* entries of
+/// the origin's row as `(dst, entry)` pairs: `23 + 5·k` bytes for `k`
+/// live links. Under sub-quadratic probing a node measures only its
+/// `O(√n)` entitled peers plus a constant sample, so `k ≪ n` and the
+/// sparse form beats the dense `21 + 3·n` encoding whenever
+/// `k < (3·n − 2) / 5`. Semantically identical to a dense row whose
+/// unlisted entries are dead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseLinkStateMsg {
+    /// Origin (the measuring node).
+    pub from: NodeId,
+    /// Addressed rendezvous server.
+    pub to: NodeId,
+    /// Origin's membership view version.
+    pub view: u32,
+    /// Routing round counter at the origin.
+    pub round: u32,
+    /// Origin clock (ms) when the row was snapshotted.
+    pub basis_ms: u32,
+    /// Row width (the view size `n`); every `dst` below is `< width`.
+    pub width: u16,
+    /// The live entries, ascending by destination index.
+    pub entries: Vec<(u16, LinkEntry)>,
 }
 
 /// One best-hop recommendation: "to reach `dst`, forward via `hop`"
@@ -192,8 +285,12 @@ pub enum Message {
     Probe(ProbeMsg),
     /// Probe reply.
     ProbeReply(ProbeReplyMsg),
+    /// Batched probe frame (pings + pongs + reverse-path gauge in one).
+    ProbeBatch(ProbeBatchMsg),
     /// Round-one link-state row.
     LinkState(LinkStateMsg),
+    /// Round-one link-state row, live entries only.
+    LinkStateSparse(SparseLinkStateMsg),
     /// Round-two recommendations.
     Recommendations(RecommendationMsg),
     /// Membership: join request to the coordinator.
@@ -221,7 +318,9 @@ impl Message {
         match self {
             Message::Probe(m) => m.from,
             Message::ProbeReply(m) => m.from,
+            Message::ProbeBatch(m) => m.from,
             Message::LinkState(m) => m.from,
+            Message::LinkStateSparse(m) => m.from,
             Message::Recommendations(m) => m.from,
             Message::Join { from, .. } | Message::Leave { from, .. } => *from,
             Message::View(m) => m.from,
@@ -234,7 +333,9 @@ impl Message {
         match self {
             Message::Probe(m) => m.to,
             Message::ProbeReply(m) => m.to,
+            Message::ProbeBatch(m) => m.to,
             Message::LinkState(m) => m.to,
+            Message::LinkStateSparse(m) => m.to,
             Message::Recommendations(m) => m.to,
             Message::Join { to, .. } | Message::Leave { to, .. } => *to,
             Message::View(m) => m.to,
@@ -263,6 +364,48 @@ impl Message {
                 b.put_u32(m.seq);
                 b.put_u32(m.echo_sent_ms);
                 b.put_u8(0); // flags
+            }
+            Message::ProbeBatch(m) => {
+                b.put_u8(T_PROBE_BATCH);
+                b.put_u16(m.from.0);
+                b.put_u16(m.to.0);
+                b.put_u32(m.view);
+                b.put_u16(m.items.len() as u16);
+                b.put_u8(0); // flags
+                for item in &m.items {
+                    match *item {
+                        ProbeItem::Ping { seq, sent_ms } => {
+                            b.put_u8(TI_PING);
+                            b.put_u32(seq);
+                            b.put_u32(sent_ms);
+                        }
+                        ProbeItem::Pong { seq, echo_sent_ms } => {
+                            b.put_u8(TI_PONG);
+                            b.put_u32(seq);
+                            b.put_u32(echo_sent_ms);
+                        }
+                        ProbeItem::Gauge { rtt_ms, loss_pm } => {
+                            b.put_u8(TI_GAUGE);
+                            b.put_u16(rtt_ms);
+                            b.put_u16(loss_pm);
+                        }
+                    }
+                }
+            }
+            Message::LinkStateSparse(m) => {
+                b.put_u8(T_LINKSTATE_SPARSE);
+                b.put_u16(m.from.0);
+                b.put_u16(m.to.0);
+                b.put_u32(m.view);
+                b.put_u32(m.round);
+                b.put_u16(m.entries.len() as u16);
+                b.put_u32(m.basis_ms);
+                b.put_u16(m.width);
+                b.put_u16(0); // flags
+                for &(dst, e) in &m.entries {
+                    b.put_u16(dst);
+                    b.put_slice(&e.encode());
+                }
             }
             Message::LinkState(m) => {
                 b.put_u8(T_LINKSTATE);
@@ -362,6 +505,88 @@ impl Message {
                     })
                 })
             }
+            T_PROBE_BATCH => {
+                if b.remaining() < PROBE_BATCH_HEADER_SIZE - 5 {
+                    return Err(WireError::Truncated);
+                }
+                let view = b.get_u32();
+                let count = b.get_u16() as usize;
+                let _flags = b.get_u8();
+                let mut items = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    if b.remaining() < 1 {
+                        return Err(WireError::Truncated);
+                    }
+                    let tag = b.get_u8();
+                    let need = match tag {
+                        TI_PING | TI_PONG => 8,
+                        TI_GAUGE => 4,
+                        other => return Err(WireError::BadType(other)),
+                    };
+                    if b.remaining() < need {
+                        return Err(WireError::Truncated);
+                    }
+                    items.push(match tag {
+                        TI_PING => ProbeItem::Ping {
+                            seq: b.get_u32(),
+                            sent_ms: b.get_u32(),
+                        },
+                        TI_PONG => ProbeItem::Pong {
+                            seq: b.get_u32(),
+                            echo_sent_ms: b.get_u32(),
+                        },
+                        _ => ProbeItem::Gauge {
+                            rtt_ms: b.get_u16(),
+                            loss_pm: b.get_u16(),
+                        },
+                    });
+                }
+                if b.remaining() > 0 {
+                    return Err(WireError::BadLength);
+                }
+                Ok(Message::ProbeBatch(ProbeBatchMsg {
+                    from,
+                    to,
+                    view,
+                    items,
+                }))
+            }
+            T_LINKSTATE_SPARSE => {
+                if b.remaining() < SPARSE_LINKSTATE_HEADER_SIZE - 5 {
+                    return Err(WireError::Truncated);
+                }
+                let view = b.get_u32();
+                let round = b.get_u32();
+                let count = b.get_u16() as usize;
+                let basis_ms = b.get_u32();
+                let width = b.get_u16();
+                let _flags = b.get_u16();
+                if b.remaining() != count * (2 + LinkEntry::WIRE_SIZE) {
+                    return Err(WireError::BadLength);
+                }
+                let mut entries = Vec::with_capacity(count);
+                let mut prev: Option<u16> = None;
+                for _ in 0..count {
+                    let dst = b.get_u16();
+                    // Entries must be strictly ascending and in range —
+                    // the sparse-row merge kernel relies on it.
+                    if dst >= width || prev.is_some_and(|p| dst <= p) {
+                        return Err(WireError::BadLength);
+                    }
+                    prev = Some(dst);
+                    let raw = [b.get_u8(), b.get_u8(), b.get_u8()];
+                    entries.push((dst, LinkEntry::decode(raw)));
+                }
+                Ok(Message::LinkStateSparse(SparseLinkStateMsg {
+                    from,
+                    to,
+                    view,
+                    round,
+                    basis_ms,
+                    width,
+                    entries,
+                }))
+            }
             T_LINKSTATE => {
                 if b.remaining() < LINKSTATE_HEADER_SIZE - 5 {
                     return Err(WireError::Truncated);
@@ -457,7 +682,13 @@ impl Message {
     pub fn wire_size(&self) -> usize {
         match self {
             Message::Probe(_) | Message::ProbeReply(_) => PROBE_WIRE_SIZE,
+            Message::ProbeBatch(m) => {
+                PROBE_BATCH_HEADER_SIZE + m.items.iter().map(|i| i.wire_size()).sum::<usize>()
+            }
             Message::LinkState(m) => LINKSTATE_HEADER_SIZE + m.entries.len() * LinkEntry::WIRE_SIZE,
+            Message::LinkStateSparse(m) => {
+                SPARSE_LINKSTATE_HEADER_SIZE + m.entries.len() * (2 + LinkEntry::WIRE_SIZE)
+            }
             Message::Recommendations(m) => REC_HEADER_SIZE + m.recs.len() * m.format.entry_size(),
             Message::Join { .. } | Message::Leave { .. } => 5,
             Message::View(m) => 11 + 2 * m.members.len(),
@@ -602,6 +833,114 @@ mod tests {
             members: vec![NodeId(0), NodeId(5), NodeId(30)],
         });
         assert_eq!(roundtrip(&view), view);
+    }
+
+    #[test]
+    fn probe_batch_roundtrip_and_size() {
+        let m = Message::ProbeBatch(ProbeBatchMsg {
+            from: NodeId(3),
+            to: NodeId(9),
+            view: 7,
+            items: vec![
+                ProbeItem::Ping {
+                    seq: 42,
+                    sent_ms: 1_000,
+                },
+                ProbeItem::Pong {
+                    seq: 41,
+                    echo_sent_ms: 970,
+                },
+                ProbeItem::Gauge {
+                    rtt_ms: 55,
+                    loss_pm: 12,
+                },
+            ],
+        });
+        // 12-byte header + 9 + 9 + 5: one frame where three separate
+        // probe packets would cost 3 × (18 + 28) bytes with framing.
+        assert_eq!(m.wire_size(), 12 + 9 + 9 + 5);
+        assert!(m.wire_size_with_overhead() < 3 * (PROBE_WIRE_SIZE + UDP_IP_OVERHEAD));
+        assert_eq!(roundtrip(&m), m);
+        // An empty batch is legal (a bare keepalive) and tiny.
+        let empty = Message::ProbeBatch(ProbeBatchMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 0,
+            items: vec![],
+        });
+        assert_eq!(empty.wire_size(), PROBE_BATCH_HEADER_SIZE);
+        assert_eq!(roundtrip(&empty), empty);
+    }
+
+    #[test]
+    fn probe_batch_rejects_bad_item_tag_and_trailing_junk() {
+        let m = Message::ProbeBatch(ProbeBatchMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 0,
+            items: vec![ProbeItem::Gauge {
+                rtt_ms: 1,
+                loss_pm: 0,
+            }],
+        });
+        let mut bytes = m.encode().to_vec();
+        bytes.extend_from_slice(&[0]);
+        assert_eq!(Message::decode(&bytes), Err(WireError::BadLength));
+        let mut bad_tag = m.encode().to_vec();
+        bad_tag[PROBE_BATCH_HEADER_SIZE] = 200; // the item tag byte
+        assert_eq!(Message::decode(&bad_tag), Err(WireError::BadType(200)));
+    }
+
+    #[test]
+    fn sparse_linkstate_roundtrip_and_size() {
+        let m = Message::LinkStateSparse(SparseLinkStateMsg {
+            from: NodeId(5),
+            to: NodeId(17),
+            view: 2,
+            round: 99,
+            basis_ms: 1_000_000,
+            width: 4096,
+            entries: vec![
+                (3, LinkEntry::live(40, 0.01)),
+                (64, LinkEntry::live(120, 0.0)),
+                (4095, LinkEntry::live(7, 0.0)),
+            ],
+        });
+        // 23 + 5·k: at n = 4096 a 130-live-entry row costs 673 B sparse
+        // vs 12 309 B dense.
+        assert_eq!(m.wire_size(), 23 + 5 * 3);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn sparse_linkstate_rejects_disorder_and_out_of_range() {
+        let mk = |entries: Vec<(u16, LinkEntry)>| {
+            Message::LinkStateSparse(SparseLinkStateMsg {
+                from: NodeId(0),
+                to: NodeId(1),
+                view: 0,
+                round: 0,
+                basis_ms: 0,
+                width: 100,
+                entries,
+            })
+            .encode()
+        };
+        // Descending destinations.
+        let bad = mk(vec![
+            (9, LinkEntry::live(1, 0.0)),
+            (3, LinkEntry::live(2, 0.0)),
+        ]);
+        assert_eq!(Message::decode(&bad), Err(WireError::BadLength));
+        // Duplicate destination.
+        let dup = mk(vec![
+            (9, LinkEntry::live(1, 0.0)),
+            (9, LinkEntry::live(2, 0.0)),
+        ]);
+        assert_eq!(Message::decode(&dup), Err(WireError::BadLength));
+        // Destination ≥ width.
+        let oob = mk(vec![(100, LinkEntry::live(1, 0.0))]);
+        assert_eq!(Message::decode(&oob), Err(WireError::BadLength));
     }
 
     #[test]

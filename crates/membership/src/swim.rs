@@ -595,6 +595,39 @@ impl Swim {
         self.run_anti_entropy(now, out);
     }
 
+    /// The earliest time at which [`on_tick`](Self::on_tick) (or a
+    /// [`poll_view`](Self::poll_view) call after it) could have work:
+    /// the minimum over the next protocol period, the outstanding
+    /// probe's direct deadline, suspicion and relay expiries, the next
+    /// anti-entropy sync, and — when the ledger has moved past the last
+    /// published version — the publish cadence. Drivers using
+    /// wake-coalescing schedule exactly one timer at this instant
+    /// instead of polling on a fixed sub-second tick; ticking earlier
+    /// or later than the returned time is still correct (all deadlines
+    /// are absolute), it just wastes or delays work.
+    #[must_use]
+    pub fn next_wake(&self, now: f64) -> f64 {
+        let mut wake = self.next_period_at.unwrap_or(now);
+        if let Some(o) = &self.outstanding {
+            if !o.acked && !o.indirect_sent {
+                wake = wake.min(o.direct_deadline);
+            }
+        }
+        for s in self.suspicions.values() {
+            wake = wake.min(s.deadline);
+        }
+        for r in &self.relays {
+            wake = wake.min(r.deadline);
+        }
+        if self.cfg.anti_entropy.enabled && !self.departed {
+            wake = wake.min(self.next_sync_at.unwrap_or(now));
+        }
+        if self.ledger.version() > self.published_version {
+            wake = wake.min(self.next_publish_at);
+        }
+        wake.max(now)
+    }
+
     /// Handle one decoded SWIM datagram.
     pub fn on_message(&mut self, now: f64, msg: &SwimMsg, out: &mut Vec<(NodeId, SwimMsg)>) {
         self.apply_updates(now, msg.updates());

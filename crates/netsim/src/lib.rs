@@ -18,6 +18,28 @@
 //! randomness flows from one seeded ChaCha stream, so a run is a pure
 //! function of `(topology, schedule, behaviors, seed)`.
 //!
+//! # The idle-aware scheduling contract
+//!
+//! Simulated time advances *only* through the binary-heap event queue:
+//! there is no global tick, no per-node polling loop, and no cost
+//! proportional to wall-clock or simulated duration. A node that arms no
+//! timer and receives no packet consumes **zero** events — an idle
+//! overlay of 4096 nodes is exactly as cheap to simulate as an idle
+//! overlay of 2. The flip side of the contract binds the behaviors:
+//!
+//! * Timers are one-shot and **uncancellable** ([`Ctx::set_timer`]).
+//!   A behavior that wants fewer wakeups must *coalesce* — track its own
+//!   earliest-pending-work time and only arm a timer that undercuts the
+//!   one already armed (see `apor_overlay`'s `Scheduling::Coalesced`).
+//!   Stale timers will still fire; handlers must treat them as harmless
+//!   polls, not as authoritative deadlines.
+//! * Because wakeups are heap-driven, the queue depth *is* the
+//!   simulator's working set. The core records it on every insertion
+//!   into the `netsim/event_queue_depth` histogram (under the
+//!   [`CORE_TELEMETRY_NODE`] sentinel id, merged into
+//!   [`Simulator::telemetry_snapshot`]), which is how the scale study
+//!   verifies that idle nodes really cost nothing.
+//!
 //! The simulator transports opaque byte buffers: nodes hand it *encoded*
 //! messages, so every simulated run also exercises the real wire codec.
 
@@ -32,5 +54,5 @@ mod sim;
 mod stats;
 
 pub use apor_telemetry::DropCause;
-pub use sim::{Ctx, NodeBehavior, Simulator, SimulatorConfig};
+pub use sim::{Ctx, NodeBehavior, Simulator, SimulatorConfig, CORE_TELEMETRY_NODE};
 pub use stats::{Direction, TrafficClass, TrafficStats};

@@ -68,7 +68,6 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.time)
     }
 
-    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.heap.len()
     }

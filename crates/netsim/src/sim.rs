@@ -204,6 +204,11 @@ impl NetMetrics {
     }
 }
 
+/// Sentinel node id under which the simulator core's own metrics (the
+/// event-queue depth histogram) are recorded. Picked from the top of the
+/// id space so it can never collide with a real node index.
+pub const CORE_TELEMETRY_NODE: u32 = u32::MAX - 1;
+
 /// The discrete-event simulator.
 pub struct Simulator {
     nodes: Vec<Box<dyn NodeBehavior>>,
@@ -220,6 +225,11 @@ pub struct Simulator {
     /// Packets currently in flight towards each node (its ingress
     /// queue, bounded by `SimulatorConfig::rx_queue_cap`).
     inflight: Vec<usize>,
+    /// The core's own metrics, keyed by [`CORE_TELEMETRY_NODE`].
+    core: Telemetry,
+    /// Queue depth observed on every event insertion: the working-set
+    /// metric the idle-aware scheduler is meant to shrink.
+    event_queue_depth: Histogram,
 }
 
 impl Simulator {
@@ -235,6 +245,8 @@ impl Simulator {
         );
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let stats = TrafficStats::new(n, config.bucket_secs);
+        let core = Telemetry::new(CORE_TELEMETRY_NODE);
+        let event_queue_depth = core.histogram("netsim", "event_queue_depth");
         Simulator {
             nodes: Vec::with_capacity(n),
             latency,
@@ -248,7 +260,16 @@ impl Simulator {
             cmd_buf: Vec::new(),
             net: (0..n).map(|i| NetMetrics::new(i as u32)).collect(),
             inflight: vec![0; n],
+            core,
+            event_queue_depth,
         }
+    }
+
+    /// Insert an event and record the resulting queue depth, so the
+    /// telemetry captures the simulator's working set over time.
+    fn enqueue(&mut self, time: f64, event: Event) {
+        self.queue.push(time, event);
+        self.event_queue_depth.observe(self.queue.len() as u64);
     }
 
     /// Add the next node (index = insertion order), starting at
@@ -260,7 +281,7 @@ impl Simulator {
         let idx = self.nodes.len();
         assert!(idx < self.latency.len(), "more nodes than matrix rows");
         self.nodes.push(behavior);
-        self.queue.push(start_at_s, Event::Start { node: idx });
+        self.enqueue(start_at_s, Event::Start { node: idx });
     }
 
     /// Current simulation time, seconds.
@@ -282,13 +303,15 @@ impl Simulator {
         &self.net[i].telemetry
     }
 
-    /// Every node's network metrics merged into one fleet snapshot.
+    /// Every node's network metrics, plus the simulator core's own
+    /// (under [`CORE_TELEMETRY_NODE`]), merged into one fleet snapshot.
     #[must_use]
     pub fn telemetry_snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
         for m in &self.net {
             snap.merge(&m.telemetry.snapshot());
         }
+        snap.merge(&self.core.snapshot());
         snap
     }
 
@@ -435,8 +458,7 @@ impl Simulator {
             match cmd {
                 Command::Send { to, class, payload } => self.transmit(from, to, class, payload),
                 Command::Timer { delay_s, token } => {
-                    self.queue
-                        .push(self.now + delay_s, Event::Timer { node: from, token });
+                    self.enqueue(self.now + delay_s, Event::Timer { node: from, token });
                 }
             }
         }
@@ -511,7 +533,7 @@ impl Simulator {
             Severity::Debug,
             EventKind::PacketQueued { to: to as u32 },
         );
-        self.queue.push(
+        self.enqueue(
             arrival,
             Event::Deliver {
                 from,
@@ -1021,6 +1043,19 @@ mod tests {
         // 40 ms one-way = 40 000 µs.
         assert_eq!(h.count, 1);
         assert_eq!(h.max, 40_000);
+    }
+
+    #[test]
+    fn event_queue_depth_histogram_is_recorded() {
+        let (mut sim, _log) = two_node_sim(80.0, 7);
+        sim.run_until(10.0);
+        let fleet = sim.telemetry_snapshot();
+        let h = fleet
+            .histogram(CORE_TELEMETRY_NODE, "netsim", "event_queue_depth")
+            .expect("core records queue depth");
+        // Two Start events + ping + pong = four insertions.
+        assert_eq!(h.count, 4);
+        assert!(h.max >= 1);
     }
 
     #[test]

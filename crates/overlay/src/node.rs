@@ -16,14 +16,14 @@
 //! both directions, including the `dst`/`hop` fields inside
 //! recommendation messages.
 
-use crate::config::{Algorithm, MembershipMode, NodeConfig};
+use crate::config::{Algorithm, MembershipMode, NodeConfig, Scheduling};
 use crate::membership::{Coordinator, MembershipView};
-use apor_linkstate::{Message, ProbeMsg, ProbeReplyMsg};
+use apor_linkstate::{Message, ProbeBatchMsg, ProbeItem, ProbeMsg, ProbeReplyMsg};
 use apor_membership::{wire as swim_wire, Swim, SwimMsg};
 use apor_netsim::TrafficClass;
 use apor_quorum::NodeId;
 use apor_routing::{FullMeshRouter, ProbeAction, Prober, QuorumRouter, RoutingAlgorithm};
-use apor_telemetry::{EventKind, Severity, Telemetry};
+use apor_telemetry::{EventKind, Histogram, Severity, Telemetry};
 
 /// The concrete router running inside a node.
 // The size gap between the two routers is fine: exactly one RouterBox
@@ -66,12 +66,17 @@ pub const TOKEN_EXPIRE: u64 = 4;
 /// Timer token: SWIM gossip tick ([`MembershipMode::Swim`]).
 pub const TOKEN_SWIM: u64 = 5;
 
-/// How often the prober's poll loop runs, seconds.
+/// How often the prober's poll loop runs under
+/// [`Scheduling::FixedTick`], seconds.
 const PROBE_POLL_S: f64 = 0.5;
 /// Coordinator expiry sweep period, seconds.
 const EXPIRE_SWEEP_S: f64 = 60.0;
-/// SWIM timer granularity, seconds (must undercut the ping timeout).
+/// SWIM timer granularity under [`Scheduling::FixedTick`], seconds
+/// (must undercut the ping timeout).
 const SWIM_TICK_S: f64 = 0.25;
+/// Slack when comparing armed wake times: two wakes closer than this
+/// are the same instant (drivers only promise f64 time arithmetic).
+const TIMER_EPS: f64 = 1e-9;
 
 /// Commands produced by one callback.
 #[derive(Debug, Default)]
@@ -96,8 +101,12 @@ impl Outbox {
 #[must_use]
 pub fn class_of(msg: &Message) -> TrafficClass {
     match msg {
-        Message::Probe(_) | Message::ProbeReply(_) => TrafficClass::Probing,
-        Message::LinkState(_) | Message::Recommendations(_) => TrafficClass::Routing,
+        Message::Probe(_) | Message::ProbeReply(_) | Message::ProbeBatch(_) => {
+            TrafficClass::Probing
+        }
+        Message::LinkState(_) | Message::LinkStateSparse(_) | Message::Recommendations(_) => {
+            TrafficClass::Routing
+        }
         Message::Join { .. } | Message::Leave { .. } | Message::View(_) => TrafficClass::Membership,
     }
 }
@@ -115,6 +124,15 @@ pub struct OverlayNode {
     swim: Option<Swim>,
     routing_tick_armed: bool,
     shut_down: bool,
+    /// Earliest outstanding [`TOKEN_PROBE`] timer under
+    /// [`Scheduling::Coalesced`]; `∞` = none armed. Timers cannot be
+    /// cancelled, so stale ones fire, process harmlessly (polling only
+    /// emits *due* work) and re-arm through the same dedupe.
+    armed_probe_wake: f64,
+    /// Earliest outstanding [`TOKEN_SWIM`] timer ([`Scheduling::Coalesced`]).
+    armed_swim_wake: f64,
+    /// Sizes of outgoing anti-entropy sync frames, bytes.
+    sync_frame_bytes: Histogram,
 }
 
 impl OverlayNode {
@@ -124,6 +142,7 @@ impl OverlayNode {
         cfg.protocol.validate();
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let telemetry = Telemetry::new(u32::from(cfg.id.0));
+        let sync_frame_bytes = telemetry.histogram("membership", "sync_frame_bytes");
         OverlayNode {
             cfg,
             telemetry,
@@ -136,6 +155,9 @@ impl OverlayNode {
             swim: None,
             routing_tick_armed: false,
             shut_down: false,
+            armed_probe_wake: f64::INFINITY,
+            armed_swim_wake: f64::INFINITY,
+            sync_frame_bytes,
         }
     }
 
@@ -189,7 +211,13 @@ impl OverlayNode {
             MembershipMode::Centralized => self.start_centralized(now, out),
             MembershipMode::Swim => self.start_swim(now, out),
         }
-        out.timer(PROBE_POLL_S, TOKEN_PROBE);
+        match self.cfg.scheduling {
+            Scheduling::FixedTick => out.timer(PROBE_POLL_S, TOKEN_PROBE),
+            // install_view (when a view is already known) armed the
+            // prober wake; a node without a view has nothing to probe
+            // and arms it on its first view install instead.
+            Scheduling::Coalesced => self.arm_probe(now, out),
+        }
     }
 
     /// The paper's join dance against the coordinator.
@@ -243,7 +271,10 @@ impl OverlayNode {
             self.install_view(MembershipView::new(version, members), now, out);
         }
         self.swim = Some(swim);
-        out.timer(SWIM_TICK_S, TOKEN_SWIM);
+        match self.cfg.scheduling {
+            Scheduling::FixedTick => out.timer(SWIM_TICK_S, TOKEN_SWIM),
+            Scheduling::Coalesced => self.arm_swim(now, out),
+        }
     }
 
     /// Graceful shutdown: announce the departure on whichever
@@ -259,12 +290,12 @@ impl OverlayNode {
         self.shut_down = true;
         match self.cfg.membership {
             MembershipMode::Swim => {
+                let mut msgs = Vec::new();
                 if let Some(swim) = self.swim.as_mut() {
-                    let mut msgs = Vec::new();
                     swim.leave(&mut msgs);
-                    for (to, msg) in msgs {
-                        out.sends.push((to, TrafficClass::Membership, msg.encode()));
-                    }
+                }
+                for (to, msg) in msgs {
+                    self.send_swim(to, &msg, out);
                 }
             }
             MembershipMode::Centralized => {
@@ -294,8 +325,16 @@ impl OverlayNode {
         }
         match token {
             TOKEN_PROBE => {
-                out.timer(PROBE_POLL_S, TOKEN_PROBE);
+                match self.cfg.scheduling {
+                    Scheduling::FixedTick => out.timer(PROBE_POLL_S, TOKEN_PROBE),
+                    Scheduling::Coalesced => {
+                        if (now - self.armed_probe_wake).abs() <= TIMER_EPS {
+                            self.armed_probe_wake = f64::INFINITY;
+                        }
+                    }
+                }
                 self.run_prober(now, out);
+                self.arm_probe(now, out);
             }
             TOKEN_ROUTING => {
                 out.timer(self.cfg.protocol.routing_interval_s, TOKEN_ROUTING);
@@ -336,8 +375,16 @@ impl OverlayNode {
                 }
             }
             TOKEN_SWIM if self.swim.is_some() => {
-                out.timer(SWIM_TICK_S, TOKEN_SWIM);
+                match self.cfg.scheduling {
+                    Scheduling::FixedTick => out.timer(SWIM_TICK_S, TOKEN_SWIM),
+                    Scheduling::Coalesced => {
+                        if (now - self.armed_swim_wake).abs() <= TIMER_EPS {
+                            self.armed_swim_wake = f64::INFINITY;
+                        }
+                    }
+                }
                 self.run_swim_tick(now, out);
+                self.arm_swim(now, out);
             }
             _ => {}
         }
@@ -377,7 +424,44 @@ impl OverlayNode {
                     }
                 }
             }
-            Message::LinkState(_) | Message::Recommendations(_) => {
+            Message::ProbeBatch(b) => {
+                // Pings are answered at identity level (like Probe);
+                // pongs and gauges feed the prober in index space.
+                let mut reply_items = Vec::new();
+                let peer = self.view.as_ref().and_then(|view| view.index_of(b.from));
+                for item in &b.items {
+                    match *item {
+                        ProbeItem::Ping { seq, sent_ms } => {
+                            reply_items.push(ProbeItem::Pong {
+                                seq,
+                                echo_sent_ms: sent_ms,
+                            });
+                        }
+                        ProbeItem::Pong { seq, .. } => {
+                            if let (Some(idx), Some(prober)) = (peer, self.prober.as_mut()) {
+                                prober.on_reply(idx, seq, now);
+                            }
+                        }
+                        ProbeItem::Gauge { rtt_ms, loss_pm } => {
+                            if let (Some(idx), Some(prober)) = (peer, self.prober.as_mut()) {
+                                prober.adopt_gauge(idx, rtt_ms, loss_pm, now);
+                            }
+                        }
+                    }
+                }
+                if !reply_items.is_empty() {
+                    out.send(
+                        b.from,
+                        &Message::ProbeBatch(ProbeBatchMsg {
+                            from: self.cfg.id,
+                            to: b.from,
+                            view: b.view,
+                            items: reply_items,
+                        }),
+                    );
+                }
+            }
+            Message::LinkState(_) | Message::LinkStateSparse(_) | Message::Recommendations(_) => {
                 if let Some(inner) = self.wire_to_index(&msg) {
                     let replies = match &mut self.router {
                         Some(router) => router.as_dyn_mut().on_message(now, &inner),
@@ -490,6 +574,51 @@ impl OverlayNode {
     // Internals
     // ------------------------------------------------------------------
 
+    /// Coalesced probe wake: one outstanding timer at the prober's
+    /// `next_wake`, re-armed only when a strictly earlier wake appears.
+    /// No prober (not yet a member) ⇒ no timer — the idle-node
+    /// contract the netsim event loop relies on.
+    fn arm_probe(&mut self, now: f64, out: &mut Outbox) {
+        if self.cfg.scheduling != Scheduling::Coalesced {
+            return;
+        }
+        let Some(prober) = &self.prober else { return };
+        let wake = prober.next_wake(now);
+        if wake.is_finite() && wake + TIMER_EPS < self.armed_probe_wake {
+            out.timer((wake - now).max(0.0), TOKEN_PROBE);
+            self.armed_probe_wake = wake;
+        }
+    }
+
+    /// Coalesced SWIM wake — same discipline as [`Self::arm_probe`].
+    fn arm_swim(&mut self, now: f64, out: &mut Outbox) {
+        if self.cfg.scheduling != Scheduling::Coalesced {
+            return;
+        }
+        let Some(swim) = &self.swim else { return };
+        let wake = swim.next_wake(now);
+        if wake.is_finite() && wake + TIMER_EPS < self.armed_swim_wake {
+            out.timer((wake - now).max(0.0), TOKEN_SWIM);
+            self.armed_swim_wake = wake;
+        }
+    }
+
+    /// Queue one SWIM frame, feeding the sync-frame size histogram for
+    /// anti-entropy traffic.
+    fn send_swim(&self, to: NodeId, msg: &SwimMsg, out: &mut Outbox) {
+        let bytes = msg.encode();
+        if matches!(
+            msg,
+            SwimMsg::SyncReq { .. }
+                | SwimMsg::SyncRsp { .. }
+                | SwimMsg::SyncDigest { .. }
+                | SwimMsg::SyncDigestPush { .. }
+        ) {
+            self.sync_frame_bytes.observe(bytes.len() as u64);
+        }
+        out.sends.push((to, TrafficClass::Membership, bytes));
+    }
+
     fn install_view(&mut self, view: MembershipView, now: f64, out: &mut Outbox) {
         if let Some(current) = &self.view {
             if view.version <= current.version {
@@ -505,7 +634,8 @@ impl OverlayNode {
 
         if let Some(me) = my_index {
             let n = view.len();
-            let mut prober = Prober::new(me, n, self.cfg.protocol.clone(), now);
+            let mut prober =
+                Prober::new(me, n, self.cfg.protocol.clone(), now).with_telemetry(&self.telemetry);
             // Carry estimator history across the view change so a
             // membership bump doesn't blind the overlay for a probing
             // interval.
@@ -514,8 +644,11 @@ impl OverlayNode {
                     if new_idx == me {
                         continue;
                     }
-                    if let Some(old_idx) = old_view.index_of(*id) {
-                        prober.set_estimator(new_idx, old_prober.estimator(old_idx).clone());
+                    if let Some(est) = old_view
+                        .index_of(*id)
+                        .and_then(|old_idx| old_prober.estimator(old_idx))
+                    {
+                        prober.set_estimator(new_idx, est.clone());
                     }
                 }
             }
@@ -566,6 +699,9 @@ impl OverlayNode {
                 out.timer(phase, TOKEN_ROUTING);
                 self.routing_tick_armed = true;
             }
+            // The fresh prober's schedule replaces the old one's.
+            self.armed_probe_wake = f64::INFINITY;
+            self.arm_probe(now, out);
         }
         self.telemetry.event(
             now,
@@ -608,7 +744,7 @@ impl OverlayNode {
             (msgs, swim.poll_view(now))
         };
         for (to, msg) in msgs {
-            out.sends.push((to, TrafficClass::Membership, msg.encode()));
+            self.send_swim(to, &msg, out);
         }
         if let Some((version, members)) = published {
             self.install_view(MembershipView::new(version, members), now, out);
@@ -626,9 +762,11 @@ impl OverlayNode {
         let mut replies = Vec::new();
         swim.on_message(now, &msg, &mut replies);
         for (to, reply) in replies {
-            out.sends
-                .push((to, TrafficClass::Membership, reply.encode()));
+            self.send_swim(to, &reply, out);
         }
+        // A message can start suspicions, relays or a pending publish
+        // whose deadlines undercut the currently armed wake.
+        self.arm_swim(now, out);
     }
 
     fn run_prober(&mut self, now: f64, out: &mut Outbox) {
@@ -638,20 +776,37 @@ impl OverlayNode {
         let Some(_me) = self.my_index else { return };
         let version = view.version;
         for action in prober.poll(now) {
-            let ProbeAction::SendProbe { to, seq } = action;
-            let Some(to_id) = view.id_of(to) else {
-                continue;
-            };
-            out.send(
-                to_id,
-                &Message::Probe(ProbeMsg {
-                    from: self.cfg.id,
-                    to: to_id,
-                    view: version,
-                    seq,
-                    sent_ms: (now * 1000.0) as u32,
-                }),
-            );
+            match action {
+                ProbeAction::SendProbe { to, seq } => {
+                    let Some(to_id) = view.id_of(to) else {
+                        continue;
+                    };
+                    out.send(
+                        to_id,
+                        &Message::Probe(ProbeMsg {
+                            from: self.cfg.id,
+                            to: to_id,
+                            view: version,
+                            seq,
+                            sent_ms: (now * 1000.0) as u32,
+                        }),
+                    );
+                }
+                ProbeAction::SendBatch { to, items } => {
+                    let Some(to_id) = view.id_of(to) else {
+                        continue;
+                    };
+                    out.send(
+                        to_id,
+                        &Message::ProbeBatch(ProbeBatchMsg {
+                            from: self.cfg.id,
+                            to: to_id,
+                            view: version,
+                            items,
+                        }),
+                    );
+                }
+            }
         }
     }
 
@@ -659,7 +814,7 @@ impl OverlayNode {
         let (Some(prober), Some(router)) = (&self.prober, &mut self.router) else {
             return;
         };
-        let row = prober.own_row();
+        let row = prober.own_row(now);
         let msgs = router
             .as_dyn_mut()
             .on_routing_tick(now, &row, &mut self.rng);
@@ -682,6 +837,17 @@ impl OverlayNode {
                 wire.from = from;
                 wire.to = to;
                 out.send(to, &Message::LinkState(wire));
+            }
+            Message::LinkStateSparse(ls) => {
+                let (Some(from), Some(to)) = (map(ls.from), map(ls.to)) else {
+                    return;
+                };
+                // Entry indices are view-positional (like the dense
+                // row), guarded by the receiver's view/width check.
+                let mut wire = ls.clone();
+                wire.from = from;
+                wire.to = to;
+                out.send(to, &Message::LinkStateSparse(wire));
             }
             Message::Recommendations(rm) => {
                 let (Some(from), Some(to)) = (map(rm.from), map(rm.to)) else {
@@ -717,6 +883,12 @@ impl OverlayNode {
                 inner.from = map(ls.from)?;
                 inner.to = NodeId::from_index(me);
                 Some(Message::LinkState(inner))
+            }
+            Message::LinkStateSparse(ls) => {
+                let mut inner = ls.clone();
+                inner.from = map(ls.from)?;
+                inner.to = NodeId::from_index(me);
+                Some(Message::LinkStateSparse(inner))
             }
             Message::Recommendations(rm) => {
                 let mut inner = rm.clone();

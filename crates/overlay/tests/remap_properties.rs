@@ -73,13 +73,7 @@ fn export(store: &RowStore) -> Vec<(usize, f64, Vec<LinkEntry>)> {
     store
         .present_rows()
         .into_iter()
-        .map(|o| {
-            (
-                o,
-                store.row_time(o).unwrap(),
-                store.row(o).unwrap().to_vec(),
-            )
-        })
+        .map(|o| (o, store.row_time(o).unwrap(), store.row_dense(o).unwrap()))
         .collect()
 }
 
@@ -173,7 +167,7 @@ proptest! {
             let final_origin = last.index_of(NodeId(origin_id));
             match (continuous, final_origin) {
                 (true, Some(origin)) => {
-                    let row = store.row(origin).expect("continuous member's row survives");
+                    let row = store.row_dense(origin).expect("continuous member's row survives");
                     for (new_dst, d) in last.members.iter().enumerate() {
                         let dst_continuous = views.iter().all(|v| v.contains(*d));
                         if dst_continuous {
@@ -190,7 +184,7 @@ proptest! {
                 }
                 (false, Some(origin)) => {
                     prop_assert!(
-                        store.row(origin).is_none(),
+                        store.row_ref(origin).is_none(),
                         "origin {} left mid-chain: its row must not be resurrected",
                         origin_id
                     );
@@ -304,7 +298,7 @@ fn view_change_preserves_routes_end_to_end() {
         Some(5.0),
         "node 1's row must survive the view change with its original receipt time"
     );
-    let row = router.table().row(1).expect("remapped row present");
+    let row = router.table().row_dense(1).expect("remapped row present");
     assert_eq!(row.len(), 3, "row width follows the new view");
     assert_eq!(row[0].latency_ms, 40, "1→0 carried");
     assert_eq!(row[2].latency_ms, 25, "1→2 carried");

@@ -48,6 +48,40 @@ pub struct ProtocolConfig {
     pub rec_format: RecFormat,
     /// EWMA weight of new latency samples.
     pub ewma_alpha: f64,
+    /// Ceiling the adaptive per-link probe rate backs off to on stable
+    /// links, seconds. Equal to `probe_interval_s` by default, which
+    /// disables backoff (the paper's fixed-rate behaviour); the
+    /// deployment tuning sets it higher so long-stable links are probed
+    /// rarely.
+    pub probe_interval_max_s: f64,
+    /// Multiplier applied to a link's probe interval after each stable
+    /// sample (exponential backoff towards `probe_interval_max_s`).
+    pub probe_backoff: f64,
+    /// Relative latency change that snaps a backed-off link straight
+    /// back to `rapid_probe_interval_s` (loss always snaps).
+    pub probe_snap_frac: f64,
+    /// Which peers the prober measures.
+    pub probe_policy: ProbePolicy,
+    /// Number of non-entitled peers sampled concurrently under
+    /// [`ProbePolicy::Entitled`]. A constant (not `O(√n)`) budget keeps
+    /// per-node probe bytes strictly sub-linear in `n`.
+    pub probe_sample_budget: usize,
+}
+
+/// Which peers a node probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbePolicy {
+    /// Probe every other member — `O(n)` targets per node, the paper's
+    /// RON baseline and the default.
+    FullMesh,
+    /// Probe only the node's `~2√n` rendezvous servers plus a rotating
+    /// [`probe_sample_budget`](ProtocolConfig::probe_sample_budget)-sized
+    /// sample of other peers, batched into
+    /// [`ProbeBatch`](apor_linkstate::Message::ProbeBatch) frames.
+    /// Coverage is preserved: any client pair (i, j) shares a rendezvous
+    /// server s, and both legs i→s and j→s are entitled, so s can always
+    /// recommend the two-hop route via itself or better.
+    Entitled,
 }
 
 impl ProtocolConfig {
@@ -82,7 +116,22 @@ impl ProtocolConfig {
             server_grace_intervals: 2.0,
             rec_format: RecFormat::Compact,
             ewma_alpha: 0.3,
+            probe_interval_max_s: 30.0,
+            probe_backoff: 2.0,
+            probe_snap_frac: 0.3,
+            probe_policy: ProbePolicy::FullMesh,
+            probe_sample_budget: 16,
         }
+    }
+
+    /// Enable the sub-quadratic probing plane: entitled + sampled
+    /// targets, per-link adaptive rates backing off to
+    /// `probe_interval_max_s`, batched probe frames.
+    #[must_use]
+    pub fn with_subquadratic_probing(mut self, probe_interval_max_s: f64) -> Self {
+        self.probe_policy = ProbePolicy::Entitled;
+        self.probe_interval_max_s = probe_interval_max_s;
+        self
     }
 
     /// The staleness window in seconds (3·r by default).
@@ -126,6 +175,13 @@ impl ProtocolConfig {
         );
         assert!(self.probe_timeout_s < self.rapid_probe_interval_s + self.probe_timeout_s);
         assert!(self.staleness_intervals > 0.0);
+        assert!(
+            self.probe_interval_max_s >= self.probe_interval_s,
+            "probe backoff ceiling below the base probing interval"
+        );
+        assert!(self.probe_backoff > 1.0, "backoff must grow the interval");
+        assert!(self.probe_snap_frac > 0.0);
+        assert!(self.probe_sample_budget >= 1);
     }
 }
 

@@ -129,7 +129,7 @@ impl<S: LinkStateStore> RoutingAlgorithm for FullMeshRouter<S> {
             .into_iter()
             .filter_map(|origin| {
                 let time = self.table.row_time(origin)?;
-                Some((origin, time, self.table.row(origin)?.to_vec()))
+                Some((origin, time, self.table.row_dense(origin)?))
             })
             .collect()
     }

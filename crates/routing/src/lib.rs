@@ -9,7 +9,10 @@
 //!
 //! * [`config`] — the protocol constants of section 5's parameter table.
 //! * [`prober`] — RON link monitoring: 30 s probes, rapid re-probe after a
-//!   first loss, 5-failure death, EWMA latency.
+//!   first loss, 5-failure death, EWMA latency; optionally the
+//!   sub-quadratic entitled+sampled probing plane with batched frames.
+//! * [`adaptive`] — the per-link adaptive probe-rate state machine
+//!   (exponential backoff on stable links, snap-back on change).
 //! * [`fullmesh`] — the baseline: broadcast link state to everyone,
 //!   `Θ(n²)` per-node communication.
 //! * [`quorum_router`] — the paper's contribution: the two-round grid
@@ -28,6 +31,7 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod config;
 pub mod fullmesh;
 pub mod multihop;
@@ -35,7 +39,8 @@ pub mod onehop;
 pub mod prober;
 pub mod quorum_router;
 
-pub use config::ProtocolConfig;
+pub use adaptive::{AdaptiveProbeRate, RateSample};
+pub use config::{ProbePolicy, ProtocolConfig};
 pub use fullmesh::FullMeshRouter;
 pub use multihop::{multihop_routes, MultiHopResult};
 pub use prober::{ProbeAction, Prober};

@@ -1,25 +1,51 @@
-//! Link monitoring: RON's probing discipline (section 5).
+//! Link monitoring: RON's probing discipline (section 5), extended with
+//! the deployment section's sub-quadratic probing plane.
 //!
-//! Every node probes every other node (measurement stays full-mesh in both
-//! algorithms — only route *computation* traffic is reduced by the quorum
-//! scheme). Probes go out every `p = 30 s` per peer, spread evenly across
-//! the interval. After a first lost probe the prober switches to rapid
-//! re-probing so that `probes_for_failure` consecutive losses — and hence
-//! failure detection — complete "within 1 probing period". A dead link
-//! keeps being probed at the normal rate so recovery is noticed.
+//! Under [`ProbePolicy::FullMesh`] every node probes every other node
+//! (the paper's baseline: measurement stays full-mesh, only route
+//! *computation* traffic is reduced by the quorum scheme). Probes go
+//! out every `p = 30 s` per peer, spread evenly across the interval.
+//! After a first lost probe the prober switches to rapid re-probing so
+//! that `probes_for_failure` consecutive losses — and hence failure
+//! detection — complete "within 1 probing period".
+//!
+//! Under [`ProbePolicy::Entitled`] a node probes only its `~2√n`
+//! rendezvous servers plus a rotating constant-size sample of other
+//! peers, each at an adaptive per-link rate
+//! ([`AdaptiveProbeRate`](crate::adaptive::AdaptiveProbeRate)), and
+//! emits [`ProbeBatch`](apor_linkstate::Message::ProbeBatch) frames: a
+//! ping plus, once the link is measured, a `Gauge` item carrying this
+//! side's RTT/loss estimate, which the receiver may *adopt* as its own
+//! reverse entry (link costs are symmetric, paper section 3) instead of
+//! probing back. Per-node probe bytes then grow with `√n`, not `n`.
+//! Coverage is preserved: any pair (i, j) shares a rendezvous server
+//! `s`, both legs i→s and j→s are entitled, so `s` can always recommend
+//! the route via itself or better.
 
-use crate::config::ProtocolConfig;
-use apor_linkstate::{LinkEntry, LinkEstimator, ProbeOutcome};
+use crate::adaptive::{AdaptiveProbeRate, RateSample};
+use crate::config::{ProbePolicy, ProtocolConfig};
+use apor_linkstate::{LinkEntry, LinkEstimator, ProbeItem, ProbeOutcome};
+use apor_quorum::Grid;
+use apor_telemetry::{Gauge, Histogram, Telemetry};
 
 /// An instruction from the prober to the node runtime.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ProbeAction {
-    /// Transmit a probe to `to` carrying `seq`.
+    /// Transmit a probe to `to` carrying `seq`
+    /// ([`ProbePolicy::FullMesh`]).
     SendProbe {
         /// Peer to probe.
         to: usize,
         /// Sequence number to carry (echoed by the reply).
         seq: u32,
+    },
+    /// Transmit a probe batch to `to` ([`ProbePolicy::Entitled`]): a
+    /// ping plus optionally this side's reverse-path gauge.
+    SendBatch {
+        /// Peer to probe.
+        to: usize,
+        /// Frame items (ping first).
+        items: Vec<ProbeItem>,
     },
 }
 
@@ -29,16 +55,44 @@ struct Pending {
     sent_at: f64,
 }
 
+/// Per-target probing state.
+#[derive(Debug)]
+struct TargetState {
+    peer: usize,
+    /// Entitled targets persist; sampled ones rotate out each epoch.
+    entitled: bool,
+    estimator: LinkEstimator,
+    rate: AdaptiveProbeRate,
+    next_probe_at: f64,
+    pending: Option<Pending>,
+}
+
+/// A reverse-path estimate adopted from a peer's `Gauge` item.
+#[derive(Debug, Clone, Copy)]
+struct Adopted {
+    peer: usize,
+    rtt_ms: u16,
+    loss: f32,
+    heard_at: f64,
+}
+
 /// The per-node probing state machine.
 #[derive(Debug)]
 pub struct Prober {
     me: usize,
     n: usize,
     config: ProtocolConfig,
-    estimators: Vec<LinkEstimator>,
-    next_probe_at: Vec<f64>,
-    pending: Vec<Option<Pending>>,
+    targets: Vec<TargetState>,
+    /// Reverse-path entries adopted from peers' gauges, sorted by peer.
+    adopted: Vec<Adopted>,
+    adopted_cap: usize,
     next_seq: u32,
+    /// Sample-rotation epoch counter ([`ProbePolicy::Entitled`]).
+    sample_epoch: u64,
+    sample_rotate_at: f64,
+    probe_rtt_us: Option<Histogram>,
+    probe_targets: Option<Gauge>,
+    probe_sampled: Option<Gauge>,
 }
 
 impl Prober {
@@ -48,61 +102,187 @@ impl Prober {
     #[must_use]
     pub fn new(me: usize, n: usize, config: ProtocolConfig, now: f64) -> Self {
         config.validate();
-        let spread = config.probe_interval_s;
-        let next_probe_at = (0..n)
-            .map(|j| {
-                // Deterministic per-pair phase in [0, p).
-                let phase = ((me * 31 + j * 17) % 1000) as f64 / 1000.0;
-                now + phase * spread
-            })
-            .collect();
-        Prober {
+        let mut prober = Prober {
             me,
             n,
-            estimators: (0..n)
-                .map(|_| {
-                    LinkEstimator::with_params(
-                        config.ewma_alpha,
-                        config.probes_for_failure,
-                        LinkEstimator::DEFAULT_WINDOW,
-                    )
-                })
-                .collect(),
-            config,
-            next_probe_at,
-            pending: vec![None; n],
+            targets: Vec::new(),
+            adopted: Vec::new(),
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            adopted_cap: 4 * (n as f64).sqrt() as usize + 64,
             next_seq: 0,
+            sample_epoch: 0,
+            sample_rotate_at: now + config.probe_interval_s,
+            probe_rtt_us: None,
+            probe_targets: None,
+            probe_sampled: None,
+            config,
+        };
+        match prober.config.probe_policy {
+            ProbePolicy::FullMesh => {
+                prober.targets = (0..n)
+                    .filter(|&j| j != me)
+                    .map(|j| prober.make_target(j, true, now))
+                    .collect();
+            }
+            ProbePolicy::Entitled => {
+                let mut entitled = Grid::new(n).rendezvous_servers(me);
+                entitled.sort_unstable();
+                entitled.dedup();
+                prober.targets = entitled
+                    .into_iter()
+                    .map(|j| prober.make_target(j, true, now))
+                    .collect();
+                prober.rotate_sample(now);
+            }
+        }
+        prober.publish_target_gauges();
+        prober
+    }
+
+    /// Attach a telemetry handle: probe RTTs enter the
+    /// `routing/probe_rtt_us` histogram and the target-set sizes are
+    /// published as `probe_targets` / `probe_sampled` gauges.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.probe_rtt_us = Some(telemetry.histogram("routing", "probe_rtt_us"));
+        self.probe_targets = Some(telemetry.gauge("routing", "probe_targets"));
+        self.probe_sampled = Some(telemetry.gauge("routing", "probe_sampled"));
+        self.publish_target_gauges();
+        self
+    }
+
+    fn make_target(&self, peer: usize, entitled: bool, now: f64) -> TargetState {
+        // Deterministic per-pair phase in (0, p], quantized to 0.5 s
+        // slots. The quantum matters: 0.5 s is dyadic, so with the
+        // default half-second-multiple timings every probe deadline is
+        // an *exact* f64 multiple of 0.5 s past the node's start, and a
+        // driver polling on a fixed 0.5 s tick fires at bit-identical
+        // instants to one waking on `next_wake` — the replay test's
+        // guarantee. Slot 0 is skipped: a deadline *at* creation time
+        // would fire immediately under a coalesced driver but only at
+        // the first tick under a polling one.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let slots = ((self.config.probe_interval_s * 2.0) as usize).max(1);
+        let phase = ((self.me * 31 + peer * 17) % slots + 1) as f64 * 0.5;
+        TargetState {
+            peer,
+            entitled,
+            estimator: LinkEstimator::with_params(
+                self.config.ewma_alpha,
+                self.config.probes_for_failure,
+                LinkEstimator::DEFAULT_WINDOW,
+            ),
+            rate: AdaptiveProbeRate::new(&self.config, self.config.probe_interval_s),
+            next_probe_at: now + phase,
+            pending: None,
         }
     }
 
-    /// Advance to `now`: expire timed-out probes (recording losses and
-    /// arming rapid re-probes) and emit the probes now due.
-    pub fn poll(&mut self, now: f64) -> Vec<ProbeAction> {
-        let mut actions = Vec::new();
-        for j in 0..self.n {
-            if j == self.me {
+    fn publish_target_gauges(&self) {
+        if let Some(g) = &self.probe_targets {
+            g.set(self.targets.len() as u64);
+        }
+        if let Some(g) = &self.probe_sampled {
+            g.set(self.targets.iter().filter(|t| !t.entitled).count() as u64);
+        }
+    }
+
+    fn target(&self, peer: usize) -> Option<usize> {
+        self.targets.binary_search_by_key(&peer, |t| t.peer).ok()
+    }
+
+    /// Replace the sampled (non-entitled) targets with the next epoch's
+    /// deterministic draw of `probe_sample_budget` peers.
+    fn rotate_sample(&mut self, now: f64) {
+        self.sample_epoch += 1;
+        self.sample_rotate_at = now + self.config.probe_interval_s;
+        self.targets.retain(|t| t.entitled);
+        let budget = self
+            .config
+            .probe_sample_budget
+            .min(self.n.saturating_sub(self.targets.len() + 1));
+        let mut picked: Vec<usize> = Vec::with_capacity(budget);
+        let mut attempt: u64 = 0;
+        while picked.len() < budget && attempt < 64 * budget as u64 {
+            let h =
+                splitmix64((self.me as u64) ^ self.sample_epoch.rotate_left(17) ^ (attempt << 40));
+            attempt += 1;
+            let peer = (h % self.n as u64) as usize;
+            if peer == self.me
+                || picked.contains(&peer)
+                || self.targets.binary_search_by_key(&peer, |t| t.peer).is_ok()
+            {
                 continue;
             }
-            // Expire an outstanding probe.
-            if let Some(p) = self.pending[j] {
-                if now - p.sent_at >= self.config.probe_timeout_s {
-                    self.estimators[j].record(ProbeOutcome::Timeout);
-                    self.pending[j] = None;
+            picked.push(peer);
+        }
+        for peer in picked {
+            let mut t = self.make_target(peer, false, now);
+            // Sampled links are short-lived: probe within the epoch.
+            // Same 0.5 s phase quantum as `make_target`; slot 0 is fine
+            // here because rotation happens *inside* a poll, which goes
+            // on to emit anything already due in the same call.
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let slots = ((self.config.rapid_probe_interval_s * 2.0) as usize).max(1);
+            t.next_probe_at = now + ((self.me * 31 + peer * 17) % slots) as f64 * 0.5;
+            self.targets.push(t);
+        }
+        self.targets.sort_unstable_by_key(|t| t.peer);
+        self.publish_target_gauges();
+    }
+
+    /// Advance to `now`: rotate the sample epoch when due, expire
+    /// timed-out probes (recording losses and arming rapid re-probes)
+    /// and emit the probes now due.
+    pub fn poll(&mut self, now: f64) -> Vec<ProbeAction> {
+        if self.config.probe_policy == ProbePolicy::Entitled && now >= self.sample_rotate_at {
+            self.rotate_sample(now);
+        }
+        let mut actions = Vec::new();
+        let batch = self.config.probe_policy == ProbePolicy::Entitled;
+        for t in &mut self.targets {
+            // Expire an outstanding probe. The comparison must be the
+            // exact expression `next_wake` computes the deadline with —
+            // `now - sent_at >= timeout` can round *below* the timeout
+            // at the woken instant, which would make a coalesced driver
+            // re-arm a zero-delay timer forever.
+            if let Some(p) = t.pending {
+                if now >= p.sent_at + self.config.probe_timeout_s {
+                    t.estimator.record(ProbeOutcome::Timeout);
+                    t.rate.on_sample(RateSample::Loss);
+                    t.pending = None;
                     // Rapid failure detection: re-probe quickly while the
                     // loss burst lasts.
                     let rapid = p.sent_at + self.config.rapid_probe_interval_s;
-                    if rapid < self.next_probe_at[j] {
-                        self.next_probe_at[j] = rapid.max(now);
+                    if rapid < t.next_probe_at {
+                        t.next_probe_at = rapid.max(now);
                     }
                 }
             }
             // Emit a due probe.
-            if self.pending[j].is_none() && now >= self.next_probe_at[j] {
+            if t.pending.is_none() && now >= t.next_probe_at {
                 let seq = self.next_seq;
                 self.next_seq = self.next_seq.wrapping_add(1);
-                self.pending[j] = Some(Pending { seq, sent_at: now });
-                self.next_probe_at[j] = now + self.config.probe_interval_s;
-                actions.push(ProbeAction::SendProbe { to: j, seq });
+                t.pending = Some(Pending { seq, sent_at: now });
+                t.next_probe_at = now + t.rate.interval_s();
+                if batch {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let mut items = vec![ProbeItem::Ping {
+                        seq,
+                        sent_ms: (now * 1000.0) as u32,
+                    }];
+                    let e = t.estimator.to_entry();
+                    if e.alive {
+                        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                        items.push(ProbeItem::Gauge {
+                            rtt_ms: e.latency_ms,
+                            loss_pm: (f64::from(e.loss) * 1000.0) as u16,
+                        });
+                    }
+                    actions.push(ProbeAction::SendBatch { to: t.peer, items });
+                } else {
+                    actions.push(ProbeAction::SendProbe { to: t.peer, seq });
+                }
             }
         }
         actions
@@ -115,29 +295,78 @@ impl Prober {
         if peer >= self.n || peer == self.me {
             return;
         }
-        let Some(p) = self.pending[peer] else {
-            return;
-        };
+        let Some(i) = self.target(peer) else { return };
+        let t = &mut self.targets[i];
+        let Some(p) = t.pending else { return };
         if p.seq != seq {
             return;
         }
-        self.pending[peer] = None;
+        t.pending = None;
         let rtt_ms = (now - p.sent_at) * 1000.0;
-        self.estimators[peer].record(ProbeOutcome::Reply { rtt_ms });
+        t.estimator.record(ProbeOutcome::Reply { rtt_ms });
+        t.rate.on_sample(RateSample::Reply { latency_ms: rtt_ms });
+        if let Some(h) = &self.probe_rtt_us {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            h.observe(((now - p.sent_at) * 1e6).max(1.0) as u64);
+        }
+    }
+
+    /// Adopt a peer's reverse-path gauge (its RTT/loss estimate of the
+    /// link to us) as our own entry for `peer`, unless we measure that
+    /// link ourselves. Symmetric-cost assumption, paper section 3.
+    pub fn adopt_gauge(&mut self, peer: usize, rtt_ms: u16, loss_pm: u16, now: f64) {
+        if peer >= self.n || peer == self.me || self.target(peer).is_some() {
+            return;
+        }
+        let entry = Adopted {
+            peer,
+            rtt_ms,
+            loss: f32::from(loss_pm.min(1000)) / 1000.0,
+            heard_at: now,
+        };
+        match self.adopted.binary_search_by_key(&peer, |a| a.peer) {
+            Ok(i) => self.adopted[i] = entry,
+            Err(i) => {
+                if self.adopted.len() >= self.adopted_cap {
+                    // Shed the stalest adoption to stay bounded.
+                    if let Some((stalest, _)) = self
+                        .adopted
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.heard_at.total_cmp(&b.1.heard_at))
+                    {
+                        self.adopted.remove(stalest);
+                    }
+                }
+                let i = self
+                    .adopted
+                    .binary_search_by_key(&peer, |a| a.peer)
+                    .unwrap_err()
+                    .min(i);
+                self.adopted.insert(i, entry);
+            }
+        }
+    }
+
+    /// Age beyond which an adopted gauge is no longer trusted: two of
+    /// the sender's maximum probe intervals (it gauges on every probe).
+    fn adopt_expiry_s(&self) -> f64 {
+        2.0 * self.config.probe_interval_max_s
     }
 
     /// The earliest time at which [`poll`](Self::poll) could have work.
     #[must_use]
     pub fn next_wake(&self, now: f64) -> f64 {
-        let mut wake = f64::INFINITY;
-        for j in 0..self.n {
-            if j == self.me {
-                continue;
-            }
-            if let Some(p) = self.pending[j] {
+        let mut wake = if self.config.probe_policy == ProbePolicy::Entitled {
+            self.sample_rotate_at
+        } else {
+            f64::INFINITY
+        };
+        for t in &self.targets {
+            if let Some(p) = t.pending {
                 wake = wake.min(p.sent_at + self.config.probe_timeout_s);
             } else {
-                wake = wake.min(self.next_probe_at[j]);
+                wake = wake.min(t.next_probe_at);
             }
         }
         wake.max(now)
@@ -146,57 +375,68 @@ impl Prober {
     /// Is the direct link to `j` currently considered alive?
     #[must_use]
     pub fn alive(&self, j: usize) -> bool {
-        j == self.me || self.estimators[j].alive()
+        j == self.me
+            || self
+                .target(j)
+                .is_some_and(|i| self.targets[i].estimator.alive())
     }
 
     /// Smoothed RTT to `j`, ms.
     #[must_use]
     pub fn latency_ms(&self, j: usize) -> Option<f64> {
-        self.estimators[j].latency_ms()
+        self.targets[self.target(j)?].estimator.latency_ms()
     }
 
-    /// Borrow the estimator for `j` (diagnostics).
+    /// Borrow the estimator for `j`, when `j` is a probe target.
     #[must_use]
-    pub fn estimator(&self, j: usize) -> &LinkEstimator {
-        &self.estimators[j]
+    pub fn estimator(&self, j: usize) -> Option<&LinkEstimator> {
+        Some(&self.targets[self.target(j)?].estimator)
     }
 
     /// Inject an estimator for `j` — used on membership change to carry
     /// latency/liveness history over to a freshly built prober, so a view
-    /// bump does not blind the overlay for a probing interval.
+    /// bump does not blind the overlay for a probing interval. Ignored
+    /// when `j` is not a probe target of this prober.
     pub fn set_estimator(&mut self, j: usize, est: LinkEstimator) {
         assert!(j < self.n);
-        self.estimators[j] = est;
+        if let Some(i) = self.target(j) {
+            self.targets[i].estimator = est;
+        }
     }
 
-    /// Render the node's own link-state row (self entry: alive, 0 ms).
+    /// Render the node's own link-state row at `now` (self entry:
+    /// alive, 0 ms). Probed targets contribute their estimator entries;
+    /// fresh adopted gauges fill in reverse paths we do not probe.
     #[must_use]
-    pub fn own_row(&self) -> Vec<LinkEntry> {
-        (0..self.n)
-            .map(|j| {
-                if j == self.me {
-                    LinkEntry::live(0, 0.0)
-                } else {
-                    self.estimators[j].to_entry()
-                }
-            })
-            .collect()
+    pub fn own_row(&self, now: f64) -> Vec<LinkEntry> {
+        let mut row = vec![LinkEntry::dead(); self.n];
+        row[self.me] = LinkEntry::live(0, 0.0);
+        for a in &self.adopted {
+            if now - a.heard_at <= self.adopt_expiry_s() {
+                row[a.peer] = LinkEntry::live(a.rtt_ms, a.loss);
+            }
+        }
+        for t in &self.targets {
+            row[t.peer] = t.estimator.to_entry();
+        }
+        row
     }
 
-    /// Number of peers currently considered failed (the concurrent link
-    /// failure count of figure 8, measured by the overlay itself).
+    /// Number of probed peers currently considered failed (the
+    /// concurrent link failure count of figure 8, measured by the
+    /// overlay itself).
     #[must_use]
     pub fn concurrent_failures(&self) -> usize {
-        (0..self.n)
-            .filter(|&j| j != self.me)
-            .filter(|&j| {
-                // Only count links that were up at some point; a link that
-                // never answered is indistinguishable from a dead peer and
-                // counts too once probing has had time to conclude.
-                !self.estimators[j].alive()
-            })
-            .count()
+        self.targets.iter().filter(|t| !t.estimator.alive()).count()
     }
+}
+
+/// SplitMix64 — the deterministic hash behind sample rotation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -207,6 +447,29 @@ mod tests {
         ProtocolConfig::quorum()
     }
 
+    fn entitled_cfg() -> ProtocolConfig {
+        ProtocolConfig::quorum().with_subquadratic_probing(120.0)
+    }
+
+    fn send_probes(actions: &[ProbeAction]) -> Vec<(usize, u32)> {
+        actions
+            .iter()
+            .map(|a| match a {
+                ProbeAction::SendProbe { to, seq } => (*to, *seq),
+                ProbeAction::SendBatch { to, items } => {
+                    let seq = items
+                        .iter()
+                        .find_map(|i| match i {
+                            ProbeItem::Ping { seq, .. } => Some(*seq),
+                            _ => None,
+                        })
+                        .expect("batch carries a ping");
+                    (*to, seq)
+                }
+            })
+            .collect()
+    }
+
     /// Drive a prober against a perfect 40 ms-RTT peer and check cadence.
     #[test]
     fn steady_state_probing_cadence() {
@@ -215,8 +478,7 @@ mod tests {
         let mut sent_times = Vec::new();
         let mut t = 0.0;
         while t < 200.0 {
-            for a in p.poll(t) {
-                let ProbeAction::SendProbe { to, seq } = a;
+            for (to, seq) in send_probes(&p.poll(t)) {
                 assert_eq!(to, 1);
                 sent_times.push(t);
                 // Reply 40 ms later (within the same tick resolution).
@@ -252,8 +514,7 @@ mod tests {
         let mut first_unanswered: Option<f64> = None;
         let mut died_at: Option<f64> = None;
         while t < 300.0 && died_at.is_none() {
-            for a in p.poll(t) {
-                let ProbeAction::SendProbe { seq, .. } = a;
+            for (_, seq) in send_probes(&p.poll(t)) {
                 if t < 60.0 {
                     p.on_reply(1, seq, t + 0.02);
                 } else if first_unanswered.is_none() {
@@ -280,8 +541,7 @@ mod tests {
         let mut t = 0.0;
         // Phase 1: alive. Phase 2 (60–150 s): silent → dead. Phase 3: replies again.
         while t < 400.0 {
-            for a in p.poll(t) {
-                let ProbeAction::SendProbe { seq, .. } = a;
+            for (_, seq) in send_probes(&p.poll(t)) {
                 if !(60.0..=150.0).contains(&t) {
                     p.on_reply(1, seq, t + 0.02);
                 }
@@ -300,8 +560,7 @@ mod tests {
         let mut sent = None;
         let mut t = 0.0;
         while sent.is_none() {
-            for a in p.poll(t) {
-                let ProbeAction::SendProbe { to, seq } = a;
+            for (to, seq) in send_probes(&p.poll(t)) {
                 if to == 1 {
                     sent = Some((seq, t));
                 }
@@ -327,7 +586,7 @@ mod tests {
     #[test]
     fn own_row_shape() {
         let mut p = Prober::new(1, 3, quorum_cfg(), 0.0);
-        let row = p.own_row();
+        let row = p.own_row(0.0);
         assert_eq!(row.len(), 3);
         assert!(row[1].alive && row[1].latency_ms == 0);
         assert!(
@@ -337,13 +596,12 @@ mod tests {
         // After replies, entries come alive.
         let mut t = 0.0;
         while t < 40.0 {
-            for a in p.poll(t) {
-                let ProbeAction::SendProbe { to, seq } = a;
+            for (to, seq) in send_probes(&p.poll(t)) {
                 p.on_reply(to, seq, t + 0.03);
             }
             t += 0.5;
         }
-        let row = p.own_row();
+        let row = p.own_row(t);
         assert!(row[0].alive && row[2].alive);
         assert_eq!(row[0].latency_ms, 30);
     }
@@ -357,8 +615,7 @@ mod tests {
         let mut first = vec![f64::NAN; n];
         let mut t = 0.0;
         while t <= cfg.probe_interval_s {
-            for a in p.poll(t) {
-                let ProbeAction::SendProbe { to, seq } = a;
+            for (to, seq) in send_probes(&p.poll(t)) {
                 if first[to].is_nan() {
                     first[to] = t;
                 }
@@ -397,8 +654,7 @@ mod tests {
         let mut p = Prober::new(0, 4, quorum_cfg(), 0.0);
         let mut t = 0.0;
         while t < 200.0 {
-            for a in p.poll(t) {
-                let ProbeAction::SendProbe { to, seq } = a;
+            for (to, seq) in send_probes(&p.poll(t)) {
                 if to != 2 {
                     p.on_reply(to, seq, t + 0.02);
                 }
@@ -408,5 +664,96 @@ mod tests {
         // Peer 2 never answered; peers 1 and 3 are fine.
         assert_eq!(p.concurrent_failures(), 1);
         assert!(!p.alive(2));
+    }
+
+    // ------------------------------------------------------------------
+    // Entitled (sub-quadratic) policy
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn entitled_targets_are_o_sqrt_n() {
+        let n = 1024;
+        let cfg = entitled_cfg();
+        let p = Prober::new(17, n, cfg.clone(), 0.0);
+        let expected = Grid::new(n).rendezvous_servers(17).len() + cfg.probe_sample_budget;
+        assert_eq!(p.targets.len(), expected);
+        assert!(
+            p.targets.len() <= 4 * (n as f64).sqrt() as usize + cfg.probe_sample_budget,
+            "target set must stay O(√n), got {}",
+            p.targets.len()
+        );
+    }
+
+    #[test]
+    fn entitled_emits_batches_with_gauges() {
+        let mut p = Prober::new(0, 16, entitled_cfg(), 0.0);
+        let mut t = 0.0;
+        let mut saw_gauge = false;
+        while t < 200.0 {
+            for a in p.poll(t) {
+                let ProbeAction::SendBatch { to, items } = a else {
+                    panic!("entitled probing must batch");
+                };
+                let seq = items
+                    .iter()
+                    .find_map(|i| match i {
+                        ProbeItem::Ping { seq, .. } => Some(*seq),
+                        _ => None,
+                    })
+                    .expect("ping present");
+                saw_gauge |= items.iter().any(|i| matches!(i, ProbeItem::Gauge { .. }));
+                p.on_reply(to, seq, t + 0.02);
+            }
+            t += 0.5;
+        }
+        assert!(saw_gauge, "measured links gauge their reverse path");
+    }
+
+    #[test]
+    fn sample_rotation_is_bounded_and_deterministic() {
+        let n = 256;
+        let cfg = entitled_cfg();
+        let mut a = Prober::new(3, n, cfg.clone(), 0.0);
+        let mut b = Prober::new(3, n, cfg.clone(), 0.0);
+        for epoch in 0..5 {
+            let t = f64::from(epoch) * cfg.probe_interval_s + 0.1;
+            a.poll(t);
+            b.poll(t);
+            let sa: Vec<usize> = a
+                .targets
+                .iter()
+                .filter(|t| !t.entitled)
+                .map(|t| t.peer)
+                .collect();
+            let sb: Vec<usize> = b
+                .targets
+                .iter()
+                .filter(|t| !t.entitled)
+                .map(|t| t.peer)
+                .collect();
+            assert_eq!(sa, sb, "sample draw must be deterministic");
+            assert_eq!(sa.len(), cfg.probe_sample_budget);
+        }
+    }
+
+    #[test]
+    fn adopted_gauges_fill_own_row_and_expire() {
+        let cfg = entitled_cfg();
+        let mut p = Prober::new(0, 64, cfg.clone(), 0.0);
+        // Pick a peer that is neither entitled nor currently sampled.
+        let outsider = (1..64)
+            .find(|&j| p.target(j).is_none())
+            .expect("some peer is untargeted");
+        p.adopt_gauge(outsider, 25, 10, 5.0);
+        let row = p.own_row(6.0);
+        assert!(row[outsider].alive);
+        assert_eq!(row[outsider].latency_ms, 25);
+        // Expired adoptions drop out of the row.
+        let late = 5.0 + 2.0 * cfg.probe_interval_max_s + 1.0;
+        assert!(!p.own_row(late)[outsider].alive);
+        // Gauges for probed targets are ignored (we trust our own probe).
+        let target = p.targets[0].peer;
+        p.adopt_gauge(target, 1, 0, 5.0);
+        assert!(!p.own_row(6.0)[target].alive || p.latency_ms(target).is_some());
     }
 }

@@ -36,9 +36,10 @@ use crate::config::ProtocolConfig;
 use crate::RoutingAlgorithm;
 use apor_linkstate::{
     LinkEntry, LinkStateMsg, LinkStateStore, Message, RecEntry, RecommendationMsg, RowStore,
+    SparseLinkStateMsg,
 };
 use apor_quorum::{Grid, NodeId};
-use apor_telemetry::{Counter, Gauge, Telemetry};
+use apor_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -100,6 +101,8 @@ struct RouterCounters {
     /// What the pre-compaction dense layout would cost for the same
     /// state: one `n × 8`-byte row per server that has ever recommended.
     rec_seen_bytes_dense: Gauge,
+    /// Wall-clock cost of one round-two recommendation pass, µs.
+    round_two_us: Histogram,
 }
 
 impl RouterCounters {
@@ -111,6 +114,7 @@ impl RouterCounters {
             rec_entries_received: t.counter("routing", "rec_entries_received"),
             rec_seen_bytes: t.gauge("routing", "rec_seen_bytes"),
             rec_seen_bytes_dense: t.gauge("routing", "rec_seen_bytes_dense"),
+            round_two_us: t.histogram("routing", "round_two_us"),
         }
     }
 }
@@ -128,8 +132,6 @@ pub struct QuorumRouter<S: LinkStateStore = RowStore> {
     own_row: Vec<LinkEntry>,
     /// Cached: my default rendezvous servers (grid row + column).
     my_servers: Vec<usize>,
-    /// Cached per destination: the default rendezvous pair for (me, dst).
-    default_pair: Vec<Vec<usize>>,
     /// Latest accepted recommendation per destination.
     routes: Vec<Option<RouteEntry>>,
     /// `rec_seen[s]` — last time server `s` recommended any route for a
@@ -197,15 +199,6 @@ impl<S: LinkStateStore> QuorumRouter<S> {
         assert_eq!(table.len(), n, "store must cover n nodes");
         let grid = Grid::new(n);
         let my_servers = grid.rendezvous_servers(me);
-        let default_pair = (0..n)
-            .map(|dst| {
-                if dst == me {
-                    Vec::new()
-                } else {
-                    grid.default_rendezvous_pair(me, dst)
-                }
-            })
-            .collect();
         QuorumRouter {
             me,
             n,
@@ -216,7 +209,6 @@ impl<S: LinkStateStore> QuorumRouter<S> {
             table,
             own_row: vec![LinkEntry::dead(); n],
             my_servers,
-            default_pair,
             routes: vec![None; n],
             rec_seen: vec![BTreeMap::new(); n],
             serving_since: vec![NEVER; n],
@@ -327,7 +319,13 @@ impl<S: LinkStateStore> QuorumRouter<S> {
     }
 
     fn both_defaults_failed(&self, dst: usize, now: f64) -> bool {
-        let pair = &self.default_pair[dst];
+        if dst == self.me {
+            return false;
+        }
+        // Derived from the grid on demand: caching the pair per
+        // destination costs O(n) Vecs per node — measurable at n = 4096 —
+        // for an O(1) position computation.
+        let pair = self.grid.default_rendezvous_pair(self.me, dst);
         !pair.is_empty() && pair.iter().all(|&s| self.server_failed(s, dst, now))
     }
 
@@ -402,14 +400,40 @@ impl<S: LinkStateStore> QuorumRouter<S> {
     }
 
     fn linkstate_msg(&self, to: usize, now: f64) -> Message {
-        Message::LinkState(LinkStateMsg {
-            from: NodeId::from_index(self.me),
-            to: NodeId::from_index(to),
-            view: self.view,
-            round: self.round,
-            basis_ms: (now * 1000.0) as u32,
-            entries: self.own_row.clone(),
-        })
+        // Sparse encoding pays off once the live-entry count k satisfies
+        // 23 + 5k < 21 + 3n, i.e. k < (3n − 2)/5. Under entitled probing
+        // a row holds O(√n) live entries and this always wins; fully-live
+        // rows (the full-mesh probing baseline) keep the dense format, so
+        // the section 6 bandwidth formulas stay byte-exact.
+        let live = self.own_row.iter().filter(|e| e.alive).count();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        if 5 * live < 3 * self.n - 2 {
+            let entries: Vec<(u16, LinkEntry)> = self
+                .own_row
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.alive)
+                .map(|(dst, e)| (dst as u16, *e))
+                .collect();
+            Message::LinkStateSparse(SparseLinkStateMsg {
+                from: NodeId::from_index(self.me),
+                to: NodeId::from_index(to),
+                view: self.view,
+                round: self.round,
+                basis_ms: (now * 1000.0) as u32,
+                width: self.n as u16,
+                entries,
+            })
+        } else {
+            Message::LinkState(LinkStateMsg {
+                from: NodeId::from_index(self.me),
+                to: NodeId::from_index(to),
+                view: self.view,
+                round: self.round,
+                basis_ms: (now * 1000.0) as u32,
+                entries: self.own_row.clone(),
+            })
+        }
     }
 
     /// The set of servers that receive my link state this round: defaults
@@ -432,6 +456,7 @@ impl<S: LinkStateStore> QuorumRouter<S> {
     /// sparse store, enumerating clients scans the `O(√n)` held rows
     /// instead of all `n` indices.
     fn compute_recommendations(&mut self, now: f64) -> Vec<Message> {
+        let started = std::time::Instant::now();
         let max_age = self.config.staleness_s();
         let mut clients: Vec<usize> = self
             .table
@@ -476,6 +501,12 @@ impl<S: LinkStateStore> QuorumRouter<S> {
                 recs,
             }));
         }
+        // Wall-clock only feeds the histogram — routing stays a pure
+        // function of (time, messages), so deterministic replay holds.
+        #[allow(clippy::cast_possible_truncation)]
+        self.counters
+            .round_two_us
+            .observe((started.elapsed().as_micros() as u64).max(1));
         msgs
     }
 }
@@ -520,6 +551,17 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
                     && from != self.me
                 {
                     self.table.update_row(from, &ls.entries, now);
+                }
+                Vec::new()
+            }
+            Message::LinkStateSparse(ls) => {
+                let from = ls.from.index();
+                if ls.view == self.view
+                    && usize::from(ls.width) == self.n
+                    && from < self.n
+                    && from != self.me
+                {
+                    self.table.update_row_sparse(from, &ls.entries, now);
                 }
                 Vec::new()
             }
@@ -596,7 +638,7 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
             .into_iter()
             .filter_map(|origin| {
                 let time = self.table.row_time(origin)?;
-                Some((origin, time, self.table.row(origin)?.to_vec()))
+                Some((origin, time, self.table.row_dense(origin)?))
             })
             .collect()
     }
@@ -819,6 +861,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A mostly-dead own row (the entitled-probing shape) rides the
+    /// sparse wire format, and the receiver reconstructs the identical
+    /// row; fully-live rows keep the dense format so the section 6
+    /// bandwidth formulas stay byte-exact.
+    #[test]
+    fn sparse_rows_use_sparse_wire_format() {
+        let cfg = ProtocolConfig::quorum();
+        let n = 100;
+        let mut sender = QuorumRouter::new(3, n, 0, cfg.clone());
+        // Live entries only to self and a handful of peers — the shape
+        // entitled probing produces.
+        let mut own = vec![LinkEntry::dead(); n];
+        own[3] = LinkEntry::live(0, 0.0);
+        for &j in &[7usize, 13, 23, 43, 53] {
+            own[j] = LinkEntry::live(20 + j as u16, 0.0);
+        }
+        let mut g = rng();
+        let msgs = sender.on_routing_tick(0.0, &own, &mut g);
+        let mut saw_sparse = false;
+        let mut receiver = QuorumRouter::new(13, n, 0, cfg.clone());
+        for m in &msgs {
+            match m {
+                Message::LinkStateSparse(sm) => {
+                    saw_sparse = true;
+                    assert_eq!(usize::from(sm.width), n);
+                    assert!(sm.entries.iter().all(|(_, e)| e.alive));
+                    if sm.to.index() == 13 {
+                        let _ = receiver.on_message(0.5, m);
+                    }
+                }
+                Message::LinkState(_) => panic!("sparse row must not go dense"),
+                _ => {}
+            }
+        }
+        assert!(saw_sparse, "round one emits sparse link state");
+        assert_eq!(
+            receiver.table().row_dense(3).expect("row stored"),
+            own,
+            "receiver reconstructs the identical row"
+        );
+
+        // Fully-live rows stay dense.
+        let full: Vec<LinkEntry> = (0..n).map(|_| LinkEntry::live(10, 0.0)).collect();
+        let msgs = sender.on_routing_tick(15.0, &full, &mut g);
+        assert!(msgs
+            .iter()
+            .all(|m| !matches!(m, Message::LinkStateSparse(_))));
     }
 
     /// The sparse store only ever holds the rows the node's role grants

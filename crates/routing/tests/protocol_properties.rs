@@ -101,7 +101,7 @@ proptest! {
     fn sparse_store_matches_dense(table in arb_table(12), a in 0usize..12, b in 0usize..12) {
         let mut sparse = RowStore::new(12);
         for origin in table.present_rows() {
-            sparse.update_row(origin, table.row(origin).unwrap(), table.row_time(origin).unwrap());
+            sparse.update_row(origin, &table.row_dense(origin).unwrap(), table.row_time(origin).unwrap());
         }
         prop_assert_eq!(sparse.row_count(), table.row_count());
         prop_assert_eq!(
@@ -131,7 +131,9 @@ proptest! {
         let mut k = 0;
         while k < pattern.len() {
             for action in p.poll(t) {
-                let ProbeAction::SendProbe { seq, .. } = action;
+                let ProbeAction::SendProbe { seq, .. } = action else {
+                    panic!("full-mesh probing sends single probes");
+                };
                 if k < pattern.len() {
                     if pattern[k] {
                         p.on_reply(1, seq, t + 0.01);

@@ -161,6 +161,22 @@ impl Snapshot {
             .fold(0u64, u64::saturating_add)
     }
 
+    /// The histogram `component/name` merged across all nodes — the
+    /// fleet-wide distribution (counts/buckets sum, maxima take the
+    /// max). Empty when no node recorded it.
+    #[must_use]
+    pub fn histogram_total(&self, component: &str, name: &str) -> HistogramSnapshot {
+        let mut total = HistogramSnapshot::empty();
+        for (_, c, n, v) in self.iter() {
+            if c == component && n == name {
+                if let MetricValue::Histogram(h) = v {
+                    total.merge(h);
+                }
+            }
+        }
+        total
+    }
+
     /// The nodes whose counter `component/name` is nonzero, ascending.
     #[must_use]
     pub fn nodes_with_nonzero(&self, component: &str, name: &str) -> Vec<u32> {
@@ -356,6 +372,20 @@ mod tests {
         );
         assert_eq!(lines.count(), 3);
         assert!(csv.contains("2,membership,probe_sent,counter,11,,,,,,"));
+    }
+
+    #[test]
+    fn histogram_total_merges_across_nodes() {
+        let ta = Telemetry::new(0);
+        ta.histogram("netsim", "deliver_latency_us").observe(10);
+        let tb = Telemetry::new(1);
+        tb.histogram("netsim", "deliver_latency_us").observe(1000);
+        let mut snap = ta.snapshot();
+        snap.merge(&tb.snapshot());
+        let total = snap.histogram_total("netsim", "deliver_latency_us");
+        assert_eq!(total.count, 2);
+        assert_eq!(total.max, 1000);
+        assert_eq!(snap.histogram_total("netsim", "no_such").count, 0);
     }
 
     #[test]
