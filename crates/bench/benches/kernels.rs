@@ -204,6 +204,47 @@ fn bench_dense_vs_sparse(c: &mut Criterion) {
     g.finish();
 }
 
+/// The full round-two server tick as the router actually runs it — not
+/// just the inner kernel. A warm quorum server at n = 1024 holds its
+/// own ground-truth row plus all `~2√n` rendezvous clients' rows (each
+/// fully live, so every pair merge-joins 1024-entry working sets) and
+/// `on_routing_tick` performs failover management, round-one link-state
+/// fan-out and the full recommendation computation for every fresh
+/// client pair.
+fn bench_round_two_tick(c: &mut Criterion) {
+    use apor_linkstate::LinkStateMsg;
+    use apor_routing::{ProtocolConfig, QuorumRouter, RoutingAlgorithm};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    let mut g = c.benchmark_group("round_two_tick");
+    g.sample_size(10);
+    for n in [1024usize] {
+        let topo = bench_topology(n);
+        let grid = Grid::new(n);
+        let me = 0usize;
+        let own = ground_truth_row(&topo, me);
+        let mut router: QuorumRouter = QuorumRouter::new(me, n, 1, ProtocolConfig::quorum());
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+        let _ = router.on_routing_tick(0.0, &own, &mut rng);
+        for c_idx in grid.rendezvous_clients(me) {
+            let msg = Message::LinkState(LinkStateMsg {
+                from: NodeId::from_index(c_idx),
+                to: NodeId::from_index(me),
+                view: 1,
+                round: 1,
+                basis_ms: 250,
+                entries: ground_truth_row(&topo, c_idx),
+            });
+            let _ = router.on_message(0.25, &msg);
+        }
+        g.bench_with_input(BenchmarkId::new("server_tick", n), &n, |b, _| {
+            b.iter(|| black_box(router.on_routing_tick(0.5, &own, &mut rng).len()));
+        });
+    }
+    g.finish();
+}
+
 /// The anti-entropy hot path: one sync frame encode + decode + merge
 /// into a divergent ledger — what every node pays once per sync period.
 fn bench_anti_entropy(c: &mut Criterion) {
@@ -272,6 +313,7 @@ criterion_group!(
     bench_grid,
     bench_best_one_hop,
     bench_round_two,
+    bench_round_two_tick,
     bench_dense_vs_sparse,
     bench_wire,
     bench_multihop,

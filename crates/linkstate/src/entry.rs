@@ -11,6 +11,13 @@ pub type Cost = f64;
 /// Sentinel for an unusable link.
 pub const INFINITE_COST: Cost = f64::INFINITY;
 
+/// Integer-kernel sentinel for an unusable link (see
+/// [`LinkEntry::cost_u32`]). Any real path cost is at most two live
+/// `u16` legs (< 2¹⁷), so `u32::MAX` can never be produced by addition
+/// and compares strictly greater than every finite cost — mirroring
+/// `f64::INFINITY` in the floating-point domain exactly.
+pub const INFINITE_COST_U32: u32 = u32::MAX;
+
 /// One entry of a link-state row: what the origin node currently believes
 /// about its direct link to one destination.
 ///
@@ -66,29 +73,38 @@ impl LinkEntry {
         }
     }
 
-    /// Pack into the 3-byte wire form.
+    /// The routing cost in the integer kernel's domain: the latency in
+    /// whole milliseconds when alive, [`INFINITE_COST_U32`] otherwise.
+    /// Exactly [`LinkEntry::cost`] — wire latencies are integers, so
+    /// nothing is lost leaving `f64`.
     #[must_use]
-    pub fn encode(&self) -> [u8; 3] {
-        let lat = if self.alive {
-            self.latency_ms.min(Self::DEAD_LATENCY - 1)
+    pub fn cost_u32(&self) -> u32 {
+        if self.alive {
+            u32::from(self.latency_ms)
         } else {
-            Self::DEAD_LATENCY
-        };
-        let loss_half_pct = ((self.loss * 200.0).round() as u32).min(127) as u8;
-        let liveness = (u8::from(self.alive) << 7) | loss_half_pct;
-        let lat_b = lat.to_be_bytes();
-        [lat_b[0], lat_b[1], liveness]
+            INFINITE_COST_U32
+        }
     }
 
-    /// Unpack from the 3-byte wire form. A dead link decodes with
-    /// `loss = 1.0` regardless of the quantized field: a dead link loses
-    /// everything, and this keeps encode/decode a semantic round trip.
+    /// The wire liveness byte: the alive flag in bit 7 and the loss
+    /// rate in half-percent units in bits 0–6 (saturating at 63.5 %) —
+    /// the third byte [`LinkEntry::encode`] emits, and the byte a
+    /// [`LaneRow`](crate::store::LaneRow) liveness lane stores verbatim.
     #[must_use]
-    pub fn decode(bytes: [u8; 3]) -> Self {
-        let latency_ms = u16::from_be_bytes([bytes[0], bytes[1]]);
-        let alive = bytes[2] & 0x80 != 0;
+    pub fn liveness_byte(&self) -> u8 {
+        let loss_half_pct = ((self.loss * 200.0).round() as u32).min(127) as u8;
+        (u8::from(self.alive) << 7) | loss_half_pct
+    }
+
+    /// Reassemble an entry from its wire lanes: the big-endian latency
+    /// field as a `u16` plus the liveness byte. A dead link decodes
+    /// with `loss = 1.0` regardless of the quantized field (a dead link
+    /// loses everything), keeping encode/decode a semantic round trip.
+    #[must_use]
+    pub fn from_wire_parts(latency_ms: u16, liveness: u8) -> Self {
+        let alive = liveness & 0x80 != 0;
         let loss = if alive {
-            f32::from(bytes[2] & 0x7F) / 200.0
+            f32::from(liveness & 0x7F) / 200.0
         } else {
             1.0
         };
@@ -97,6 +113,25 @@ impl LinkEntry {
             alive,
             loss,
         }
+    }
+
+    /// Pack into the 3-byte wire form.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 3] {
+        let lat = if self.alive {
+            self.latency_ms.min(Self::DEAD_LATENCY - 1)
+        } else {
+            Self::DEAD_LATENCY
+        };
+        let lat_b = lat.to_be_bytes();
+        [lat_b[0], lat_b[1], self.liveness_byte()]
+    }
+
+    /// Unpack from the 3-byte wire form (see
+    /// [`LinkEntry::from_wire_parts`]).
+    #[must_use]
+    pub fn decode(bytes: [u8; 3]) -> Self {
+        Self::from_wire_parts(u16::from_be_bytes([bytes[0], bytes[1]]), bytes[2])
     }
 
     /// Quantize an RTT measured in (possibly fractional) milliseconds to

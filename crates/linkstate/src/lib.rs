@@ -4,13 +4,22 @@
 //!
 //! * [`store`] — the [`LinkStateStore`] trait (storage + the round-two
 //!   best-hop kernel, written once) and the sparse [`RowStore`]: an
-//!   indexed map `origin row → (receipt time, entries)` holding exactly
+//!   indexed map `origin row → (receipt time, lanes)` holding exactly
 //!   the rows a node's role entitles it to — its own row plus its
 //!   `~2√n` rendezvous clients' rows — so per-node state is the
-//!   paper's `O(n√n)` bound instead of `O(n²)`. Rows carry receipt
-//!   timestamps for the 3-routing-interval freshness rule of section
-//!   6.2.2; an optional row entitlement is debug-asserted so a
-//!   protocol regression back to `O(n)` rows fails loudly.
+//!   paper's `O(n√n)` bound instead of `O(n²)`. Rows are stored
+//!   struct-of-arrays ([`LaneRow`]): parallel `dst`/`latency_ms`/
+//!   liveness lanes holding the exact wire bytes, ~5 B per live entry,
+//!   and the round-two kernel runs integer-only over the latency lanes
+//!   (`u32` adds, `u32::MAX` infinite sentinel). This is exact, not an
+//!   approximation: the wire format is already fixed-point — latencies
+//!   are integer milliseconds in a `u16`, loss is quantized to
+//!   half-percent units — so integer cost arithmetic reproduces the
+//!   `f64` kernel bit-for-bit (two `u16` legs cannot overflow or round
+//!   in either domain). Rows carry receipt timestamps for the
+//!   3-routing-interval freshness rule of section 6.2.2; an optional
+//!   row entitlement is debug-asserted so a protocol regression back
+//!   to `O(n)` rows fails loudly.
 //! * [`table`] / [`entry`] — the dense `n × n` table, kept for the
 //!   full-mesh baseline (which holds every row by design) and as the
 //!   reference store in tests; it implements the same trait, so both
@@ -38,9 +47,11 @@ pub mod store;
 pub mod table;
 pub mod wire;
 
-pub use entry::{Cost, LinkEntry};
+pub use entry::{Cost, LinkEntry, INFINITE_COST, INFINITE_COST_U32};
 pub use estimator::{LinkEstimator, ProbeOutcome};
-pub use store::{LinkStateStore, LiveEntries, RowRef, RowStore};
+pub use store::{
+    best_one_hop_rows, LaneRow, LinkStateStore, LiveEntries, RowCursor, RowRef, RowStore,
+};
 pub use table::LinkStateTable;
 pub use wire::{
     LinkStateMsg, Message, ProbeBatchMsg, ProbeItem, ProbeMsg, ProbeReplyMsg, RecEntry, RecFormat,

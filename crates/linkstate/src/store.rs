@@ -15,35 +15,49 @@
 //!   run the identical routing computation.
 //! * [`RowStore`] — a sparse indexed map `origin → (receipt time, row)`
 //!   holding exactly the rows a node's role entitles it to: its own
-//!   row plus its rendezvous clients' rows. Since PR 7 each held row is
-//!   itself sparse — only the *live* entries, ascending by destination
-//!   — so a node probing `O(√n)` targets stores `O(√n)` entries per row
+//!   row plus its rendezvous clients' rows. Each held row is a
+//!   [`LaneRow`]: three parallel contiguous lanes (`dst`, `latency_ms`,
+//!   liveness/loss) holding only the *live* entries, ascending by
+//!   destination, in the wire's own fixed-point quantization — ~5 bytes
+//!   per entry where an array of `LinkEntry` structs needs 12. A node
+//!   probing `O(√n)` targets therefore stores `O(√n)` entries per row
 //!   and `O(n)` overall, far below even the paper's `O(n√n)` wire
 //!   bound. An optional row *entitlement* is debug-asserted on insert,
 //!   so a protocol bug that re-grows `O(n)` rows fails loudly in tests
 //!   instead of silently reintroducing the quadratic table.
-//! * [`RowRef`] — a borrowed view of one row, dense or sparse. The
-//!   kernel is written once over it: [`best_one_hop`]
-//!   (LinkStateStore::best_one_hop) walks the *live* entries of both
-//!   rows in an ascending merge-join, which reproduces the dense
-//!   `h = 0..n` scan's lowest-index tie-break exactly (dead entries
-//!   have infinite cost and can never win, so skipping them is
-//!   observationally neutral).
+//! * [`RowRef`] — a borrowed view of one row: dense, sparse pairs, or
+//!   lanes. The round-two kernel is written once over it (see
+//!   [`best_one_hop_rows`]) and is **integer-only**: the latency lanes
+//!   are already integer milliseconds (the wire carries nothing finer),
+//!   so a path cost is a `u32` add of two `u16` legs with `u32::MAX` as
+//!   the infinite sentinel — bit-identical to the historical `f64`
+//!   computation, because every `u16` sum is exactly representable in
+//!   both domains. The kernel walks the *live* entries of both rows in
+//!   an ascending merge-join, which reproduces the dense `h = 0..n`
+//!   scan's lowest-index tie-break exactly (dead entries have infinite
+//!   cost and can never win, so skipping them is observationally
+//!   neutral); when both rows list the same destinations — the steady
+//!   state for a warm quorum server — it collapses to an elementwise
+//!   lane reduction the compiler vectorizes.
 //!
 //! The dense [`LinkStateTable`](crate::table::LinkStateTable) stays for
 //! the full-mesh baseline (which genuinely holds all `n` rows, each
 //! dense lookups `O(1)`) and as the reference implementation in tests.
 
-use crate::entry::{Cost, LinkEntry, INFINITE_COST};
+use crate::entry::{Cost, LinkEntry, INFINITE_COST, INFINITE_COST_U32};
 use apor_telemetry::{Counter, EventKind, Gauge, Severity, Telemetry};
 use std::collections::BTreeMap;
 
-/// A borrowed view of one link-state row, dense or sparse.
+/// A borrowed view of one link-state row: dense, sparse pairs, or lanes.
 ///
 /// Sparse rows hold `(dst, entry)` pairs strictly ascending by `dst`;
-/// destinations not listed read as [`LinkEntry::dead`]. Both variants
-/// expose `O(1)`/`O(log k)` random access and an ascending iterator
-/// over *live* entries, which is all the round-two kernel needs.
+/// destinations not listed read as [`LinkEntry::dead`]. Lane rows are
+/// the struct-of-arrays equivalent (see [`LaneRow`]): three parallel
+/// slices in wire quantization, holding **live entries only**. All
+/// variants expose `O(1)`/`O(log k)` random access and an ascending
+/// iterator over *live* entries, which is all the round-two kernel
+/// needs; repeated ascending probes should go through [`RowRef::cursor`]
+/// instead of [`RowRef::get`].
 #[derive(Debug, Clone, Copy)]
 pub enum RowRef<'a> {
     /// A full-width row — every destination has an explicit entry.
@@ -55,6 +69,23 @@ pub enum RowRef<'a> {
         /// `(dst, entry)` pairs, strictly ascending by `dst`.
         entries: &'a [(u16, LinkEntry)],
     },
+    /// Struct-of-arrays live entries over a row of `width` destinations.
+    ///
+    /// The three lanes are index-aligned and hold live entries only,
+    /// strictly ascending by destination, in the exact wire
+    /// quantization ([`LinkEntry::encode`]): `liveness_loss[i]` is the
+    /// wire liveness byte (bit 7 always set here), `latency_ms[i]` the
+    /// wire latency.
+    Lanes {
+        /// Full row width (`n`); destinations ≥ `width` are out of range.
+        width: usize,
+        /// Destination lane, strictly ascending.
+        dst: &'a [u16],
+        /// Latency lane (integer milliseconds, wire-clamped).
+        latency_ms: &'a [u16],
+        /// Liveness/loss lane (the exact wire byte).
+        liveness_loss: &'a [u8],
+    },
 }
 
 impl<'a> RowRef<'a> {
@@ -63,7 +94,7 @@ impl<'a> RowRef<'a> {
     pub fn width(&self) -> usize {
         match self {
             RowRef::Dense(r) => r.len(),
-            RowRef::Sparse { width, .. } => *width,
+            RowRef::Sparse { width, .. } | RowRef::Lanes { width, .. } => *width,
         }
     }
 
@@ -82,7 +113,60 @@ impl<'a> RowRef<'a> {
                     Err(_) => LinkEntry::dead(),
                 }
             }
+            RowRef::Lanes {
+                width,
+                dst: dsts,
+                latency_ms,
+                liveness_loss,
+            } => {
+                assert!(dst < *width, "dst {dst} out of range");
+                match dsts.binary_search(&(dst as u16)) {
+                    Ok(i) => LinkEntry::from_wire_parts(latency_ms[i], liveness_loss[i]),
+                    Err(_) => LinkEntry::dead(),
+                }
+            }
         }
+    }
+
+    /// Routing cost of the `dst` entry as the integer kernel sees it:
+    /// the latency lane when alive, [`INFINITE_COST_U32`] otherwise.
+    ///
+    /// # Panics
+    /// Panics if `dst ≥ width()`.
+    #[must_use]
+    pub fn cost_u32(&self, dst: usize) -> u32 {
+        match self {
+            RowRef::Dense(r) => r[dst].cost_u32(),
+            RowRef::Sparse { width, entries } => {
+                assert!(dst < *width, "dst {dst} out of range");
+                match entries.binary_search_by_key(&(dst as u16), |e| e.0) {
+                    Ok(i) => entries[i].1.cost_u32(),
+                    Err(_) => INFINITE_COST_U32,
+                }
+            }
+            RowRef::Lanes {
+                width,
+                dst: dsts,
+                latency_ms,
+                ..
+            } => {
+                assert!(dst < *width, "dst {dst} out of range");
+                match dsts.binary_search(&(dst as u16)) {
+                    Ok(i) => u32::from(latency_ms[i]),
+                    Err(_) => INFINITE_COST_U32,
+                }
+            }
+        }
+    }
+
+    /// A resumable lookup cursor over this row. Probing destinations in
+    /// ascending order costs amortized `O(1)` per probe (the cursor
+    /// only ever walks forward); a backwards probe falls back to one
+    /// binary search to re-position. [`RowRef::get`] by contrast pays a
+    /// fresh `O(log k)` search on every call.
+    #[must_use]
+    pub fn cursor(&self) -> RowCursor<'a> {
+        RowCursor { row: *self, pos: 0 }
     }
 
     /// Iterate the live entries as `(dst, entry)`, ascending by `dst`.
@@ -92,6 +176,36 @@ impl<'a> RowRef<'a> {
             RowRef::Dense(r) => LiveEntries::Dense { row: r, next: 0 },
             RowRef::Sparse { entries, .. } => LiveEntries::Sparse {
                 iter: entries.iter(),
+            },
+            RowRef::Lanes {
+                dst,
+                latency_ms,
+                liveness_loss,
+                ..
+            } => LiveEntries::Lanes {
+                dst,
+                latency_ms,
+                liveness_loss,
+                next: 0,
+            },
+        }
+    }
+
+    /// Iterate the live entries as `(dst, integer cost)`, ascending by
+    /// `dst` — the kernel-facing view: no `LinkEntry` (and no `f32`
+    /// loss reconstruction) is materialised.
+    fn iter_costs(&self) -> LiveCosts<'a> {
+        match self {
+            RowRef::Dense(r) => LiveCosts::Dense { row: r, next: 0 },
+            RowRef::Sparse { entries, .. } => LiveCosts::Sparse {
+                iter: entries.iter(),
+            },
+            RowRef::Lanes {
+                dst, latency_ms, ..
+            } => LiveCosts::Lanes {
+                dst,
+                latency_ms,
+                next: 0,
             },
         }
     }
@@ -105,6 +219,13 @@ impl<'a> RowRef<'a> {
                 let mut out = vec![LinkEntry::dead(); *width];
                 for &(dst, e) in *entries {
                     out[dst as usize] = e;
+                }
+                out
+            }
+            RowRef::Lanes { width, .. } => {
+                let mut out = vec![LinkEntry::dead(); *width];
+                for (dst, e) in self.iter_live() {
+                    out[dst] = e;
                 }
                 out
             }
@@ -127,6 +248,17 @@ pub enum LiveEntries<'a> {
         /// Remaining pairs.
         iter: std::slice::Iter<'a, (u16, LinkEntry)>,
     },
+    /// Walking a lane row's parallel slices (live by construction).
+    Lanes {
+        /// Destination lane.
+        dst: &'a [u16],
+        /// Latency lane.
+        latency_ms: &'a [u16],
+        /// Liveness/loss lane (wire byte).
+        liveness_loss: &'a [u8],
+        /// Next lane index to yield.
+        next: usize,
+    },
 }
 
 impl Iterator for LiveEntries<'_> {
@@ -148,7 +280,455 @@ impl Iterator for LiveEntries<'_> {
                 .by_ref()
                 .find(|(_, e)| e.alive)
                 .map(|&(d, e)| (d as usize, e)),
+            LiveEntries::Lanes {
+                dst,
+                latency_ms,
+                liveness_loss,
+                next,
+            } => {
+                let i = *next;
+                if i < dst.len() {
+                    *next += 1;
+                    Some((
+                        dst[i] as usize,
+                        LinkEntry::from_wire_parts(latency_ms[i], liveness_loss[i]),
+                    ))
+                } else {
+                    None
+                }
+            }
         }
+    }
+}
+
+/// Ascending iterator over `(dst, integer cost)` of a row's live
+/// entries — what the integer kernel consumes. Unlike [`LiveEntries`]
+/// it never reconstructs a `LinkEntry` (no `f32` loss division on the
+/// hot path).
+enum LiveCosts<'a> {
+    Dense {
+        row: &'a [LinkEntry],
+        next: usize,
+    },
+    Sparse {
+        iter: std::slice::Iter<'a, (u16, LinkEntry)>,
+    },
+    Lanes {
+        dst: &'a [u16],
+        latency_ms: &'a [u16],
+        next: usize,
+    },
+}
+
+impl Iterator for LiveCosts<'_> {
+    type Item = (usize, u32);
+
+    fn next(&mut self) -> Option<(usize, u32)> {
+        match self {
+            LiveCosts::Dense { row, next } => {
+                while *next < row.len() {
+                    let i = *next;
+                    *next += 1;
+                    if row[i].alive {
+                        return Some((i, u32::from(row[i].latency_ms)));
+                    }
+                }
+                None
+            }
+            LiveCosts::Sparse { iter } => iter
+                .by_ref()
+                .find(|(_, e)| e.alive)
+                .map(|&(d, e)| (d as usize, u32::from(e.latency_ms))),
+            LiveCosts::Lanes {
+                dst,
+                latency_ms,
+                next,
+            } => {
+                let i = *next;
+                if i < dst.len() {
+                    *next += 1;
+                    Some((dst[i] as usize, u32::from(latency_ms[i])))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A resumable lookup cursor over one [`RowRef`].
+///
+/// Created by [`RowRef::cursor`]. Probes that ascend by destination —
+/// the shape of every per-candidate scavenging loop, since
+/// [`LinkStateStore::present_rows`] is ascending — advance the cursor
+/// linearly, so a full ascending sweep over a row of `k` entries costs
+/// `O(k + probes)` total instead of `O(probes · log k)` fresh binary
+/// searches. A backwards probe re-positions with a single binary
+/// search; correctness never depends on probe order.
+#[derive(Debug, Clone)]
+pub struct RowCursor<'a> {
+    row: RowRef<'a>,
+    pos: usize,
+}
+
+impl RowCursor<'_> {
+    /// Position the cursor on `target` within a keyed lane/pair row of
+    /// `len` entries whose `i`-th key is `key(i)`; returns the entry
+    /// index on a hit.
+    fn seek(&mut self, len: usize, key: impl Fn(usize) -> u16, target: u16) -> Option<usize> {
+        if self.pos < len && key(self.pos) <= target {
+            // Ascending (or repeated) probe: walk forward.
+            while self.pos < len && key(self.pos) < target {
+                self.pos += 1;
+            }
+            return (self.pos < len && key(self.pos) == target).then_some(self.pos);
+        }
+        // Backwards probe or exhausted cursor: one binary search.
+        let mut lo = 0usize;
+        let mut hi = len;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if key(mid) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        self.pos = lo;
+        (lo < len && key(lo) == target).then_some(lo)
+    }
+
+    /// The entry for `dst` (dead when not stored), like [`RowRef::get`]
+    /// but amortized `O(1)` across ascending probes.
+    ///
+    /// # Panics
+    /// Panics if `dst ≥ width()`.
+    pub fn get(&mut self, dst: usize) -> LinkEntry {
+        match self.row {
+            RowRef::Dense(r) => r[dst],
+            RowRef::Sparse { width, entries } => {
+                assert!(dst < width, "dst {dst} out of range");
+                self.seek(entries.len(), |i| entries[i].0, dst as u16)
+                    .map_or_else(LinkEntry::dead, |i| entries[i].1)
+            }
+            RowRef::Lanes {
+                width,
+                dst: dsts,
+                latency_ms,
+                liveness_loss,
+            } => {
+                assert!(dst < width, "dst {dst} out of range");
+                self.seek(dsts.len(), |i| dsts[i], dst as u16)
+                    .map_or_else(LinkEntry::dead, |i| {
+                        LinkEntry::from_wire_parts(latency_ms[i], liveness_loss[i])
+                    })
+            }
+        }
+    }
+
+    /// Integer routing cost of the `dst` entry ([`INFINITE_COST_U32`]
+    /// when dead or not stored), like [`RowRef::cost_u32`] but
+    /// amortized `O(1)` across ascending probes.
+    ///
+    /// # Panics
+    /// Panics if `dst ≥ width()`.
+    pub fn cost_u32(&mut self, dst: usize) -> u32 {
+        match self.row {
+            RowRef::Dense(r) => r[dst].cost_u32(),
+            RowRef::Sparse { width, entries } => {
+                assert!(dst < width, "dst {dst} out of range");
+                self.seek(entries.len(), |i| entries[i].0, dst as u16)
+                    .map_or(INFINITE_COST_U32, |i| entries[i].1.cost_u32())
+            }
+            RowRef::Lanes {
+                width,
+                dst: dsts,
+                latency_ms,
+                ..
+            } => {
+                assert!(dst < width, "dst {dst} out of range");
+                self.seek(dsts.len(), |i| dsts[i], dst as u16)
+                    .map_or(INFINITE_COST_U32, |i| u32::from(latency_ms[i]))
+            }
+        }
+    }
+}
+
+/// Index ranges of `0..len` with up to two positions excluded — how the
+/// kernel's lane fast path skips the endpoints `a` and `b` without
+/// branching inside the reduction loops.
+fn excluded_ranges(
+    len: usize,
+    skip_a: Option<usize>,
+    skip_b: Option<usize>,
+) -> [std::ops::Range<usize>; 3] {
+    match (skip_a, skip_b) {
+        (None, None) => [0..len, 0..0, 0..0],
+        (Some(p), None) | (None, Some(p)) => [0..p, p + 1..len, 0..0],
+        (Some(x), Some(y)) => {
+            let (p, q) = if x <= y { (x, y) } else { (y, x) };
+            if p == q {
+                [0..p, p + 1..len, 0..0]
+            } else {
+                [0..p, p + 1..q, q + 1..len]
+            }
+        }
+    }
+}
+
+/// Minimum elementwise sum of two equal-length latency lanes
+/// (`u32::MAX` when empty). A pure integer reduction the compiler
+/// vectorizes — this is the kernel's innermost loop.
+#[inline]
+fn min_lane_sum(la: &[u16], lb: &[u16]) -> u32 {
+    la.iter()
+        .zip(lb)
+        .fold(u32::MAX, |m, (&x, &y)| m.min(u32::from(x) + u32::from(y)))
+}
+
+/// First index whose elementwise sum equals `target`.
+#[inline]
+fn find_lane_sum(la: &[u16], lb: &[u16], target: u32) -> Option<usize> {
+    la.iter()
+        .zip(lb)
+        .position(|(&x, &y)| u32::from(x) + u32::from(y) == target)
+}
+
+/// Best relay over two lane rows with **identical destination lanes**:
+/// the live intersection is the shared support itself, so the ascending
+/// merge-join collapses to an elementwise reduction over the two
+/// latency lanes (both lanes hold live entries only — a lane row never
+/// materialises dead entries). Two vectorizable passes: a min-reduction
+/// over the sums with the `a`/`b` positions carved out, then a
+/// first-index search for the winner, which reproduces the merge-join's
+/// lowest-index tie-break exactly.
+fn lanes_shared_best(
+    dsts: &[u16],
+    la: &[u16],
+    lb: &[u16],
+    a: usize,
+    b: usize,
+) -> Option<(usize, u32)> {
+    let skip_a = dsts.binary_search(&(a as u16)).ok();
+    let skip_b = dsts.binary_search(&(b as u16)).ok();
+    let ranges = excluded_ranges(dsts.len(), skip_a, skip_b);
+    let mut best = u32::MAX;
+    for r in &ranges {
+        best = best.min(min_lane_sum(&la[r.clone()], &lb[r.clone()]));
+    }
+    if best == u32::MAX {
+        return None;
+    }
+    for r in &ranges {
+        if let Some(p) = find_lane_sum(&la[r.clone()], &lb[r.clone()], best) {
+            return Some((dsts[r.start + p] as usize, best));
+        }
+    }
+    None
+}
+
+/// **The round-two kernel**, integer-only, written once over borrowed
+/// rows: the best one-hop path `a → h → b` computable from row `a` and
+/// row `b` (`h == b` means the direct link), as a `(hop, cost)` pair in
+/// integer milliseconds, or `None` when no finite path exists.
+///
+/// Costs are exact: the wire carries integer-millisecond latencies, so
+/// a path cost is a `u32` add of two `u16` legs with
+/// [`INFINITE_COST_U32`] as the infinite sentinel — every value is also
+/// exactly representable in `f64`, which is why this is bit-identical
+/// to the historical floating-point kernel. The direct cost is the
+/// minimum of the two directions' estimates; ties prefer the direct
+/// link, then the lowest hop index (the ascending merge-join yields
+/// candidates in index order and only a strict improvement replaces the
+/// incumbent).
+///
+/// Two lane rows listing the same destinations — the steady state for
+/// a warm quorum server whose clients probe the same target set — take
+/// an elementwise fast path over the latency lanes instead of the
+/// merge-join; the result is identical.
+///
+/// Freshness is the caller's concern: [`LinkStateStore::best_one_hop`]
+/// applies the staleness rule and delegates here.
+#[must_use]
+pub fn best_one_hop_rows(
+    row_a: &RowRef,
+    row_b: &RowRef,
+    a: usize,
+    b: usize,
+) -> Option<(usize, u32)> {
+    let direct = row_a.cost_u32(b).min(row_b.cost_u32(a));
+    let mut best_hop = b;
+    let mut best_cost = direct;
+    let relay = match (row_a, row_b) {
+        (
+            RowRef::Lanes {
+                dst: da,
+                latency_ms: la,
+                ..
+            },
+            RowRef::Lanes {
+                dst: db,
+                latency_ms: lb,
+                ..
+            },
+        ) if da == db => lanes_shared_best(da, la, lb, a, b),
+        _ => {
+            let mut it_a = row_a.iter_costs();
+            let mut it_b = row_b.iter_costs();
+            let (mut cur_a, mut cur_b) = (it_a.next(), it_b.next());
+            let mut best: Option<(usize, u32)> = None;
+            while let (Some((ha, ca)), Some((hb, cb))) = (cur_a, cur_b) {
+                match ha.cmp(&hb) {
+                    std::cmp::Ordering::Less => cur_a = it_a.next(),
+                    std::cmp::Ordering::Greater => cur_b = it_b.next(),
+                    std::cmp::Ordering::Equal => {
+                        if ha != a && ha != b {
+                            // Both legs live: the sum of two u16s cannot
+                            // reach the u32 sentinel.
+                            let c = ca + cb;
+                            if best.is_none_or(|(_, bc)| c < bc) {
+                                best = Some((ha, c));
+                            }
+                        }
+                        cur_a = it_a.next();
+                        cur_b = it_b.next();
+                    }
+                }
+            }
+            best
+        }
+    };
+    if let Some((h, c)) = relay {
+        if c < best_cost {
+            best_cost = c;
+            best_hop = h;
+        }
+    }
+    (best_cost != INFINITE_COST_U32).then_some((best_hop, best_cost))
+}
+
+/// One owned link-state row in struct-of-arrays form: three parallel
+/// lanes holding the **live** entries only, strictly ascending by
+/// destination, in the exact wire quantization — `latency_ms` is the
+/// wire's integer-millisecond latency (clamped below the dead
+/// sentinel, as [`LinkEntry::encode`] would emit it) and
+/// `liveness_loss` the wire's liveness byte. A row that arrived from
+/// the wire therefore round-trips bit-identically: re-encoding the
+/// lanes reproduces the frame bytes.
+///
+/// ~5 bytes per entry ([`LaneRow::ENTRY_BYTES`]) versus 12 for the
+/// array-of-structs `(u16, LinkEntry)` layout this replaces, and the
+/// latency lane is directly consumable by the integer kernel with no
+/// decode step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaneRow {
+    dst: Box<[u16]>,
+    latency_ms: Box<[u16]>,
+    liveness_loss: Box<[u8]>,
+}
+
+impl LaneRow {
+    /// Stored bytes per live entry: 2 (dst) + 2 (latency) + 1
+    /// (liveness/loss).
+    pub const ENTRY_BYTES: usize = 5;
+
+    /// Reduce a dense row to its live entries.
+    #[must_use]
+    pub fn from_dense(entries: &[LinkEntry]) -> Self {
+        Self::collect(
+            entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.alive)
+                .map(|(d, &e)| (d as u16, e)),
+        )
+    }
+
+    /// Reduce `(dst, entry)` pairs (strictly ascending by `dst`) to
+    /// their live entries.
+    #[must_use]
+    pub fn from_pairs(pairs: &[(u16, LinkEntry)]) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        Self::collect(pairs.iter().filter(|(_, e)| e.alive).copied())
+    }
+
+    fn collect(live: impl Iterator<Item = (u16, LinkEntry)>) -> Self {
+        let (mut dst, mut latency_ms, mut liveness_loss) = (Vec::new(), Vec::new(), Vec::new());
+        for (d, e) in live {
+            let wire = e.encode();
+            dst.push(d);
+            latency_ms.push(u16::from_be_bytes([wire[0], wire[1]]));
+            liveness_loss.push(wire[2]);
+        }
+        LaneRow {
+            dst: dst.into_boxed_slice(),
+            latency_ms: latency_ms.into_boxed_slice(),
+            liveness_loss: liveness_loss.into_boxed_slice(),
+        }
+    }
+
+    /// Number of (live) entries stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dst.len()
+    }
+
+    /// True when no live entry is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dst.is_empty()
+    }
+
+    /// Borrow as a [`RowRef::Lanes`] over a row of `width` destinations.
+    #[must_use]
+    pub fn as_row_ref(&self, width: usize) -> RowRef<'_> {
+        RowRef::Lanes {
+            width,
+            dst: &self.dst,
+            latency_ms: &self.latency_ms,
+            liveness_loss: &self.liveness_loss,
+        }
+    }
+
+    /// Insert, replace or remove the entry for `dst`: a live entry
+    /// lands in lane order (wire-quantized), a dead one removes any
+    /// stored entry.
+    fn set(&mut self, dst: u16, entry: LinkEntry) {
+        match (self.dst.binary_search(&dst), entry.alive) {
+            (Ok(i), true) => {
+                let wire = entry.encode();
+                self.latency_ms[i] = u16::from_be_bytes([wire[0], wire[1]]);
+                self.liveness_loss[i] = wire[2];
+            }
+            (Ok(i), false) => {
+                self.remove_at(i);
+            }
+            (Err(i), true) => {
+                let wire = entry.encode();
+                let mut dsts = std::mem::take(&mut self.dst).into_vec();
+                let mut lats = std::mem::take(&mut self.latency_ms).into_vec();
+                let mut livs = std::mem::take(&mut self.liveness_loss).into_vec();
+                dsts.insert(i, dst);
+                lats.insert(i, u16::from_be_bytes([wire[0], wire[1]]));
+                livs.insert(i, wire[2]);
+                self.dst = dsts.into_boxed_slice();
+                self.latency_ms = lats.into_boxed_slice();
+                self.liveness_loss = livs.into_boxed_slice();
+            }
+            (Err(_), false) => {}
+        }
+    }
+
+    fn remove_at(&mut self, i: usize) {
+        let mut dsts = std::mem::take(&mut self.dst).into_vec();
+        let mut lats = std::mem::take(&mut self.latency_ms).into_vec();
+        let mut livs = std::mem::take(&mut self.liveness_loss).into_vec();
+        dsts.remove(i);
+        lats.remove(i);
+        livs.remove(i);
+        self.dst = dsts.into_boxed_slice();
+        self.latency_ms = lats.into_boxed_slice();
+        self.liveness_loss = livs.into_boxed_slice();
     }
 }
 
@@ -263,11 +843,16 @@ pub trait LinkStateStore {
     /// index, making the recommendation deterministic across rendezvous
     /// servers with identical data.
     ///
-    /// Implemented as an ascending merge-join over the *live* entries
-    /// of both rows: a finite path cost needs both legs alive, so only
-    /// the intersection of the live sets can win, and ascending order
-    /// reproduces the dense `h = 0..n` scan's lowest-index tie-break
-    /// exactly. Cost is `O(k_a + k_b)` live entries instead of `O(n)`.
+    /// Implemented by delegating to the integer kernel
+    /// [`best_one_hop_rows`]: an ascending merge-join over the *live*
+    /// entries of both rows (a finite path cost needs both legs alive,
+    /// so only the intersection of the live sets can win, and ascending
+    /// order reproduces the dense `h = 0..n` scan's lowest-index
+    /// tie-break exactly), collapsing to a vectorized elementwise lane
+    /// reduction when both rows share one destination lane. Cost is
+    /// `O(k_a + k_b)` live entries instead of `O(n)`, with no `f64`
+    /// and no `LinkEntry` materialisation — the integer result converts
+    /// exactly.
     ///
     /// Returns `None` when either row is missing/stale or no finite
     /// path exists.
@@ -277,41 +862,55 @@ pub trait LinkStateStore {
         }
         let row_a = self.row_ref(a).expect("fresh row present");
         let row_b = self.row_ref(b).expect("fresh row present");
-        let direct = row_a.get(b).cost().min(row_b.get(a).cost());
-        let mut best_hop = b;
-        let mut best_cost = direct;
-        let mut it_a = row_a.iter_live();
-        let mut it_b = row_b.iter_live();
-        let (mut cur_a, mut cur_b) = (it_a.next(), it_b.next());
-        while let (Some((ha, ea)), Some((hb, eb))) = (cur_a, cur_b) {
-            match ha.cmp(&hb) {
-                std::cmp::Ordering::Less => cur_a = it_a.next(),
-                std::cmp::Ordering::Greater => cur_b = it_b.next(),
-                std::cmp::Ordering::Equal => {
-                    if ha != a && ha != b {
-                        let c = ea.cost() + eb.cost();
-                        if c < best_cost {
-                            best_cost = c;
-                            best_hop = ha;
-                        }
-                    }
-                    cur_a = it_a.next();
-                    cur_b = it_b.next();
-                }
-            }
+        best_one_hop_rows(&row_a, &row_b, a, b).map(|(h, c)| (h, f64::from(c)))
+    }
+
+    /// [`best_one_hop`](LinkStateStore::best_one_hop) for every
+    /// destination of one diamond in a single pass: all recommendations
+    /// a rendezvous server owes client `a` share the first-leg row `a`,
+    /// so the batch resolves that row (and its freshness) once and runs
+    /// the kernel per destination, instead of repeating the row lookup
+    /// `|dests|` times. The result is index-aligned with `dests`;
+    /// `dests[i] == a`, a stale/missing destination row, or no finite
+    /// path all yield `None` — exactly what the per-pair calls would
+    /// return.
+    fn best_hops_batch(
+        &self,
+        a: usize,
+        dests: &[usize],
+        now: f64,
+        max_age: f64,
+    ) -> Vec<Option<(usize, Cost)>> {
+        if !self.row_fresh(a, now, max_age) {
+            return vec![None; dests.len()];
         }
-        best_cost.is_finite().then_some((best_hop, best_cost))
+        let row_a = self.row_ref(a).expect("fresh row present");
+        dests
+            .iter()
+            .map(|&d| {
+                if d == a || !self.row_fresh(d, now, max_age) {
+                    return None;
+                }
+                let row_d = self.row_ref(d).expect("fresh row present");
+                best_one_hop_rows(&row_a, &row_d, a, d).map(|(h, c)| (h, f64::from(c)))
+            })
+            .collect()
     }
 
     /// All one-hop options from `a` to `b` with finite cost, sorted by
     /// cost (the §4.2 "redundant link-state information" scavenging
     /// uses this over the rows a node happens to hold). Only present,
     /// fresh relay rows participate — which for a sparse store is an
-    /// `O(√n)` scan instead of `O(n)`.
+    /// `O(√n)` scan instead of `O(n)`. The per-candidate probes into
+    /// row `a` ascend with `present_rows`, so they ride a [`RowCursor`]
+    /// (amortized `O(1)` per candidate) rather than a fresh binary
+    /// search each.
     fn one_hop_options(&self, a: usize, b: usize, now: f64, max_age: f64) -> Vec<(usize, Cost)> {
         if a == b || !self.row_fresh(a, now, max_age) {
             return Vec::new();
         }
+        let row_a = self.row_ref(a).expect("fresh row present");
+        let mut cur_a = row_a.cursor();
         let mut out = Vec::new();
         for h in self.present_rows() {
             if h == a || h == b {
@@ -320,10 +919,15 @@ pub trait LinkStateStore {
             if !self.row_fresh(h, now, max_age) {
                 continue;
             }
-            let via = self.entry(a, h).cost() + self.cost(h, b);
-            if via.is_finite() {
-                out.push((h, via));
+            let leg1 = cur_a.cost_u32(h);
+            if leg1 == INFINITE_COST_U32 {
+                continue;
             }
+            let leg2 = self.entry(h, b).cost_u32();
+            if leg2 == INFINITE_COST_U32 {
+                continue;
+            }
+            out.push((h, f64::from(leg1 + leg2)));
         }
         out.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap().then(x.0.cmp(&y.0)));
         out
@@ -354,23 +958,28 @@ pub trait LinkStateStore {
     }
 }
 
-/// One stored row: receipt time plus the live entries, ascending by
-/// destination. Dead/unknown destinations are not materialised.
+/// One stored row: receipt time plus the live entries as parallel
+/// wire-quantized lanes ([`LaneRow`]), ascending by destination.
+/// Dead/unknown destinations are not materialised.
 #[derive(Debug, Clone)]
 struct StoredRow {
     received_at: f64,
-    entries: Box<[(u16, LinkEntry)]>,
+    lanes: LaneRow,
 }
 
-/// The sparse row store: `origin → (receipt time, live entries)` for
-/// exactly the rows this node actually receives.
+/// The sparse row store: `origin → (receipt time, live-entry lanes)`
+/// for exactly the rows this node actually receives.
 ///
 /// A quorum node holds its own row plus its `~2√n` rendezvous clients'
-/// rows, and since PR 7 each row stores only its live entries — which
-/// under entitled + sampled probing is `O(√n)` per row, so per-node
-/// state is `O(n)` where the dense table needs `O(n²)`. Lookups are
-/// `O(log √n)` map + `O(log k)` row binary search; the round-two kernel
-/// merge-joins the two rows of the pair in `O(k)`.
+/// rows, and each row stores only its live entries, in struct-of-arrays
+/// lanes at ~5 B/entry — which under entitled + sampled probing is
+/// `O(√n)` per row, so per-node state is `O(n)` where the dense table
+/// needs `O(n²)`. Lookups are `O(log √n)` map + `O(log k)` row binary
+/// search; the round-two kernel merge-joins the two rows of the pair in
+/// `O(k)`, or streams their latency lanes elementwise when the rows
+/// share a destination lane. The `row_bytes_lanes` / `row_bytes_aos`
+/// gauge pair reports the stored bytes against what the replaced
+/// array-of-structs layout would have held.
 #[derive(Debug, Clone)]
 pub struct RowStore {
     n: usize,
@@ -390,6 +999,8 @@ pub struct RowStore {
     rows_merged: Counter,
     rows_evicted: Counter,
     rows_held: Gauge,
+    row_bytes_lanes: Gauge,
+    row_bytes_aos: Gauge,
 }
 
 impl RowStore {
@@ -400,6 +1011,8 @@ impl RowStore {
         let rows_merged = telemetry.counter("linkstate", "rows_merged");
         let rows_evicted = telemetry.counter("linkstate", "rows_evicted");
         let rows_held = telemetry.gauge("linkstate", "rows_held");
+        let row_bytes_lanes = telemetry.gauge("linkstate", "row_bytes_lanes");
+        let row_bytes_aos = telemetry.gauge("linkstate", "row_bytes_aos");
         RowStore {
             n,
             rows: BTreeMap::new(),
@@ -410,6 +1023,8 @@ impl RowStore {
             rows_merged,
             rows_evicted,
             rows_held,
+            row_bytes_lanes,
+            row_bytes_aos,
         }
     }
 
@@ -422,14 +1037,29 @@ impl RowStore {
         self.rows_merged = telemetry.counter("linkstate", "rows_merged");
         self.rows_evicted = telemetry.counter("linkstate", "rows_evicted");
         self.rows_held = telemetry.gauge("linkstate", "rows_held");
+        self.row_bytes_lanes = telemetry.gauge("linkstate", "row_bytes_lanes");
+        self.row_bytes_aos = telemetry.gauge("linkstate", "row_bytes_aos");
         self.telemetry = telemetry;
         self
     }
 
-    /// Count one merged row (counter + journal + held-rows gauge).
+    /// Refresh the held-rows gauge and the stored-bytes gauge pair:
+    /// actual lane bytes versus what the replaced array-of-structs
+    /// `(u16, LinkEntry)` layout would hold for the same entries — the
+    /// memory win the scale study exports.
+    fn update_size_gauges(&self) {
+        self.rows_held.set(self.rows.len() as u64);
+        let entries: usize = self.rows.values().map(|r| r.lanes.len()).sum();
+        self.row_bytes_lanes
+            .set((entries * LaneRow::ENTRY_BYTES) as u64);
+        self.row_bytes_aos
+            .set((entries * std::mem::size_of::<(u16, LinkEntry)>()) as u64);
+    }
+
+    /// Count one merged row (counter + journal + size gauges).
     fn note_merge(&mut self, origin: usize, now: f64) {
         self.rows_merged.inc();
-        self.rows_held.set(self.rows.len() as u64);
+        self.update_size_gauges();
         self.telemetry.event(
             now,
             Severity::Debug,
@@ -489,7 +1119,7 @@ impl RowStore {
                         },
                     );
                 }
-                self.rows_held.set(self.rows.len() as u64);
+                self.update_size_gauges();
             }
         }
     }
@@ -508,11 +1138,11 @@ impl RowStore {
 }
 
 impl RowStore {
-    /// Insert or replace a row already reduced to its live entries.
-    fn put_row(&mut self, origin: usize, entries: Box<[(u16, LinkEntry)]>, now: f64) {
+    /// Insert or replace a row already reduced to its live-entry lanes.
+    fn put_row(&mut self, origin: usize, lanes: LaneRow, now: f64) {
         match self.rows.get_mut(&origin) {
             Some(slot) => {
-                slot.entries = entries;
+                slot.lanes = lanes;
                 slot.received_at = now;
             }
             None => {
@@ -521,7 +1151,7 @@ impl RowStore {
                     origin,
                     StoredRow {
                         received_at: now,
-                        entries,
+                        lanes,
                     },
                 );
                 self.note_insert();
@@ -539,13 +1169,7 @@ impl LinkStateStore for RowStore {
     fn update_row(&mut self, origin: usize, entries: &[LinkEntry], now: f64) {
         assert!(origin < self.n, "row {origin} out of range");
         assert_eq!(entries.len(), self.n, "row must have n entries");
-        let live: Box<[(u16, LinkEntry)]> = entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.alive)
-            .map(|(d, &e)| (d as u16, e))
-            .collect();
-        self.put_row(origin, live, now);
+        self.put_row(origin, LaneRow::from_dense(entries), now);
     }
 
     fn update_row_sparse(&mut self, origin: usize, entries: &[(u16, LinkEntry)], now: f64) {
@@ -554,47 +1178,32 @@ impl LinkStateStore for RowStore {
             entries.last().is_none_or(|&(d, _)| (d as usize) < self.n),
             "sparse row destination out of range"
         );
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
-        let live: Box<[(u16, LinkEntry)]> =
-            entries.iter().filter(|(_, e)| e.alive).copied().collect();
-        self.put_row(origin, live, now);
+        self.put_row(origin, LaneRow::from_pairs(entries), now);
     }
 
     fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64) {
         assert!(origin < self.n && dst < self.n);
         if let Some(slot) = self.rows.get_mut(&origin) {
-            let mut entries = std::mem::take(&mut slot.entries).into_vec();
-            match entries.binary_search_by_key(&(dst as u16), |e| e.0) {
-                Ok(i) if entry.alive => entries[i].1 = entry,
-                Ok(i) => {
-                    entries.remove(i);
-                }
-                Err(i) if entry.alive => entries.insert(i, (dst as u16, entry)),
-                Err(_) => {}
-            }
-            slot.entries = entries.into_boxed_slice();
+            slot.lanes.set(dst as u16, entry);
             slot.received_at = now;
             self.note_merge(origin, now);
         } else {
-            let live: Box<[(u16, LinkEntry)]> = if entry.alive {
-                Box::new([(dst as u16, entry)])
+            let lanes = if entry.alive {
+                LaneRow::from_pairs(&[(dst as u16, entry)])
             } else {
-                Box::new([])
+                LaneRow::default()
             };
-            self.put_row(origin, live, now);
+            self.put_row(origin, lanes, now);
         }
     }
 
     fn clear_row(&mut self, origin: usize) {
         self.rows.remove(&origin);
-        self.rows_held.set(self.rows.len() as u64);
+        self.update_size_gauges();
     }
 
     fn row_ref(&self, origin: usize) -> Option<RowRef<'_>> {
-        self.rows.get(&origin).map(|s| RowRef::Sparse {
-            width: self.n,
-            entries: &s.entries,
-        })
+        self.rows.get(&origin).map(|s| s.lanes.as_row_ref(self.n))
     }
 
     fn row_time(&self, origin: usize) -> Option<f64> {
@@ -610,7 +1219,7 @@ impl LinkStateStore for RowStore {
     }
 
     fn entry_count(&self) -> usize {
-        self.rows.values().map(|r| r.entries.len()).sum()
+        self.rows.values().map(|r| r.lanes.len()).sum()
     }
 }
 
@@ -854,6 +1463,67 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.kind, EventKind::RowEvicted { origin: 0 })));
+    }
+
+    /// The cursor agrees with fresh `get`/`cost_u32` lookups under any
+    /// probe order — ascending (the fast path), backwards (the binary
+    /// search fallback), repeats, and misses — on every row variant.
+    #[test]
+    fn cursor_matches_fresh_lookups_in_any_order() {
+        let n = 12;
+        let mut row = vec![LinkEntry::dead(); n];
+        for d in [1usize, 4, 5, 9, 11] {
+            row[d] = LinkEntry::live(10 * d as u16, 0.01);
+        }
+        let pairs: Vec<(u16, LinkEntry)> = row
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(d, e)| (d as u16, *e))
+            .collect();
+        let lanes = LaneRow::from_dense(&row);
+        let views = [
+            RowRef::Dense(&row),
+            RowRef::Sparse {
+                width: n,
+                entries: &pairs,
+            },
+            lanes.as_row_ref(n),
+        ];
+        let probes = [0usize, 1, 4, 4, 9, 11, 2, 5, 10, 0, 11, 3];
+        for view in views {
+            let mut cur = view.cursor();
+            for &d in &probes {
+                assert_eq!(cur.get(d), view.get(d), "get({d}) via cursor");
+            }
+            let mut cur = view.cursor();
+            for &d in &probes {
+                assert_eq!(
+                    cur.cost_u32(d),
+                    view.cost_u32(d),
+                    "cost_u32({d}) via cursor"
+                );
+            }
+        }
+    }
+
+    /// Lane rows store the exact wire bytes: building from entries that
+    /// need wire clamping (latency 65535, off-grid loss) equals
+    /// building from their decoded wire forms.
+    #[test]
+    fn lane_rows_are_wire_exact() {
+        let row = vec![
+            LinkEntry::live(u16::MAX, 0.123), // latency clamps to 65534
+            LinkEntry::dead(),
+            LinkEntry::live(0, 0.9999), // loss saturates at 63.5 %
+        ];
+        let wired: Vec<LinkEntry> = row.iter().map(|e| LinkEntry::decode(e.encode())).collect();
+        assert_eq!(LaneRow::from_dense(&row), LaneRow::from_dense(&wired));
+        let lanes = LaneRow::from_dense(&row);
+        let view = lanes.as_row_ref(3);
+        assert_eq!(view.get(0), LinkEntry::decode(row[0].encode()));
+        assert_eq!(view.get(0).latency_ms, u16::MAX - 1);
+        assert_eq!(view.get(1), LinkEntry::dead());
     }
 
     #[test]

@@ -474,12 +474,13 @@ impl<S: LinkStateStore> QuorumRouter<S> {
         };
         clients.sort_unstable();
         for &c in &clients {
-            let mut recs = Vec::new();
-            for &d in &dests_base {
-                if d == c {
-                    continue;
-                }
-                if let Some((hop, cost)) = self.table.best_one_hop(c, d, now, max_age) {
+            // One batch call per client: the client's first-leg row is
+            // resolved once and swept once per destination, instead of
+            // re-fetched per (client, destination) pair.
+            let hops = self.table.best_hops_batch(c, &dests_base, now, max_age);
+            let mut recs = Vec::with_capacity(dests_base.len());
+            for (&d, hop) in dests_base.iter().zip(hops) {
+                if let Some((hop, cost)) = hop {
                     recs.push(RecEntry {
                         dst: NodeId::from_index(d),
                         hop: NodeId::from_index(hop),

@@ -1,0 +1,226 @@
+//! Parity properties for the struct-of-arrays (lanes) row layout.
+//!
+//! The lanes kernel must be observationally invisible to routing: same
+//! hop chosen (including lowest-index tie-breaks), same cost to the
+//! bit, across all three row representations (dense `LinkStateTable`,
+//! lane-backed `RowStore`, and a borrowed `RowRef::Sparse` view), and
+//! the lanes themselves must hold the exact wire bytes so a row that
+//! travelled through `wire.rs` encode/decode is bit-identical to one
+//! stored directly.
+
+use apor_linkstate::wire::{LinkStateMsg, SparseLinkStateMsg};
+use apor_linkstate::{
+    best_one_hop_rows, LaneRow, LinkEntry, LinkStateStore, LinkStateTable, Message, RowRef,
+    RowStore,
+};
+use apor_quorum::NodeId;
+use proptest::prelude::*;
+
+/// A random row of `n` entries: latency over the full wire range, an
+/// alive flag, and an arbitrary (off-grid) loss rate.
+fn arb_row(n: usize) -> impl Strategy<Value = Vec<LinkEntry>> {
+    prop::collection::vec((any::<u16>(), prop::bool::weighted(0.7), 0.0f64..1.0), n).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(lat, alive, loss)| {
+                    if alive {
+                        LinkEntry::live(lat, loss as f32)
+                    } else {
+                        LinkEntry::dead()
+                    }
+                })
+                .collect()
+        },
+    )
+}
+
+/// Random `(origin, row)` specs at width `n` with variable live
+/// density per row — including all-dead and ~single-entry rows, the
+/// batch kernel's edge cases. Density tier 0 yields an empty row, tier
+/// 1 about one live entry, tiers 2–3 half/nearly full rows.
+fn arb_sparse_rows(n: usize) -> impl Strategy<Value = Vec<(usize, Vec<LinkEntry>)>> {
+    prop::collection::vec(
+        (
+            0..n,
+            0usize..4,
+            prop::collection::vec((1u16..2000, 0u8..100), n),
+        ),
+        1..8,
+    )
+    .prop_map(move |specs| {
+        specs
+            .into_iter()
+            .map(|(o, tier, raw)| {
+                let threshold = match tier {
+                    0 => 0,
+                    1 => 100 / n as u8,
+                    2 => 50,
+                    _ => 90,
+                };
+                let row: Vec<LinkEntry> = raw
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, (lat, roll))| {
+                        if j == o {
+                            LinkEntry::live(0, 0.0)
+                        } else if roll < threshold {
+                            LinkEntry::live(lat, 0.0)
+                        } else {
+                            LinkEntry::dead()
+                        }
+                    })
+                    .collect();
+                (o, row)
+            })
+            .collect()
+    })
+}
+
+/// Live `(dst, entry)` pairs of a dense row, ascending — the
+/// `RowRef::Sparse` borrowed form.
+fn live_pairs(row: &[LinkEntry]) -> Vec<(u16, LinkEntry)> {
+    row.iter()
+        .enumerate()
+        .filter(|(_, e)| e.alive)
+        .map(|(d, e)| (d as u16, *e))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Three-way kernel parity at n = 100: the dense table, the
+    /// lane-backed sparse store, and raw `RowRef::Sparse` views all
+    /// pick the identical hop at the identical cost — exact equality,
+    /// not epsilon, since costs are integer milliseconds in every
+    /// representation.
+    #[test]
+    fn three_way_kernel_parity_n100(
+        rows in prop::collection::vec(arb_row(100), 4..7),
+        pairs in prop::collection::vec((0usize..4, 0usize..100), 8..9),
+    ) {
+        let n = 100;
+        let mut dense = LinkStateTable::new(n);
+        let mut lanes = RowStore::new(n);
+        for (i, row) in rows.iter().enumerate() {
+            let mut row = row.clone();
+            row[i] = LinkEntry::live(0, 0.0);
+            dense.update_row(i, &row, 0.0);
+            lanes.update_row(i, &row, 0.0);
+        }
+        for &(a, b) in &pairs {
+            // Origins 0..rows.len() all hold rows; `a` is one of them.
+            if a == b {
+                continue;
+            }
+            let want = dense.best_one_hop(a, b, 1.0, 45.0);
+            let got = lanes.best_one_hop(a, b, 1.0, 45.0);
+            prop_assert_eq!(got, want, "store parity a={} b={}", a, b);
+
+            // Raw kernel over borrowed Sparse views of the same rows.
+            if b < rows.len() {
+                let pa = live_pairs(&dense.row_dense(a).unwrap());
+                let pb = live_pairs(&dense.row_dense(b).unwrap());
+                let ra = RowRef::Sparse { width: n, entries: &pa };
+                let rb = RowRef::Sparse { width: n, entries: &pb };
+                let raw = best_one_hop_rows(&ra, &rb, a, b)
+                    .map(|(h, c)| (h, f64::from(c)));
+                prop_assert_eq!(raw, want, "RowRef::Sparse parity a={} b={}", a, b);
+            }
+
+            prop_assert_eq!(
+                lanes.one_hop_options(a, b, 1.0, 45.0),
+                dense.one_hop_options(a, b, 1.0, 45.0)
+            );
+        }
+    }
+
+    /// `best_hops_batch` is exactly n independent `best_one_hop` calls,
+    /// including over all-dead and single-entry rows.
+    #[test]
+    fn batch_matches_singles(spec in arb_sparse_rows(16)) {
+        let n = 16;
+        let mut store = RowStore::new(n);
+        for (o, row) in &spec {
+            store.update_row(*o, row, 0.0);
+        }
+        let dests: Vec<usize> = (0..n).collect();
+        for (a, _) in &spec {
+            let batch = store.best_hops_batch(*a, &dests, 1.0, 45.0);
+            prop_assert_eq!(batch.len(), dests.len());
+            for (&d, got) in dests.iter().zip(batch) {
+                let want = if d == *a {
+                    None
+                } else {
+                    store.best_one_hop(*a, d, 1.0, 45.0)
+                };
+                prop_assert_eq!(got, want, "a={} d={}", a, d);
+            }
+        }
+    }
+
+    /// Lane rows hold the exact wire bytes: a row stored after a
+    /// `wire.rs` encode/decode round trip is bit-identical to the same
+    /// row stored directly, for arbitrary latency/liveness/loss —
+    /// including off-grid loss rates and the latency-65535 clamp.
+    #[test]
+    fn lanes_wire_roundtrip_bit_identical(row in arb_row(64)) {
+        let msg = Message::LinkState(LinkStateMsg {
+            from: NodeId::from_index(1),
+            to: NodeId::from_index(2),
+            view: 7,
+            round: 3,
+            basis_ms: 250,
+            entries: row.clone(),
+        });
+        let Ok(Message::LinkState(decoded)) = Message::decode(&msg.encode()) else {
+            panic!("dense wire round trip failed");
+        };
+        prop_assert_eq!(
+            LaneRow::from_dense(&row),
+            LaneRow::from_dense(&decoded.entries),
+            "dense wire path not bit-identical"
+        );
+
+        // Same property through the sparse (live-pairs) wire frame.
+        let pairs = live_pairs(&row);
+        let smsg = Message::LinkStateSparse(SparseLinkStateMsg {
+            from: NodeId::from_index(1),
+            to: NodeId::from_index(2),
+            view: 7,
+            round: 3,
+            basis_ms: 250,
+            width: 64,
+            entries: pairs.clone(),
+        });
+        let Ok(Message::LinkStateSparse(sdec)) = Message::decode(&smsg.encode()) else {
+            panic!("sparse wire round trip failed");
+        };
+        prop_assert_eq!(
+            LaneRow::from_pairs(&pairs),
+            LaneRow::from_pairs(&sdec.entries),
+            "sparse wire path not bit-identical"
+        );
+    }
+}
+
+/// A stale first-leg row makes the whole batch `None` — matching what
+/// n freshness-checked `best_one_hop` calls would return.
+#[test]
+fn batch_all_none_when_row_stale() {
+    let n = 8;
+    let mut store = RowStore::new(n);
+    let row: Vec<LinkEntry> = (0..n as u16).map(|d| LinkEntry::live(d + 1, 0.0)).collect();
+    store.update_row(0, &row, 0.0);
+    store.update_row(1, &row, 0.0);
+    let dests: Vec<usize> = (0..n).collect();
+    // Fresh at t=1, stale at t=100 (max_age 45).
+    assert!(store
+        .best_hops_batch(0, &dests, 1.0, 45.0)
+        .iter()
+        .any(Option::is_some));
+    assert!(store
+        .best_hops_batch(0, &dests, 100.0, 45.0)
+        .iter()
+        .all(Option::is_none));
+}

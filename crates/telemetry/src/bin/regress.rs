@@ -9,8 +9,13 @@
 //! Exit codes: 0 = pass, 1 = regression beyond threshold, 2 =
 //! operational error (bad args, unreadable/unparsable report, or zero
 //! gated benchmarks matched — the silent-pass guard).
+//!
+//! When `$GITHUB_STEP_SUMMARY` is set (as it is in GitHub Actions),
+//! the per-benchmark delta table is also appended there as markdown,
+//! so the comparison is reviewable from the run's summary page even
+//! when the gate passes.
 
-use apor_telemetry::regress::{compare, parse_report, RegressConfig};
+use apor_telemetry::regress::{compare, parse_report, summary_markdown, RegressConfig};
 use std::process::ExitCode;
 
 fn fail(msg: &str) -> ExitCode {
@@ -80,6 +85,21 @@ fn main() -> ExitCode {
             c.ratio,
             if c.regressed { "  << REGRESSED" } else { "" }
         );
+    }
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !summary_path.is_empty() {
+            use std::io::Write;
+            let table = summary_markdown(&verdict);
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&summary_path)
+                .and_then(|mut f| f.write_all(table.as_bytes()));
+            if let Err(e) = appended {
+                // The table is advisory; the exit code is the gate.
+                eprintln!("regress: cannot append step summary to {summary_path}: {e}");
+            }
+        }
     }
     if verdict.passed() {
         println!("perf trajectory: PASS");

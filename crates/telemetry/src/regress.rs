@@ -34,6 +34,7 @@ pub const DEFAULT_KERNEL_PREFIXES: &[&str] = &[
     "dense_vs_sparse/round_two",
     "best_one_hop",
     "round_two_full",
+    "round_two_tick",
 ];
 
 /// Default regression threshold: fail above +25 % median.
@@ -219,6 +220,46 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, cfg: &RegressConfi
     Verdict { compared, scale }
 }
 
+/// Render a verdict as a GitHub-flavored markdown delta table — one
+/// row per gated benchmark with baseline/current medians and the
+/// ratio, so a baseline refresh is reviewable at a glance instead of
+/// a bare exit code. The `current` column is calibration-normalized
+/// (the applied scale is stated under the table when it is not 1.0).
+#[must_use]
+pub fn summary_markdown(verdict: &Verdict) -> String {
+    let mut out = String::new();
+    out.push_str(if verdict.passed() {
+        "### Perf trajectory: pass\n\n"
+    } else {
+        "### Perf trajectory: REGRESSED\n\n"
+    });
+    out.push_str("| benchmark | baseline (ns) | current (ns) | ratio | status |\n");
+    out.push_str("|---|---:|---:|---:|---|\n");
+    for c in &verdict.compared {
+        let status = if c.regressed {
+            "regressed"
+        } else if c.ratio < 1.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "| `{}` | {:.0} | {:.0} | {:.2}× | {status} |\n",
+            c.id, c.baseline_ns, c.current_ns, c.ratio
+        ));
+    }
+    if verdict.compared.is_empty() {
+        out.push_str("| _no gated benchmarks matched_ | | | | |\n");
+    }
+    if (verdict.scale - 1.0).abs() > 1e-12 {
+        out.push_str(&format!(
+            "\nCurrent medians scaled by {:.3} (calibration normalization).\n",
+            verdict.scale
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +352,37 @@ mod tests {
             ..RegressConfig::default()
         };
         assert!(!compare(&base, &slower_machine, &cfg).passed());
+    }
+
+    #[test]
+    fn summary_markdown_lists_every_gated_bench() {
+        let base = report("kernels", &kernel_entries(1.0));
+        let current = {
+            let mut c = report("kernels", &kernel_entries(1.0));
+            // One kernel 2× slower, one 2× faster.
+            c.benches[1].median_ns *= 2.0;
+            c.benches[2].median_ns *= 0.5;
+            c
+        };
+        let verdict = compare(&base, &current, &RegressConfig::default());
+        let md = summary_markdown(&verdict);
+        assert!(md.contains("REGRESSED"));
+        assert!(md
+            .contains("| `dense_vs_sparse/merge_sparse/400` | 5000 | 10000 | 2.00× | regressed |"));
+        assert!(
+            md.contains("| `dense_vs_sparse/best_hop_sparse/400` | 700 | 350 | 0.50× | improved |")
+        );
+        assert!(
+            md.contains("| `dense_vs_sparse/round_two_sparse/400` | 90000 | 90000 | 1.00× | ok |")
+        );
+        assert!(!md.contains("wire/encode"), "ungated ids stay out");
+        assert!(
+            !md.contains("scaled by"),
+            "no calibration note at scale 1.0"
+        );
+
+        let pass = compare(&base, &base, &RegressConfig::default());
+        assert!(summary_markdown(&pass).contains("Perf trajectory: pass"));
     }
 
     #[test]
