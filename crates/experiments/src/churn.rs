@@ -24,6 +24,9 @@
 //! the SWIM runs use [`ChurnParams::swim`] and are expected to converge
 //! within [`apor_membership::SwimConfig::detection_budget_s`].
 
+use crate::trace_support::{
+    assemble_episode, first_span_at, fleet_spans, recovery_phases, richest_episode, Phase,
+};
 use apor_analysis::{write_csv, Table};
 use apor_membership::SwimConfig;
 use apor_netsim::{Simulator, TrafficClass};
@@ -31,9 +34,13 @@ use apor_overlay::config::{Algorithm, MembershipMode, NodeConfig};
 use apor_overlay::membership::MembershipView;
 use apor_overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use apor_quorum::NodeId;
+use apor_telemetry::trace::{Span, SpanKind};
 use apor_telemetry::Snapshot;
 use apor_topology::{FailureParams, FailureSchedule, LatencyMatrix, NodeOutage};
 use serde::Serialize;
+
+/// Flight-recorder capacity per node (see `partition::TRACE_CAPACITY`).
+const TRACE_CAPACITY: usize = 1024;
 
 /// Parameters of the churn study.
 #[derive(Debug, Clone)]
@@ -94,6 +101,20 @@ pub struct ChurnOutcome {
     /// Exported as `churn_telemetry.json`, not part of the CSV.
     #[serde(skip)]
     pub telemetry: Snapshot,
+    /// Every span the fleet's flight recorders held at the end of the
+    /// scenario (feeds the dump-on-failure hook).
+    #[serde(skip)]
+    pub spans: Vec<Span>,
+    /// The richest causal episode of the crash, assembled for the
+    /// Chrome-trace export (`churn_trace.json`). Empty in the
+    /// centralized scenarios (no suspicion plane, no episodes).
+    #[serde(skip)]
+    pub episode: Vec<Span>,
+    /// The crash→convergence interval decomposed into consecutive
+    /// phases (`churn_phases.csv`); empty when the scenario never
+    /// converged. Durations sum to `convergence_s` by construction.
+    #[serde(skip)]
+    pub phases: Vec<Phase>,
 }
 
 /// The full study output.
@@ -104,7 +125,8 @@ pub struct ChurnResult {
 }
 
 fn scenario_config(params: &ChurnParams, mode: MembershipMode, i: usize) -> NodeConfig {
-    let mut cfg = NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum);
+    let mut cfg = NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum)
+        .with_tracing(TRACE_CAPACITY);
     cfg.seed ^= params.seed;
     match mode {
         MembershipMode::Centralized => {
@@ -192,6 +214,33 @@ fn run_scenario(params: &ChurnParams, mode: MembershipMode, victim: usize) -> Ch
     for i in 0..n {
         fleet.merge(&overlay_at(&sim, i).telemetry().snapshot());
     }
+
+    // The causal record of the crash (SWIM scenarios; the centralized
+    // plane raises no suspicions and records no episodes).
+    let spans = fleet_spans(&sim, n);
+    let episode = richest_episode(&spans).map_or_else(Vec::new, |ep| {
+        assemble_episode(
+            &spans,
+            ep,
+            params.kill_at_s,
+            convergence_s.map(|s| params.kill_at_s + s),
+        )
+    });
+    let phases = convergence_s.map_or_else(Vec::new, |total| {
+        let kill = params.kill_at_s;
+        let suspicion = first_span_at(&spans, &[SpanKind::Suspicion], kill).map(|t| t - kill);
+        let confirm = first_span_at(&spans, &[SpanKind::Confirm], kill).map(|t| t - kill);
+        let install = first_span_at(&spans, &[SpanKind::ViewInstall], kill).map(|t| t - kill);
+        recovery_phases(
+            &[
+                ("first_suspicion", suspicion),
+                ("suspicion_window", confirm),
+                ("first_view_install", install),
+            ],
+            "view_agreement",
+            total,
+        )
+    });
     ChurnOutcome {
         mode: match mode {
             MembershipMode::Centralized => "centralized".to_string(),
@@ -202,6 +251,9 @@ fn run_scenario(params: &ChurnParams, mode: MembershipMode, victim: usize) -> Ch
         final_views_agree: converged(&sim, n, victim),
         membership_bps,
         telemetry: crate::aggregate_fleet(&fleet),
+        spans,
+        episode,
+        phases,
     }
 }
 
@@ -253,10 +305,12 @@ pub fn run_and_report(params: &ChurnParams) -> std::io::Result<ChurnResult> {
             o.final_views_agree.to_string(),
             format!("{:.0}", o.membership_bps),
         ]);
+        // Absent measurements are empty CSV fields (not a -1.0
+        // sentinel a consumer could mistake for a measured value).
         rows.push(vec![
             o.mode.clone(),
             victim.to_string(),
-            o.convergence_s.map_or(-1.0, |s| s).to_string(),
+            o.convergence_s.map_or_else(String::new, |s| s.to_string()),
             o.final_views_agree.to_string(),
             format!("{:.1}", o.membership_bps),
         ]);
@@ -278,6 +332,54 @@ pub fn run_and_report(params: &ChurnParams) -> std::io::Result<ChurnResult> {
         ],
         &rows,
     )?;
+
+    // Phase breakdown of the crash→convergence interval, one row per
+    // (scenario, phase); scenarios that never converged contribute no
+    // rows. Durations sum to the scenario's convergence_s exactly.
+    let phase_rows: Vec<Vec<String>> = r
+        .outcomes
+        .iter()
+        .flat_map(|o| {
+            let victim = if o.victim_is_coordinator {
+                "coordinator"
+            } else {
+                "member"
+            };
+            o.phases.iter().map(move |p| {
+                vec![
+                    o.mode.clone(),
+                    victim.to_string(),
+                    p.name.to_string(),
+                    format!("{:.3}", p.start_s),
+                    format!("{:.3}", p.end_s),
+                    format!("{:.3}", p.duration_s()),
+                ]
+            })
+        })
+        .collect();
+    write_csv(
+        crate::results_path("churn_phases.csv"),
+        &[
+            "membership",
+            "victim",
+            "phase",
+            "start_s",
+            "end_s",
+            "duration_s",
+        ],
+        &phase_rows,
+    )?;
+
+    // The richest causal episode of a SWIM crash, Perfetto-loadable.
+    if let Some(o) = r.outcomes.iter().find(|o| !o.episode.is_empty()) {
+        let trace_path = crate::results_path("churn_trace.json");
+        std::fs::write(&trace_path, apor_telemetry::chrome_trace_json(&o.episode))?;
+        println!(
+            "episode trace -> {} ({} spans)",
+            trace_path.display(),
+            o.episode.len()
+        );
+    }
 
     // The aggregated fleet telemetry, one JSON object per scenario.
     let mut json = String::from("{\n  \"arms\": [");
@@ -324,6 +426,8 @@ mod tests {
     fn swim_converges_within_budget_and_deterministically() {
         let params = quick();
         let a = run_scenario(&params, MembershipMode::Swim, params.kill);
+        // Ship the causal evidence with any failure below.
+        let _dump = apor_telemetry::DumpOnPanic::new("churn", a.spans.clone(), 20);
         let budget = params.swim.detection_budget_s(params.n);
         let latency = a.convergence_s.expect("swim must converge");
         assert!(
@@ -331,6 +435,30 @@ mod tests {
             "convergence {latency:.0}s exceeds budget {budget:.0}s"
         );
         assert!(a.final_views_agree);
+        // The crash's causal episode must reconstruct detection end to
+        // end and export as valid, properly nested trace JSON, with a
+        // phase breakdown summing to the measured convergence latency.
+        let kinds = crate::trace_support::kinds_present(&a.episode);
+        for k in [
+            SpanKind::Episode,
+            SpanKind::Failure,
+            SpanKind::Suspicion,
+            SpanKind::Confirm,
+            SpanKind::GossipHop,
+            SpanKind::ViewInstall,
+        ] {
+            assert!(
+                kinds.contains(&k),
+                "episode must contain a {k:?} span, has {kinds:?}"
+            );
+        }
+        apor_telemetry::validate_chrome_trace(&apor_telemetry::chrome_trace_json(&a.episode))
+            .expect("episode export must validate");
+        let total: f64 = a.phases.iter().map(Phase::duration_s).sum();
+        assert!(
+            (total - latency).abs() <= 0.1 * latency,
+            "phase sum {total:.3}s must match convergence_s {latency:.3}s"
+        );
         // Bit-determinism: the identical master seed reproduces the
         // identical outcome.
         let b = run_scenario(&params, MembershipMode::Swim, params.kill);

@@ -31,6 +31,7 @@ pub mod multihop_exp;
 pub mod partition;
 pub mod scale;
 pub mod theory_exp;
+pub mod trace_support;
 
 /// Where experiment outputs land, relative to the workspace root.
 pub const RESULTS_DIR: &str = "results";

@@ -29,6 +29,9 @@
 //! Both arms (anti-entropy on / off) run from the same master seed and
 //! land in `results/partition.csv`.
 
+use crate::trace_support::{
+    assemble_episode, first_span_at, fleet_spans, recovery_phases, richest_episode, Phase,
+};
 use apor_analysis::{write_csv, Table};
 use apor_membership::{AntiEntropyConfig, SwimConfig};
 use apor_netsim::{Simulator, TrafficClass};
@@ -36,9 +39,15 @@ use apor_overlay::config::{Algorithm, NodeConfig};
 use apor_overlay::membership::MembershipView;
 use apor_overlay::simnode::{overlay_at, overlay_sim_config, populate};
 use apor_quorum::NodeId;
+use apor_telemetry::trace::{Span, SpanKind};
 use apor_telemetry::Snapshot;
 use apor_topology::{FailureParams, FailureSchedule, LatencyMatrix};
 use serde::Serialize;
+
+/// Flight-recorder capacity per node in the traced arms: deep enough
+/// to hold a whole partition incident at n=32 (suspicions, wavefront,
+/// installs, remaps) without wrapping before the heal is measured.
+const TRACE_CAPACITY: usize = 1024;
 
 /// Parameters of the partition study.
 #[derive(Debug, Clone)]
@@ -128,6 +137,20 @@ pub struct PartitionOutcome {
     /// the CSV — exported as `partition_telemetry.json`.
     #[serde(skip)]
     pub telemetry: Snapshot,
+    /// Every span the fleet's flight recorders held at the end of the
+    /// arm (the raw causal record; feeds the dump-on-failure hook).
+    #[serde(skip)]
+    pub spans: Vec<Span>,
+    /// The richest causal episode of the incident, assembled for the
+    /// Chrome-trace export (`partition_trace.json`): live spans plus
+    /// the synthesized root / failure / routes-restored markers.
+    #[serde(skip)]
+    pub episode: Vec<Span>,
+    /// The heal→routes-restored interval decomposed into consecutive
+    /// phases (`partition_phases.csv`); empty when routes were never
+    /// restored. Durations sum to `routes_restored_s` by construction.
+    #[serde(skip)]
+    pub phases: Vec<Phase>,
 }
 
 /// The full study output.
@@ -240,6 +263,7 @@ pub fn run_arm(params: &PartitionParams, anti_entropy: bool) -> PartitionOutcome
             NodeConfig::new(NodeId(i as u16), NodeId(0), Algorithm::Quorum)
                 .with_static_members(members)
                 .with_swim_config(swim)
+                .with_tracing(TRACE_CAPACITY)
         }
     });
 
@@ -276,6 +300,34 @@ pub fn run_arm(params: &PartitionParams, anti_entropy: bool) -> PartitionOutcome
         .stats()
         .fleet_mean_bps(&[TrafficClass::Membership], 30.0, end);
     let (sync_skips, sync_full, sync_piggyback_saved) = fleet_sync_stats(&sim, n);
+
+    // The causal record: drain every flight recorder, assemble the
+    // richest episode of the incident (synthesizing the ground-truth
+    // failure/restoration markers), and decompose the measured
+    // heal→routes-restored total into phases anchored on live spans.
+    let spans = fleet_spans(&sim, n);
+    let episode = richest_episode(&spans).map_or_else(Vec::new, |ep| {
+        assemble_episode(
+            &spans,
+            ep,
+            params.partition_at_s,
+            routes_restored_s.map(|s| heal_at + s),
+        )
+    });
+    let phases = routes_restored_s.map_or_else(Vec::new, |routes| {
+        let contact = first_span_at(&spans, &[SpanKind::GossipHop, SpanKind::SyncRound], heal_at)
+            .map(|t| t - heal_at);
+        let install = first_span_at(&spans, &[SpanKind::ViewInstall], heal_at).map(|t| t - heal_at);
+        recovery_phases(
+            &[
+                ("gossip_contact", contact),
+                ("first_view_install", install),
+                ("view_agreement", reconverge_s),
+            ],
+            "route_recovery",
+            routes,
+        )
+    });
     PartitionOutcome {
         anti_entropy,
         split_confirmed,
@@ -288,6 +340,9 @@ pub fn run_arm(params: &PartitionParams, anti_entropy: bool) -> PartitionOutcome
         sync_full,
         sync_piggyback_saved,
         telemetry: fleet_telemetry(&sim, n),
+        spans,
+        episode,
+        phases,
     }
 }
 
@@ -340,12 +395,16 @@ pub fn run_and_report(params: &PartitionParams) -> std::io::Result<PartitionResu
             o.sync_skips.to_string(),
             o.sync_full.to_string(),
         ]);
+        // Absent measurements are empty CSV fields (not a -1.0
+        // sentinel a consumer could mistake for a measured value).
         rows.push(vec![
             o.anti_entropy.to_string(),
             o.split_confirmed.to_string(),
-            o.reconverge_s.map_or(-1.0, |s| s).to_string(),
-            o.reconverge_periods.map_or(-1.0, |p| p).to_string(),
-            o.routes_restored_s.map_or(-1.0, |s| s).to_string(),
+            o.reconverge_s.map_or_else(String::new, |s| s.to_string()),
+            o.reconverge_periods
+                .map_or_else(String::new, |p| p.to_string()),
+            o.routes_restored_s
+                .map_or_else(String::new, |s| s.to_string()),
             o.final_views_agree.to_string(),
             format!("{:.1}", o.membership_bps),
             o.sync_skips.to_string(),
@@ -372,6 +431,41 @@ pub fn run_and_report(params: &PartitionParams) -> std::io::Result<PartitionResu
         ],
         &rows,
     )?;
+    // Phase breakdown of the heal→routes-restored interval, one row
+    // per (arm, phase); arms that never restored routes contribute no
+    // rows. Durations sum to the arm's routes_restored_s exactly.
+    let phase_rows: Vec<Vec<String>> = r
+        .outcomes
+        .iter()
+        .flat_map(|o| {
+            o.phases.iter().map(|p| {
+                vec![
+                    o.anti_entropy.to_string(),
+                    p.name.to_string(),
+                    format!("{:.3}", p.start_s),
+                    format!("{:.3}", p.end_s),
+                    format!("{:.3}", p.duration_s()),
+                ]
+            })
+        })
+        .collect();
+    write_csv(
+        crate::results_path("partition_phases.csv"),
+        &["anti_entropy", "phase", "start_s", "end_s", "duration_s"],
+        &phase_rows,
+    )?;
+
+    // The richest causal episode of the incident, Perfetto-loadable.
+    if let Some(o) = r.outcomes.iter().find(|o| !o.episode.is_empty()) {
+        let trace_path = crate::results_path("partition_trace.json");
+        std::fs::write(&trace_path, apor_telemetry::chrome_trace_json(&o.episode))?;
+        println!(
+            "episode trace -> {} ({} spans)",
+            trace_path.display(),
+            o.episode.len()
+        );
+    }
+
     let mut fleet = Snapshot::default();
     for o in &r.outcomes {
         fleet.merge(&o.telemetry);
@@ -412,6 +506,9 @@ mod tests {
     fn anti_entropy_heals_the_partition_within_ten_periods() {
         let params = quick();
         let with = run_arm(&params, true);
+        // If any assertion below fails, ship the causal evidence with
+        // the failure message: the last spans of every involved node.
+        let _dump = apor_telemetry::DumpOnPanic::new("partition", with.spans.clone(), 20);
         assert!(with.split_confirmed, "partition must first split views");
         let periods = with
             .reconverge_periods
@@ -499,6 +596,44 @@ mod tests {
             "the partition must bill drops to >= 2 nodes, got {dropping:?}"
         );
         assert!(snap.counter_total("routing", "rec_entries_received") > 0);
+
+        // The causal-trace acceptance criterion: the assembled episode
+        // must reconstruct the whole convergence chain — failure,
+        // suspicion window, confirm, gossip wavefront, view install,
+        // row remap, routes restored — and export as valid,
+        // properly-nested Chrome trace JSON.
+        let kinds = crate::trace_support::kinds_present(&with.episode);
+        for k in [
+            SpanKind::Episode,
+            SpanKind::Failure,
+            SpanKind::Suspicion,
+            SpanKind::Confirm,
+            SpanKind::GossipHop,
+            SpanKind::ViewInstall,
+            SpanKind::Remap,
+            SpanKind::RoutesRestored,
+        ] {
+            assert!(
+                kinds.contains(&k),
+                "episode must contain a {k:?} span, has {kinds:?}"
+            );
+        }
+        let stats = apor_telemetry::validate_chrome_trace(&apor_telemetry::chrome_trace_json(
+            &with.episode,
+        ))
+        .expect("episode export must be valid, properly nested trace JSON");
+        assert_eq!(stats.spans, with.episode.len());
+        assert_eq!(stats.episodes, 1, "export is one episode's causal tree");
+        // The phase breakdown decomposes the measured recovery total:
+        // consecutive, starting at the heal, summing to within 10% of
+        // routes_restored_s (here: exactly, by construction).
+        let total: f64 = with.phases.iter().map(Phase::duration_s).sum();
+        assert!(
+            (total - routes).abs() <= 0.1 * routes,
+            "phase sum {total:.3}s must be within 10% of routes_restored_s {routes:.3}s"
+        );
+        assert!(with.phases.iter().all(|p| p.duration_s() >= 0.0));
+        assert_eq!(with.phases.first().map(|p| p.start_s), Some(0.0));
 
         let without = run_arm(&params, false);
         assert!(without.split_confirmed);

@@ -56,5 +56,6 @@ pub use table::LinkStateTable;
 pub use wire::{
     LinkStateMsg, Message, ProbeBatchMsg, ProbeItem, ProbeMsg, ProbeReplyMsg, RecEntry, RecFormat,
     RecommendationMsg, SparseLinkStateMsg, LINKSTATE_HEADER_SIZE, PROBE_BATCH_HEADER_SIZE,
-    PROBE_WIRE_SIZE, REC_HEADER_SIZE, SPARSE_LINKSTATE_HEADER_SIZE, UDP_IP_OVERHEAD,
+    PROBE_FLAG_TRACE, PROBE_WIRE_SIZE, REC_HEADER_SIZE, SPARSE_LINKSTATE_HEADER_SIZE,
+    UDP_IP_OVERHEAD,
 };

@@ -21,6 +21,7 @@
 
 use crate::entry::LinkEntry;
 use apor_quorum::NodeId;
+use apor_telemetry::trace::{TraceCtx, TRACE_CTX_SIZE};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -54,6 +55,13 @@ const T_LINKSTATE_SPARSE: u8 = 9;
 const TI_PING: u8 = 1;
 const TI_PONG: u8 = 2;
 const TI_GAUGE: u8 = 3;
+
+/// Probe-batch flags-byte bit marking a trailing trace context
+/// ([`TraceCtx`], [`TRACE_CTX_SIZE`] bytes after the item list).
+/// Presence is signalled in the header, so every truncation of a
+/// traced frame changes the expected total length and fails to decode;
+/// frames without the bit are bit-identical to the legacy format.
+pub const PROBE_FLAG_TRACE: u8 = 0x01;
 
 /// Errors from [`Message::decode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -465,12 +473,45 @@ impl Message {
         b.freeze()
     }
 
+    /// Serialize, appending `ctx` as a trace trailer when present.
+    ///
+    /// Only [`Message::ProbeBatch`] carries a trace context (the only
+    /// routing-plane frame sent during convergence episodes); for every
+    /// other variant — and for `None` — the output is byte-for-byte
+    /// [`Message::encode`].
+    #[must_use]
+    pub fn encode_traced(&self, ctx: Option<&TraceCtx>) -> Bytes {
+        match (self, ctx) {
+            (Message::ProbeBatch(_), Some(ctx)) => {
+                let mut raw = self.encode().to_vec();
+                // The flags byte is the last header byte (offset 11).
+                raw[PROBE_BATCH_HEADER_SIZE - 1] |= PROBE_FLAG_TRACE;
+                raw.extend_from_slice(&ctx.encode());
+                Bytes::from(raw)
+            }
+            _ => self.encode(),
+        }
+    }
+
     /// Deserialize from bytes.
     ///
     /// # Errors
     /// Returns a [`WireError`] on truncation, bad type tags or length
     /// mismatches. Never panics on malformed input.
     pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+        Self::decode_traced(bytes).map(|(msg, _)| msg)
+    }
+
+    /// Deserialize from bytes, returning the trace context when the
+    /// frame carries one ([`PROBE_FLAG_TRACE`] set on a probe batch's
+    /// flags byte).
+    ///
+    /// # Errors
+    /// Returns a [`WireError`] on truncation, bad type tags, a
+    /// malformed trailer or length mismatches. Never panics on
+    /// malformed input.
+    pub fn decode_traced(bytes: &[u8]) -> Result<(Message, Option<TraceCtx>), WireError> {
+        let mut ctx = None;
         let mut b = bytes;
         if b.remaining() < 5 {
             return Err(WireError::Truncated);
@@ -478,7 +519,7 @@ impl Message {
         let typ = b.get_u8();
         let from = NodeId(b.get_u16());
         let to = NodeId(b.get_u16());
-        match typ {
+        let msg = match typ {
             T_PROBE | T_PROBE_REPLY => {
                 if b.remaining() < PROBE_WIRE_SIZE - 5 {
                     return Err(WireError::Truncated);
@@ -511,7 +552,7 @@ impl Message {
                 }
                 let view = b.get_u32();
                 let count = b.get_u16() as usize;
-                let _flags = b.get_u8();
+                let flags = b.get_u8();
                 let mut items = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
                     if b.remaining() < 1 {
@@ -541,7 +582,14 @@ impl Message {
                         },
                     });
                 }
-                if b.remaining() > 0 {
+                if flags & PROBE_FLAG_TRACE != 0 {
+                    // Header-signalled trailer: exactly TRACE_CTX_SIZE
+                    // bytes must remain after the item list.
+                    if b.remaining() < TRACE_CTX_SIZE {
+                        return Err(WireError::Truncated);
+                    }
+                    ctx = Some(TraceCtx::decode(b).ok_or(WireError::BadLength)?);
+                } else if b.remaining() > 0 {
                     return Err(WireError::BadLength);
                 }
                 Ok(Message::ProbeBatch(ProbeBatchMsg {
@@ -674,7 +722,8 @@ impl Message {
                 }))
             }
             other => Err(WireError::BadType(other)),
-        }
+        }?;
+        Ok((msg, ctx))
     }
 
     /// Serialized size in bytes (application payload, no IP/UDP framing).
@@ -889,6 +938,85 @@ mod tests {
         let mut bad_tag = m.encode().to_vec();
         bad_tag[PROBE_BATCH_HEADER_SIZE] = 200; // the item tag byte
         assert_eq!(Message::decode(&bad_tag), Err(WireError::BadType(200)));
+    }
+
+    #[test]
+    fn traced_probe_batch_roundtrips_and_rejects_truncation() {
+        let m = Message::ProbeBatch(ProbeBatchMsg {
+            from: NodeId(3),
+            to: NodeId(9),
+            view: 7,
+            items: vec![
+                ProbeItem::Ping {
+                    seq: 42,
+                    sent_ms: 1_000,
+                },
+                ProbeItem::Gauge {
+                    rtt_ms: 55,
+                    loss_pm: 12,
+                },
+            ],
+        });
+        let ctx = TraceCtx {
+            episode: 0x0009_0001,
+            origin: 9,
+            hop: 1,
+        };
+        let traced = m.encode_traced(Some(&ctx));
+        assert_eq!(traced.len(), m.wire_size() + TRACE_CTX_SIZE);
+        assert_eq!(
+            traced[PROBE_BATCH_HEADER_SIZE - 1] & PROBE_FLAG_TRACE,
+            PROBE_FLAG_TRACE
+        );
+        let (decoded, got) = Message::decode_traced(&traced).expect("decode traced batch");
+        assert_eq!(decoded, m);
+        assert_eq!(got, Some(ctx));
+        // The ctx-oblivious decoder still reads the message.
+        assert_eq!(Message::decode(&traced).unwrap(), m);
+        // Every proper prefix is rejected; so is trailing garbage.
+        for cut in 0..traced.len() {
+            assert!(
+                Message::decode_traced(&traced[..cut]).is_err(),
+                "decode of {cut}-byte traced prefix should fail"
+            );
+        }
+        let mut long = traced.to_vec();
+        long.push(0);
+        assert!(Message::decode_traced(&long).is_err());
+    }
+
+    #[test]
+    fn untraced_probe_batch_is_bit_identical() {
+        let m = Message::ProbeBatch(ProbeBatchMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 3,
+            items: vec![ProbeItem::Pong {
+                seq: 4,
+                echo_sent_ms: 5,
+            }],
+        });
+        assert_eq!(m.encode_traced(None).as_ref(), m.encode().as_ref());
+        let (decoded, ctx) = Message::decode_traced(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(ctx, None);
+        // Non-batch frames never carry a trailer even when asked.
+        let probe = Message::Probe(ProbeMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 0,
+            seq: 1,
+            sent_ms: 2,
+        });
+        let ctx = TraceCtx {
+            episode: 1,
+            origin: 1,
+            hop: 0,
+        };
+        assert_eq!(
+            probe.encode_traced(Some(&ctx)).as_ref(),
+            probe.encode().as_ref()
+        );
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Property tests for the probe-batch trace-context extension:
+//! encode → decode is the identity on (message, context), untraced
+//! frames are bit-identical to the legacy format, and truncating a
+//! traced frame at any byte boundary is an error — never a panic,
+//! never a silent misparse.
+
+use apor_linkstate::{Message, ProbeBatchMsg, ProbeItem};
+use apor_quorum::NodeId;
+use apor_telemetry::trace::TRACE_CTX_SIZE;
+use apor_telemetry::TraceCtx;
+use proptest::prelude::*;
+
+fn arb_item() -> impl Strategy<Value = ProbeItem> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>()).prop_map(|(seq, sent_ms)| ProbeItem::Ping { seq, sent_ms }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(seq, echo_sent_ms)| ProbeItem::Pong { seq, echo_sent_ms }),
+        (any::<u16>(), any::<u16>())
+            .prop_map(|(rtt_ms, loss_pm)| ProbeItem::Gauge { rtt_ms, loss_pm }),
+    ]
+}
+
+fn arb_batch() -> impl Strategy<Value = Message> {
+    (
+        0u16..64,
+        0u16..64,
+        any::<u32>(),
+        prop::collection::vec(arb_item(), 0..10),
+    )
+        .prop_map(|(f, t, view, items)| {
+            Message::ProbeBatch(ProbeBatchMsg {
+                from: NodeId(f),
+                to: NodeId(t),
+                view,
+                items,
+            })
+        })
+}
+
+fn arb_ctx() -> impl Strategy<Value = TraceCtx> {
+    (any::<u32>(), any::<u16>(), any::<u8>()).prop_map(|(episode, origin, hop)| TraceCtx {
+        episode,
+        origin,
+        hop,
+    })
+}
+
+proptest! {
+    #[test]
+    fn traced_batch_roundtrip_and_truncation_safety(msg in arb_batch(), ctx in arb_ctx()) {
+        let plain = msg.encode();
+        prop_assert_eq!(msg.encode_traced(None).as_ref(), plain.as_ref());
+        let (decoded, none) = Message::decode_traced(&plain).expect("legacy frame decodes");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(none, None);
+
+        let traced = msg.encode_traced(Some(&ctx));
+        prop_assert_eq!(traced.len(), plain.len() + TRACE_CTX_SIZE);
+        let (roundtripped, got) = Message::decode_traced(&traced).expect("traced frame decodes");
+        prop_assert_eq!(roundtripped, msg);
+        prop_assert_eq!(got, Some(ctx));
+        for cut in 0..traced.len() {
+            prop_assert!(
+                Message::decode_traced(&traced[..cut]).is_err(),
+                "{cut}-byte prefix of a traced batch must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_decoder_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok((msg, None)) = Message::decode_traced(&bytes) {
+            // Untraced accepts re-encode canonically.
+            let canon = msg.encode();
+            prop_assert_eq!(Message::decode(&canon).unwrap(), msg);
+        }
+    }
+}

@@ -36,7 +36,8 @@ use crate::wire::{
     SwimMsg, SwimStatus, SwimUpdate, SWIM_MAX_FRAME_ENTRIES, SWIM_MTU_FRAME_ENTRIES,
 };
 use apor_quorum::NodeId;
-use apor_telemetry::{Counter, EventKind, Severity, Telemetry};
+use apor_telemetry::trace::{episode_id, episode_root_span};
+use apor_telemetry::{Counter, EventKind, Severity, SpanKind, Telemetry, TraceCtx, Tracer};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -299,6 +300,9 @@ struct Relay {
 struct Suspicion {
     incarnation: u32,
     deadline: f64,
+    /// When the suspicion opened — the start of the causal-trace
+    /// suspicion span if it later confirms.
+    started_s: f64,
 }
 
 /// A gossip-queue entry with its remaining retransmission budget.
@@ -404,6 +408,19 @@ pub struct Swim {
     answered_digests: BTreeMap<NodeId, u32>,
     telemetry: Telemetry,
     metrics: SwimMetrics,
+    tracer: Tracer,
+    /// The convergence episode this node currently propagates on its
+    /// outgoing gossip (adopted locally when a suspicion opens, or from
+    /// a traced inbound frame).
+    active_trace: Option<TraceCtx>,
+    /// Frames carry `active_trace` only until this sim-time — a hot
+    /// window refreshed by episode activity, so steady-state gossip
+    /// stays trailer-free.
+    trace_hot_until: f64,
+    /// `(episode, confirm-span id)` of the most recent local
+    /// confirmation, letting the driver parent its view-install span
+    /// under the confirm that caused it.
+    last_confirm: Option<(u32, u64)>,
     departed: bool,
 }
 
@@ -467,6 +484,10 @@ impl Swim {
             answered_digests: BTreeMap::new(),
             telemetry,
             metrics,
+            tracer: Tracer::disabled(),
+            active_trace: None,
+            trace_hot_until: f64::NEG_INFINITY,
+            last_confirm: None,
             departed: false,
         }
     }
@@ -480,6 +501,68 @@ impl Swim {
         self.metrics = SwimMetrics::new(&telemetry);
         self.telemetry = telemetry;
         self
+    }
+
+    /// Attach a causal tracer: suspicion/confirm/sync spans enter its
+    /// flight recorder, and gossip sent during a convergence episode's
+    /// hot window carries the episode's [`TraceCtx`] on the wire. With
+    /// the default disabled tracer every trace call is a single
+    /// relaxed-bool no-op and frames stay trailer-free.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached causal tracer (disabled by default).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// `(episode, confirm-span id)` of the most recent locally
+    /// confirmed suspicion, if any — the causal parent for the view
+    /// install it triggers.
+    #[must_use]
+    pub fn last_confirm(&self) -> Option<(u32, u64)> {
+        self.last_confirm
+    }
+
+    /// The trace context outgoing gossip should carry at `now`: the
+    /// active episode while its hot window is open, `None` otherwise
+    /// (the steady-state case — frames stay bit-identical to the
+    /// legacy format).
+    #[must_use]
+    pub fn gossip_trace(&self, now: f64) -> Option<TraceCtx> {
+        if self.tracer.enabled() && now <= self.trace_hot_until {
+            self.active_trace
+        } else {
+            None
+        }
+    }
+
+    /// Adopt the episode context of a traced inbound frame and refresh
+    /// the hot window, so this node relays the episode onward with an
+    /// incremented hop. Called by the driver *before* handing the
+    /// message to [`Swim::on_message`].
+    pub fn note_remote_trace(&mut self, now: f64, ctx: TraceCtx) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        // A different episode replaces the current one; the same
+        // episode only refreshes the window (keeping our lowest hop).
+        match self.active_trace {
+            Some(cur) if cur.episode == ctx.episode => {}
+            _ => self.active_trace = Some(ctx),
+        }
+        self.trace_hot_until = now + self.trace_window_s();
+    }
+
+    /// How long episode context stays attached to outgoing frames
+    /// after the last episode activity: long enough for the suspicion
+    /// to confirm and the confirmation wavefront to gossip out.
+    fn trace_window_s(&self) -> f64 {
+        self.effective_suspicion_timeout_s() + 4.0 * self.cfg.period_s
     }
 
     /// This node's identity.
@@ -1137,6 +1220,7 @@ impl Swim {
                     Suspicion {
                         incarnation,
                         deadline,
+                        started_s: now,
                     },
                 );
                 self.metrics.suspicion_raised.inc();
@@ -1147,6 +1231,22 @@ impl Swim {
                         about: u32::from(id.0),
                     },
                 );
+                if self.tracer.enabled() {
+                    // A fresh suspicion opens (or re-activates) the
+                    // convergence episode for the suspect — derived
+                    // deterministically from (member, incarnation), so
+                    // every node that suspects independently lands on
+                    // the same episode id with no coordination.
+                    let episode = episode_id(id.0, incarnation);
+                    if self.active_trace.is_none_or(|c| c.episode != episode) {
+                        self.active_trace = Some(TraceCtx {
+                            episode,
+                            origin: self.me.0,
+                            hop: 0,
+                        });
+                    }
+                    self.trace_hot_until = now + self.trace_window_s();
+                }
             }
         }
         self.enqueue_gossip(SwimUpdate {
@@ -1157,15 +1257,46 @@ impl Swim {
     }
 
     fn confirm_expired_suspicions(&mut self, now: f64) {
-        let expired: Vec<(NodeId, u32)> = self
+        let expired: Vec<(NodeId, u32, f64)> = self
             .suspicions
             .iter()
             .filter(|(_, s)| s.deadline <= now)
-            .map(|(&id, s)| (id, s.incarnation))
+            .map(|(&id, s)| (id, s.incarnation, s.started_s))
             .collect();
-        for (id, incarnation) in expired {
+        for (id, incarnation, started_s) in expired {
             self.suspicions.remove(&id);
             if self.ledger_apply(now, id, incarnation, true) {
+                if self.tracer.enabled() {
+                    // The suspicion span covers open → confirm; the
+                    // confirm instant hangs beneath it. Parented on the
+                    // episode root so every node's spans assemble into
+                    // one tree without cross-node id exchange.
+                    let episode = episode_id(id.0, incarnation);
+                    let suspicion = self.tracer.record(
+                        SpanKind::Suspicion,
+                        episode,
+                        episode_root_span(episode),
+                        u32::from(id.0),
+                        started_s,
+                        now,
+                    );
+                    let confirm = self.tracer.instant(
+                        SpanKind::Confirm,
+                        episode,
+                        suspicion,
+                        u32::from(id.0),
+                        now,
+                    );
+                    self.last_confirm = Some((episode, confirm));
+                    if self.active_trace.is_none_or(|c| c.episode != episode) {
+                        self.active_trace = Some(TraceCtx {
+                            episode,
+                            origin: self.me.0,
+                            hop: 0,
+                        });
+                    }
+                    self.trace_hot_until = now + self.trace_window_s();
+                }
                 self.enqueue_gossip(SwimUpdate {
                     id,
                     incarnation,
@@ -1313,6 +1444,17 @@ impl Swim {
         let Some(&target) = candidates.choose(&mut self.rng) else {
             return;
         };
+        if let Some(ctx) = self.gossip_trace(now) {
+            // Sync rounds inside an episode's hot window are part of
+            // the heal story — record which partner this round chose.
+            self.tracer.instant(
+                SpanKind::SyncRound,
+                ctx.episode,
+                0,
+                u32::from(target.0),
+                now,
+            );
+        }
         if self.cfg.anti_entropy.digest_first {
             self.seq = self.seq.wrapping_add(1);
             self.outstanding_digest = Some((target, self.seq));

@@ -28,12 +28,24 @@
 //! alone cannot.
 
 use apor_quorum::NodeId;
+use apor_telemetry::trace::{TraceCtx, TRACE_CTX_SIZE};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// First message-type tag used by the SWIM plane.
 pub const SWIM_TAG_BASE: u8 = 16;
+
+/// Tag-byte flag marking a frame that carries a trailing trace
+/// context ([`TraceCtx`], [`TRACE_CTX_SIZE`] bytes after the normal
+/// payload). The flag lives in the tag byte so presence is signalled
+/// in the *header*: any truncation of a traced frame changes the
+/// expected total length and fails to decode — the trailer can never
+/// silently alias the update list. Decoders that predate the flag
+/// reject flagged tags as [`SwimWireError::BadType`] instead of
+/// misparsing, and unflagged frames are bit-identical to the old
+/// format.
+pub const SWIM_TRACE_FLAG: u8 = 0x40;
 
 const T_PING: u8 = SWIM_TAG_BASE;
 const T_ACK: u8 = SWIM_TAG_BASE + 1;
@@ -63,9 +75,12 @@ pub const SWIM_MAX_FRAME_ENTRIES: usize = u8::MAX as usize;
 pub const SWIM_MTU_FRAME_ENTRIES: usize = 208;
 
 /// Does a datagram starting with `tag` belong to the SWIM plane?
+/// Accepts both plain tags and tags carrying [`SWIM_TRACE_FLAG`]; the
+/// masked range (16–23, flagged 80–87) stays disjoint from the
+/// overlay's routing tags (1–9), so first-byte dispatch still works.
 #[must_use]
 pub fn is_swim_tag(tag: u8) -> bool {
-    (T_PING..=T_SYNC_DIGEST_PUSH).contains(&tag)
+    (T_PING..=T_SYNC_DIGEST_PUSH).contains(&(tag & !SWIM_TRACE_FLAG))
 }
 
 /// Decode errors (mirrors `apor_linkstate::wire::WireError`).
@@ -469,18 +484,71 @@ impl SwimMsg {
         b.freeze()
     }
 
-    /// Deserialize from bytes.
+    /// Serialize, appending `ctx` as a trace trailer when present.
+    ///
+    /// With `None` the output is byte-for-byte [`SwimMsg::encode`];
+    /// with `Some` the tag byte gains [`SWIM_TRACE_FLAG`] and the
+    /// frame grows by [`TRACE_CTX_SIZE`] bytes.
+    ///
+    /// # Panics
+    /// Panics if more than 255 updates are piggybacked (as
+    /// [`SwimMsg::encode`]).
+    #[must_use]
+    pub fn encode_traced(&self, ctx: Option<&TraceCtx>) -> Bytes {
+        let Some(ctx) = ctx else {
+            return self.encode();
+        };
+        let mut raw = self.encode().to_vec();
+        raw[0] |= SWIM_TRACE_FLAG;
+        raw.extend_from_slice(&ctx.encode());
+        Bytes::from(raw)
+    }
+
+    /// Deserialize from bytes, discarding any trace trailer.
     ///
     /// # Errors
     /// Returns a [`SwimWireError`] on truncation, unknown tags or
     /// malformed updates. Never panics on malformed input.
     pub fn decode(bytes: &[u8]) -> Result<SwimMsg, SwimWireError> {
-        let mut b = bytes;
-        if b.remaining() < SWIM_HEADER_SIZE {
+        Self::decode_traced(bytes).map(|(msg, _)| msg)
+    }
+
+    /// Deserialize from bytes, returning the trace context when the
+    /// frame carries one ([`SWIM_TRACE_FLAG`] set on the tag byte).
+    ///
+    /// # Errors
+    /// Returns a [`SwimWireError`] on truncation, unknown tags, a
+    /// malformed trailer or malformed updates. Never panics on
+    /// malformed input.
+    pub fn decode_traced(bytes: &[u8]) -> Result<(SwimMsg, Option<TraceCtx>), SwimWireError> {
+        let Some(&raw_tag) = bytes.first() else {
+            return Err(SwimWireError::Truncated);
+        };
+        if raw_tag & SWIM_TRACE_FLAG == 0 {
+            return Ok((Self::decode_body(raw_tag, &bytes[1..])?, None));
+        }
+        if !is_swim_tag(raw_tag) {
+            return Err(SwimWireError::BadType(raw_tag));
+        }
+        // Header-signalled trailer: the last TRACE_CTX_SIZE bytes are
+        // the context, everything between tag and trailer is the body.
+        if bytes.len() < SWIM_HEADER_SIZE + TRACE_CTX_SIZE {
             return Err(SwimWireError::Truncated);
         }
-        let tag = b.get_u8();
-        if !is_swim_tag(tag) {
+        let (body, trailer) = bytes.split_at(bytes.len() - TRACE_CTX_SIZE);
+        let ctx = TraceCtx::decode(trailer).ok_or(SwimWireError::BadLength)?;
+        let msg = Self::decode_body(raw_tag & !SWIM_TRACE_FLAG, &body[1..])?;
+        Ok((msg, Some(ctx)))
+    }
+
+    /// Decode everything after the tag byte. `tag` is the plain
+    /// (unflagged) message type.
+    fn decode_body(tag: u8, rest: &[u8]) -> Result<SwimMsg, SwimWireError> {
+        let mut b = rest;
+        if b.remaining() < SWIM_HEADER_SIZE - 1 {
+            return Err(SwimWireError::Truncated);
+        }
+        if !(T_PING..=T_SYNC_DIGEST_PUSH).contains(&tag) {
             return Err(SwimWireError::BadType(tag));
         }
         let from = NodeId(b.get_u16());
@@ -891,5 +959,112 @@ mod tests {
                 "decode of {cut}-byte prefix should fail"
             );
         }
+    }
+
+    fn sample_ctx() -> TraceCtx {
+        TraceCtx {
+            episode: 0x0005_0003,
+            origin: 5,
+            hop: 2,
+        }
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_with_context() {
+        let msgs = [
+            SwimMsg::Ping {
+                from: NodeId(1),
+                to: NodeId(2),
+                seq: 77,
+                updates: sample_updates(),
+            },
+            SwimMsg::SyncDigest {
+                from: NodeId(3),
+                to: NodeId(9),
+                seq: 81,
+                fingerprint: 0xDEAD_BEEF,
+                known: 140,
+            },
+            SwimMsg::SyncDigestPush {
+                from: NodeId(9),
+                to: NodeId(3),
+                seq: 81,
+                fingerprint: 0xFEED_F00D,
+                known: 141,
+                updates: sample_updates(),
+            },
+            SwimMsg::SyncReq {
+                from: NodeId(3),
+                to: NodeId(9),
+                seq: 80,
+                chunk: 0,
+                chunks: 1,
+                updates: sample_updates(),
+            },
+        ];
+        let ctx = sample_ctx();
+        for m in &msgs {
+            let bytes = m.encode_traced(Some(&ctx));
+            assert_eq!(bytes.len(), m.wire_size() + TRACE_CTX_SIZE);
+            assert!(is_swim_tag(bytes[0]), "flagged tag still dispatches");
+            assert_eq!(bytes[0] & SWIM_TRACE_FLAG, SWIM_TRACE_FLAG);
+            let (decoded, got) = SwimMsg::decode_traced(&bytes).expect("decode traced");
+            assert_eq!(&decoded, m);
+            assert_eq!(got, Some(ctx));
+            // The ctx-oblivious decoder still reads the message.
+            assert_eq!(&SwimMsg::decode(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn untraced_encode_is_bit_identical() {
+        let m = SwimMsg::Ack {
+            from: NodeId(2),
+            to: NodeId(1),
+            seq: 77,
+            updates: sample_updates(),
+        };
+        assert_eq!(m.encode_traced(None).as_ref(), m.encode().as_ref());
+        let (decoded, ctx) = SwimMsg::decode_traced(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(ctx, None);
+    }
+
+    #[test]
+    fn traced_frames_reject_every_truncation() {
+        let m = SwimMsg::Ping {
+            from: NodeId(1),
+            to: NodeId(2),
+            seq: 77,
+            updates: sample_updates(),
+        };
+        let bytes = m.encode_traced(Some(&sample_ctx()));
+        for cut in 0..bytes.len() {
+            assert!(
+                SwimMsg::decode_traced(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte traced prefix should fail"
+            );
+        }
+        // Trailing garbage shifts the trailer window and fails too.
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(SwimMsg::decode_traced(&long).is_err());
+    }
+
+    #[test]
+    fn traced_trailer_rejects_bad_version() {
+        let m = SwimMsg::Ping {
+            from: NodeId(1),
+            to: NodeId(2),
+            seq: 77,
+            updates: vec![],
+        };
+        let mut bytes = m.encode_traced(Some(&sample_ctx())).to_vec();
+        let version_at = bytes.len() - TRACE_CTX_SIZE;
+        bytes[version_at] = 2;
+        assert_eq!(
+            SwimMsg::decode_traced(&bytes),
+            Err(SwimWireError::BadLength)
+        );
     }
 }

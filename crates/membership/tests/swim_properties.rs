@@ -7,8 +7,10 @@
 //! 2. **Wire totality** — every representable message round-trips
 //!    exactly; the decoder never panics on arbitrary bytes.
 
+use apor_membership::wire::SWIM_TRACE_FLAG;
 use apor_membership::{Swim, SwimConfig, SwimMsg, SwimStatus, SwimUpdate, ViewLedger};
 use apor_quorum::NodeId;
+use apor_telemetry::TraceCtx;
 use proptest::prelude::*;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -67,6 +69,14 @@ fn arb_msg() -> impl Strategy<Value = SwimMsg> {
         },
     );
     prop_oneof![ping, ack, ping_req, proxy]
+}
+
+fn arb_ctx() -> impl Strategy<Value = TraceCtx> {
+    (any::<u32>(), any::<u16>(), any::<u8>()).prop_map(|(episode, origin, hop)| TraceCtx {
+        episode,
+        origin,
+        hop,
+    })
 }
 
 proptest! {
@@ -146,6 +156,37 @@ proptest! {
         if let Ok(msg) = SwimMsg::decode(&bytes) {
             let canon = msg.encode();
             prop_assert_eq!(SwimMsg::decode(&canon).unwrap(), msg);
+        }
+        // The trace-aware decoder is total on the same inputs.
+        let _ = SwimMsg::decode_traced(&bytes);
+    }
+
+    /// Trace-context piggybacking: encode → decode returns both the
+    /// message and the context, untraced frames stay bit-identical to
+    /// the legacy format, and *every* proper prefix of a traced frame
+    /// is rejected with an error (never a panic, never a silent
+    /// misparse) — the truncation-safety contract of signalling the
+    /// trailer in the tag byte.
+    #[test]
+    fn traced_wire_roundtrip_and_truncation_safety(msg in arb_msg(), ctx in arb_ctx()) {
+        let plain = msg.encode();
+        prop_assert_eq!(msg.encode_traced(None).as_ref(), plain.as_ref());
+        let (decoded, none) = SwimMsg::decode_traced(&plain).expect("legacy frame decodes");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(none, None);
+
+        let traced = msg.encode_traced(Some(&ctx));
+        prop_assert_eq!(traced.len(), plain.len() + apor_telemetry::trace::TRACE_CTX_SIZE);
+        prop_assert_eq!(traced[0] & SWIM_TRACE_FLAG, SWIM_TRACE_FLAG);
+        prop_assert!(apor_membership::wire::is_swim_tag(traced[0]));
+        let (roundtripped, got) = SwimMsg::decode_traced(&traced).expect("traced frame decodes");
+        prop_assert_eq!(roundtripped, msg);
+        prop_assert_eq!(got, Some(ctx));
+        for cut in 0..traced.len() {
+            prop_assert!(
+                SwimMsg::decode_traced(&traced[..cut]).is_err(),
+                "{cut}-byte prefix of a traced frame must be rejected"
+            );
         }
     }
 

@@ -96,6 +96,11 @@ pub struct NodeConfig {
     /// steady-state experiments, where the paper measures "after all
     /// nodes have joined".
     pub static_members: Option<Vec<NodeId>>,
+    /// Causal-trace flight-recorder capacity in spans (per node).
+    /// `0` (the default) disables tracing entirely: no spans are
+    /// recorded, no trace context rides the wire, and every
+    /// instrumentation site reduces to one relaxed bool load.
+    pub trace_capacity: usize,
 }
 
 impl NodeConfig {
@@ -115,7 +120,16 @@ impl NodeConfig {
             keepalive_s: 600.0,
             member_timeout_s: 30.0 * 60.0,
             static_members: None,
+            trace_capacity: 0,
         }
+    }
+
+    /// Enable causal tracing with a bounded per-node flight recorder
+    /// of `capacity` spans (convergence experiments use 1024).
+    #[must_use]
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
     }
 
     /// Pre-install a static membership view (no join traffic).

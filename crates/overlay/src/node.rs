@@ -23,7 +23,7 @@ use apor_membership::{wire as swim_wire, Swim, SwimMsg};
 use apor_netsim::TrafficClass;
 use apor_quorum::NodeId;
 use apor_routing::{FullMeshRouter, ProbeAction, Prober, QuorumRouter, RoutingAlgorithm};
-use apor_telemetry::{EventKind, Histogram, Severity, Telemetry};
+use apor_telemetry::{EventKind, Histogram, Severity, SpanKind, Telemetry, TraceCtx, Tracer};
 
 /// The concrete router running inside a node.
 // The size gap between the two routers is fine: exactly one RouterBox
@@ -133,6 +133,10 @@ pub struct OverlayNode {
     armed_swim_wake: f64,
     /// Sizes of outgoing anti-entropy sync frames, bytes.
     sync_frame_bytes: Histogram,
+    /// Causal-trace flight recorder. Disabled (zero-capacity) unless
+    /// [`NodeConfig::trace_capacity`] is set; every instrumentation
+    /// site below guards on [`Tracer::enabled`] — one relaxed load.
+    tracer: Tracer,
 }
 
 impl OverlayNode {
@@ -143,6 +147,11 @@ impl OverlayNode {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let telemetry = Telemetry::new(u32::from(cfg.id.0));
         let sync_frame_bytes = telemetry.histogram("membership", "sync_frame_bytes");
+        let tracer = if cfg.trace_capacity > 0 {
+            Tracer::new(u32::from(cfg.id.0), cfg.trace_capacity)
+        } else {
+            Tracer::disabled()
+        };
         OverlayNode {
             cfg,
             telemetry,
@@ -158,6 +167,7 @@ impl OverlayNode {
             armed_probe_wake: f64::INFINITY,
             armed_swim_wake: f64::INFINITY,
             sync_frame_bytes,
+            tracer,
         }
     }
 
@@ -199,6 +209,15 @@ impl OverlayNode {
     #[must_use]
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// This node's causal-trace flight recorder. Disabled unless the
+    /// node was configured with [`NodeConfig::with_tracing`];
+    /// experiments drain it with [`Tracer::recent`] after a
+    /// convergence episode and assemble the fleet-wide causal tree.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     // ------------------------------------------------------------------
@@ -266,7 +285,8 @@ impl OverlayNode {
         } else {
             Swim::new(self.cfg.id, swim_cfg, &[self.cfg.coordinator])
         }
-        .with_telemetry(self.telemetry.clone());
+        .with_telemetry(self.telemetry.clone())
+        .with_tracer(self.tracer.clone());
         if let Some((version, members)) = swim.poll_view(now) {
             self.install_view(MembershipView::new(version, members), now, out);
         }
@@ -283,7 +303,7 @@ impl OverlayNode {
     /// detection. Drivers call this exactly once, flush `out`, and then
     /// stop delivering events; any events that still arrive are
     /// ignored. Idempotent.
-    pub fn on_shutdown(&mut self, _now: f64, out: &mut Outbox) {
+    pub fn on_shutdown(&mut self, now: f64, out: &mut Outbox) {
         if self.shut_down {
             return;
         }
@@ -295,7 +315,7 @@ impl OverlayNode {
                     swim.leave(&mut msgs);
                 }
                 for (to, msg) in msgs {
-                    self.send_swim(to, &msg, out);
+                    self.send_swim(now, to, &msg, out);
                 }
             }
             MembershipMode::Centralized => {
@@ -400,9 +420,17 @@ impl OverlayNode {
             self.on_swim_packet(now, payload, out);
             return;
         }
-        let Ok(msg) = Message::decode(payload) else {
+        let Ok((msg, probe_ctx)) = Message::decode_traced(payload) else {
             return; // malformed datagrams are dropped silently
         };
+        if let Some(ctx) = probe_ctx {
+            // A traced probe batch: the sender is reprobing as part of
+            // a convergence episode. Arm our prober so the answering
+            // activity is attributed to the same episode.
+            if let Some(prober) = self.prober.as_mut() {
+                prober.note_episode(ctx);
+            }
+        }
         match &msg {
             Message::Probe(p) => {
                 // Liveness works at identity level, independent of views.
@@ -604,9 +632,16 @@ impl OverlayNode {
     }
 
     /// Queue one SWIM frame, feeding the sync-frame size histogram for
-    /// anti-entropy traffic.
-    fn send_swim(&self, to: NodeId, msg: &SwimMsg, out: &mut Outbox) {
-        let bytes = msg.encode();
+    /// anti-entropy traffic. While a convergence episode is hot the
+    /// frame carries the trace context (hop count bumped), so receivers
+    /// can reconstruct the gossip wavefront per hop.
+    fn send_swim(&self, now: f64, to: NodeId, msg: &SwimMsg, out: &mut Outbox) {
+        let ctx = self
+            .swim
+            .as_ref()
+            .and_then(|s| s.gossip_trace(now))
+            .map(TraceCtx::next_hop);
+        let bytes = msg.encode_traced(ctx.as_ref());
         if matches!(
             msg,
             SwimMsg::SyncReq { .. }
@@ -631,11 +666,23 @@ impl OverlayNode {
         let old_router = self.router.take();
         self.my_index = my_index;
         self.prober = None;
+        // The convergence episode this install belongs to, if one is
+        // hot: parents the ViewInstall/Remap spans and primes the fresh
+        // prober and router so their recovery work is attributed too.
+        let episode_ctx = if self.tracer.enabled() {
+            self.swim.as_ref().and_then(|s| s.gossip_trace(now))
+        } else {
+            None
+        };
 
         if let Some(me) = my_index {
             let n = view.len();
-            let mut prober =
-                Prober::new(me, n, self.cfg.protocol.clone(), now).with_telemetry(&self.telemetry);
+            let mut prober = Prober::new(me, n, self.cfg.protocol.clone(), now)
+                .with_telemetry(&self.telemetry)
+                .with_tracer(self.tracer.clone());
+            if let Some(ctx) = episode_ctx {
+                prober.note_episode(ctx);
+            }
             // Carry estimator history across the view change so a
             // membership bump doesn't blind the overlay for a probing
             // interval.
@@ -660,14 +707,20 @@ impl OverlayNode {
                     view.version,
                     self.cfg.protocol.clone(),
                 )),
-                Algorithm::Quorum => RouterBox::Quorum(QuorumRouter::new_with_telemetry(
-                    me,
-                    n,
-                    view.version,
-                    self.cfg.protocol.clone(),
-                    &self.telemetry,
-                )),
+                Algorithm::Quorum => RouterBox::Quorum(
+                    QuorumRouter::new_with_telemetry(
+                        me,
+                        n,
+                        view.version,
+                        self.cfg.protocol.clone(),
+                        &self.telemetry,
+                    )
+                    .with_tracer(self.tracer.clone()),
+                ),
             };
+            if let (Some(ctx), RouterBox::Quorum(q)) = (episode_ctx, &mut router) {
+                q.note_episode(ctx);
+            }
             // Incremental remap: translate the old router's surviving
             // rows into the new index space by NodeId instead of
             // rebuilding from empty — a view bump relabels the grid, it
@@ -684,10 +737,16 @@ impl OverlayNode {
                     now,
                     self.cfg.protocol.staleness_s(),
                 );
+                let carried_rows = carried.len();
                 for (origin, received_at, entries) in carried {
                     router
                         .as_dyn_mut()
                         .import_row(origin, &entries, received_at);
+                }
+                if let Some(ctx) = episode_ctx {
+                    #[allow(clippy::cast_possible_truncation)]
+                    self.tracer
+                        .instant(SpanKind::Remap, ctx.episode, 0, carried_rows as u32, now);
                 }
             }
             self.router = Some(router);
@@ -702,6 +761,24 @@ impl OverlayNode {
             // The fresh prober's schedule replaces the old one's.
             self.armed_probe_wake = f64::INFINITY;
             self.arm_probe(now, out);
+        }
+        if let Some(ctx) = episode_ctx {
+            // Parent the install on the Confirm span when this node is
+            // the one that confirmed the failure; elsewhere it hangs
+            // off the episode root.
+            let parent = self
+                .swim
+                .as_ref()
+                .and_then(|s| s.last_confirm())
+                .filter(|&(ep, _)| ep == ctx.episode)
+                .map_or(0, |(_, span)| span);
+            self.tracer.instant(
+                SpanKind::ViewInstall,
+                ctx.episode,
+                parent,
+                view.version,
+                now,
+            );
         }
         self.telemetry.event(
             now,
@@ -744,7 +821,7 @@ impl OverlayNode {
             (msgs, swim.poll_view(now))
         };
         for (to, msg) in msgs {
-            self.send_swim(to, &msg, out);
+            self.send_swim(now, to, &msg, out);
         }
         if let Some((version, members)) = published {
             self.install_view(MembershipView::new(version, members), now, out);
@@ -753,16 +830,24 @@ impl OverlayNode {
 
     /// A datagram from the SWIM tag space arrived.
     fn on_swim_packet(&mut self, now: f64, payload: &[u8], out: &mut Outbox) {
-        let Ok(msg) = SwimMsg::decode(payload) else {
+        let Ok((msg, ctx)) = SwimMsg::decode_traced(payload) else {
             return; // malformed datagrams are dropped silently
         };
         let Some(swim) = self.swim.as_mut() else {
             return; // not running the gossip plane
         };
+        if let Some(ctx) = ctx {
+            // One span per receiving node per gossip hop: the episode's
+            // wavefront through the fleet, aux = hop distance from the
+            // first suspecting node.
+            self.tracer
+                .instant(SpanKind::GossipHop, ctx.episode, 0, u32::from(ctx.hop), now);
+            swim.note_remote_trace(now, ctx);
+        }
         let mut replies = Vec::new();
         swim.on_message(now, &msg, &mut replies);
         for (to, reply) in replies {
-            self.send_swim(to, &reply, out);
+            self.send_swim(now, to, &reply, out);
         }
         // A message can start suspicions, relays or a pending publish
         // whose deadlines undercut the currently armed wake.
@@ -775,7 +860,13 @@ impl OverlayNode {
         };
         let Some(_me) = self.my_index else { return };
         let version = view.version;
-        for action in prober.poll(now) {
+        // `poll_traced` hands back the armed episode context exactly
+        // once, on the first poll that emits work after a view change;
+        // the batches it produced carry the context (hop bumped) so the
+        // probed peers attribute the reprobe wave to the episode.
+        let (actions, episode) = prober.poll_traced(now);
+        let batch_ctx = episode.map(TraceCtx::next_hop);
+        for action in actions {
             match action {
                 ProbeAction::SendProbe { to, seq } => {
                     let Some(to_id) = view.id_of(to) else {
@@ -796,15 +887,14 @@ impl OverlayNode {
                     let Some(to_id) = view.id_of(to) else {
                         continue;
                     };
-                    out.send(
-                        to_id,
-                        &Message::ProbeBatch(ProbeBatchMsg {
-                            from: self.cfg.id,
-                            to: to_id,
-                            view: version,
-                            items,
-                        }),
-                    );
+                    let msg = Message::ProbeBatch(ProbeBatchMsg {
+                        from: self.cfg.id,
+                        to: to_id,
+                        view: version,
+                        items,
+                    });
+                    out.sends
+                        .push((to_id, class_of(&msg), msg.encode_traced(batch_ctx.as_ref())));
                 }
             }
         }

@@ -26,7 +26,7 @@ use crate::adaptive::{AdaptiveProbeRate, RateSample};
 use crate::config::{ProbePolicy, ProtocolConfig};
 use apor_linkstate::{LinkEntry, LinkEstimator, ProbeItem, ProbeOutcome};
 use apor_quorum::Grid;
-use apor_telemetry::{Gauge, Histogram, Telemetry};
+use apor_telemetry::{Gauge, Histogram, SpanKind, Telemetry, TraceCtx, Tracer};
 
 /// An instruction from the prober to the node runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +93,11 @@ pub struct Prober {
     probe_rtt_us: Option<Histogram>,
     probe_targets: Option<Gauge>,
     probe_sampled: Option<Gauge>,
+    tracer: Tracer,
+    /// Episode context adopted at view install; the first probe wave
+    /// after it records a `Reprobe` span and clears the context, and
+    /// outgoing batches carry it on the wire until then.
+    trace_ctx: Option<TraceCtx>,
 }
 
 impl Prober {
@@ -115,6 +120,8 @@ impl Prober {
             probe_rtt_us: None,
             probe_targets: None,
             probe_sampled: None,
+            tracer: Tracer::disabled(),
+            trace_ctx: None,
             config,
         };
         match prober.config.probe_policy {
@@ -149,6 +156,24 @@ impl Prober {
         self.probe_sampled = Some(telemetry.gauge("routing", "probe_sampled"));
         self.publish_target_gauges();
         self
+    }
+
+    /// Attach a causal tracer (disabled by default; see
+    /// [`Prober::note_episode`]).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Mark the next probe wave as part of a convergence episode: the
+    /// first poll that emits probes records a `Reprobe` span under the
+    /// episode and batches carry `ctx` on the wire (see
+    /// [`Prober::poll_traced`]).
+    pub fn note_episode(&mut self, ctx: TraceCtx) {
+        if self.tracer.enabled() {
+            self.trace_ctx = Some(ctx);
+        }
     }
 
     fn make_target(&self, peer: usize, entitled: bool, now: f64) -> TargetState {
@@ -286,6 +311,26 @@ impl Prober {
             }
         }
         actions
+    }
+
+    /// [`Prober::poll`], plus episode tracing: when a context armed by
+    /// [`Prober::note_episode`] is pending and this poll emits probes,
+    /// a `Reprobe` span is recorded (aux = probes emitted), the context
+    /// is consumed and returned so the driver can attach it to the
+    /// outgoing batch frames. The plain `poll` stays the traced-off
+    /// hot path — this wrapper adds no work when no context is armed.
+    pub fn poll_traced(&mut self, now: f64) -> (Vec<ProbeAction>, Option<TraceCtx>) {
+        let actions = self.poll(now);
+        if self.trace_ctx.is_none() || actions.is_empty() {
+            return (actions, None);
+        }
+        let ctx = self.trace_ctx.take();
+        if let Some(c) = ctx {
+            #[allow(clippy::cast_possible_truncation)]
+            self.tracer
+                .instant(SpanKind::Reprobe, c.episode, 0, actions.len() as u32, now);
+        }
+        (actions, ctx)
     }
 
     /// Record a probe reply from `peer` carrying `seq`, received at `now`.

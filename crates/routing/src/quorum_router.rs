@@ -39,7 +39,7 @@ use apor_linkstate::{
     SparseLinkStateMsg,
 };
 use apor_quorum::{Grid, NodeId};
-use apor_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use apor_telemetry::{Counter, Gauge, Histogram, SpanKind, Telemetry, TraceCtx, Tracer};
 use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -148,6 +148,11 @@ pub struct QuorumRouter<S: LinkStateStore = RowStore> {
     failover: Vec<FailoverState>,
     /// Registry-backed event counters (see [`QuorumMetrics`]).
     counters: RouterCounters,
+    tracer: Tracer,
+    /// Episode context adopted at view install: the next few row
+    /// imports record `RowImport` spans under it (bounded so a noisy
+    /// store cannot spam the flight recorder), then it clears.
+    trace_ctx: Option<(TraceCtx, u32)>,
 }
 
 impl QuorumRouter<RowStore> {
@@ -214,6 +219,8 @@ impl<S: LinkStateStore> QuorumRouter<S> {
             serving_since: vec![NEVER; n],
             failover: vec![FailoverState::default(); n],
             counters: RouterCounters::new(&Telemetry::disabled()),
+            tracer: Tracer::disabled(),
+            trace_ctx: None,
         }
     }
 
@@ -229,6 +236,26 @@ impl<S: LinkStateStore> QuorumRouter<S> {
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.counters = RouterCounters::new(telemetry);
         self
+    }
+
+    /// Attach a causal tracer (disabled by default; see
+    /// [`QuorumRouter::note_episode`]).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Mark upcoming row imports as part of a convergence episode: the
+    /// next few accepted rows record `RowImport` spans under `ctx`
+    /// before the context clears itself.
+    pub fn note_episode(&mut self, ctx: TraceCtx) {
+        if self.tracer.enabled() {
+            // Enough for the post-remap import wave (~2√n clients) at
+            // experiment scales without letting steady-state traffic
+            // spam the recorder.
+            self.trace_ctx = Some((ctx, 32));
+        }
     }
 
     /// The grid this router derives its quorum from.
@@ -656,6 +683,21 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
             return;
         }
         self.table.update_row(origin, entries, received_at);
+        if let Some((ctx, budget)) = self.trace_ctx {
+            #[allow(clippy::cast_possible_truncation)]
+            self.tracer.instant(
+                SpanKind::RowImport,
+                ctx.episode,
+                0,
+                origin as u32,
+                received_at,
+            );
+            self.trace_ctx = if budget > 1 {
+                Some((ctx, budget - 1))
+            } else {
+                None
+            };
+        }
     }
 }
 

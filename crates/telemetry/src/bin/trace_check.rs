@@ -1,0 +1,95 @@
+//! CI validator for exported Chrome trace-event JSON files.
+//!
+//! ```text
+//! trace_check results/partition_trace.json [results/churn_trace.json ...]
+//!             [--min-spans N] [--require-kind NAME ...]
+//! ```
+//!
+//! Each file must parse as a Chrome trace-event document and pass the
+//! span-nesting check (within one `(pid, tid)` lane, complete events
+//! either nest or are disjoint — Perfetto renders overlap nonsense
+//! silently, so CI refuses it instead). `--min-spans` additionally
+//! requires at least N complete events per file, and each
+//! `--require-kind` (repeatable) requires a span with that exact name
+//! somewhere in the file — the episode-completeness gate.
+//!
+//! Exit codes: 0 = all files valid, 1 = a file failed validation,
+//! 2 = operational error (bad args, no files, unreadable file).
+
+use apor_telemetry::trace::validate_chrome_trace;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut files = Vec::new();
+    let mut min_spans = 0usize;
+    let mut required: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-spans" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => min_spans = n,
+                None => return fail("--min-spans needs a non-negative integer"),
+            },
+            "--require-kind" => match args.next() {
+                Some(name) => required.push(name),
+                None => return fail("--require-kind needs a span name"),
+            },
+            other if other.starts_with("--") => {
+                return fail(&format!("unknown argument '{other}'"));
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return fail("usage: trace_check <trace.json> [...] [--min-spans N] [--require-kind NAME]");
+    }
+    let mut bad = 0usize;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        match validate_chrome_trace(&text) {
+            Ok(stats) => {
+                let mut errors = Vec::new();
+                if stats.spans < min_spans {
+                    errors.push(format!(
+                        "only {} complete spans, need at least {min_spans}",
+                        stats.spans
+                    ));
+                }
+                for name in &required {
+                    if !stats.names.iter().any(|n| n == name) {
+                        errors.push(format!("missing required span kind '{name}'"));
+                    }
+                }
+                if errors.is_empty() {
+                    println!(
+                        "{path}: ok — {} spans, {} lanes, {} episodes",
+                        stats.spans, stats.lanes, stats.episodes
+                    );
+                } else {
+                    for e in &errors {
+                        eprintln!("{path}: {e}");
+                    }
+                    bad += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("trace_check: {bad} of {} file(s) failed", files.len());
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

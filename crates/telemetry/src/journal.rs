@@ -20,10 +20,22 @@ pub enum Severity {
     Warn,
 }
 
+impl Severity {
+    /// Stable lowercase label (JSON export).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
 /// Why the simulated network dropped a packet. The distinction is the
 /// point: a queue-overflow drop indicts the receiver's capacity, a
 /// link-down drop indicts the failure schedule (partition or outage).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DropCause {
     /// The failure schedule had the link (or an endpoint) down —
     /// partitions and outages land here.
@@ -53,8 +65,10 @@ impl DropCause {
 }
 
 /// What happened. Variants cover the protocol milestones every layer
-/// reports; ids are raw node indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// reports; ids are raw node indices. The derived total order (with
+/// [`Event`]'s time and node) is what makes fleet-merged event lists
+/// deterministic regardless of merge order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EventKind {
     /// A liveness probe left for `to`.
     ProbeSent {
@@ -128,6 +142,22 @@ pub struct Event {
     pub node: u32,
     /// What happened.
     pub kind: EventKind,
+}
+
+impl Event {
+    /// The canonical total order merged event lists are sorted by:
+    /// `(time, node, severity, kind)`. Time compares via
+    /// [`f64::total_cmp`], so the order is total even for exotic
+    /// timestamps and a fleet merge is deterministic regardless of the
+    /// order snapshots were folded in.
+    #[must_use]
+    pub fn canonical_cmp(&self, other: &Event) -> std::cmp::Ordering {
+        self.t
+            .total_cmp(&other.t)
+            .then_with(|| self.node.cmp(&other.node))
+            .then_with(|| self.severity.cmp(&other.severity))
+            .then_with(|| self.kind.cmp(&other.kind))
+    }
 }
 
 /// The ring buffer behind a [`Telemetry`](crate::Telemetry) handle's

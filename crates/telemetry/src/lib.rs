@@ -71,6 +71,16 @@
 //! best-hop / merge kernels. See [`regress::compare`] for the
 //! calibration-based normalization that makes the comparison meaningful
 //! across machines.
+//!
+//! # Causal tracing
+//!
+//! The third observability layer (after metrics and the journal) is
+//! the [`trace`] module: per-node span flight recorders, the wire
+//! [`trace::TraceCtx`] that carries episode identity across nodes, and
+//! the Chrome trace-event exporter/validator behind the
+//! `results/*_trace.json` files. The three layers, their export
+//! schemas and the Perfetto workflow are documented in
+//! `docs/OBSERVABILITY.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,7 +90,11 @@ pub mod json;
 pub mod metrics;
 pub mod regress;
 pub mod snapshot;
+pub mod trace;
 
 pub use journal::{DropCause, Event, EventKind, Severity};
 pub use metrics::{Counter, Gauge, Histogram, Telemetry};
 pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot};
+pub use trace::{
+    chrome_trace_json, validate_chrome_trace, DumpOnPanic, Span, SpanKind, TraceCtx, Tracer,
+};

@@ -312,6 +312,8 @@ impl Telemetry {
             };
             snap.insert(self.inner.node, component, name, value);
         }
+        drop(reg);
+        snap.set_events(self.events());
         snap
     }
 }
