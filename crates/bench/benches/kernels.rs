@@ -100,6 +100,8 @@ fn bench_wire(c: &mut Criterion) {
             entries: (0..n)
                 .map(|i| LinkEntry::live((i % 500) as u16, 0.01))
                 .collect(),
+            seqno: 0,
+            retractions: vec![],
         });
         g.throughput(Throughput::Bytes(msg.wire_size() as u64));
         g.bench_with_input(BenchmarkId::new("encode", n), &msg, |b, msg| {
@@ -235,6 +237,8 @@ fn bench_round_two_tick(c: &mut Criterion) {
                 round: 1,
                 basis_ms: 250,
                 entries: ground_truth_row(&topo, c_idx),
+                seqno: 0,
+                retractions: vec![],
             });
             let _ = router.on_message(0.25, &msg);
         }

@@ -16,6 +16,7 @@
 //! | [`theory_exp`] | section 6.1's closed-form capacity table |
 //! | [`churn`] | beyond the paper: crash-detection & view convergence, SWIM vs centralized |
 //! | [`partition`] | beyond the paper: partition healing with/without push-pull anti-entropy |
+//! | [`detour`] | beyond the paper: recovery-time CDFs, 1-hop failover vs feasible k-hop detours |
 //! | [`scale`] | beyond the paper: sparse store + idle-aware netsim at n up to 4096 — state, probe bytes, coverage |
 
 #![forbid(unsafe_code)]
@@ -24,6 +25,7 @@
 pub mod ablations;
 pub mod churn;
 pub mod deployment;
+pub mod detour;
 pub mod fig1;
 pub mod fig9;
 pub mod lower_bound;

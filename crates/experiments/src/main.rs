@@ -19,6 +19,7 @@
 //!   ablations   design-choice ablations (interval, rec format, staleness)
 //!   churn       membership churn: SWIM gossip vs centralized coordinator
 //!   partition   partition healing: push-pull anti-entropy on vs off
+//!   detour      recovery CDFs: 1-hop failover vs k-hop feasible detours
 //!   scale       sparse store + netsim at n up to 4096: state, probe bytes, coverage
 //!   all         everything above
 //!
@@ -29,8 +30,8 @@
 use apor_analysis::{write_csv, Cdf, Table};
 use apor_experiments::deployment::{self, DeploymentData, DeploymentParams};
 use apor_experiments::{
-    ablations, churn, fig1, fig9, lower_bound, multihop_exp, partition, results_path, scale,
-    theory_exp,
+    ablations, churn, detour, fig1, fig9, lower_bound, multihop_exp, partition, results_path,
+    scale, theory_exp,
 };
 
 fn main() {
@@ -119,6 +120,20 @@ fn main() {
             partition::PartitionParams::default()
         };
         partition::run_and_report(&params).expect("partition report");
+    }
+    if run("detour") {
+        let params = if quick {
+            detour::DetourParams {
+                n: 20,
+                blackout_at_s: 60.0,
+                blackout_s: 120.0,
+                horizon_s: 90.0,
+                ..Default::default()
+            }
+        } else {
+            detour::DetourParams::default()
+        };
+        detour::run_and_report(&params).expect("detour report");
     }
     if run("scale") {
         let params = if quick {

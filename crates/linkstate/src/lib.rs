@@ -50,12 +50,13 @@ pub mod wire;
 pub use entry::{Cost, LinkEntry, INFINITE_COST, INFINITE_COST_U32};
 pub use estimator::{LinkEstimator, ProbeOutcome};
 pub use store::{
-    best_one_hop_rows, LaneRow, LinkStateStore, LiveEntries, RowCursor, RowRef, RowStore,
+    best_one_hop_rows, seqno_newer, LaneRow, LinkStateStore, LiveEntries, RowCursor, RowRef,
+    RowStore,
 };
 pub use table::LinkStateTable;
 pub use wire::{
-    LinkStateMsg, Message, ProbeBatchMsg, ProbeItem, ProbeMsg, ProbeReplyMsg, RecEntry, RecFormat,
-    RecommendationMsg, SparseLinkStateMsg, LINKSTATE_HEADER_SIZE, PROBE_BATCH_HEADER_SIZE,
-    PROBE_FLAG_TRACE, PROBE_WIRE_SIZE, REC_HEADER_SIZE, SPARSE_LINKSTATE_HEADER_SIZE,
-    UDP_IP_OVERHEAD,
+    ls_trailer_size, LinkStateMsg, Message, ProbeBatchMsg, ProbeItem, ProbeMsg, ProbeReplyMsg,
+    RecEntry, RecFormat, RecommendationMsg, SparseLinkStateMsg, LINKSTATE_HEADER_SIZE,
+    LS_FLAG_SEQNO, LS_SEQNO_TRAILER_BASE, PROBE_BATCH_HEADER_SIZE, PROBE_FLAG_TRACE,
+    PROBE_WIRE_SIZE, REC_HEADER_SIZE, SPARSE_LINKSTATE_HEADER_SIZE, UDP_IP_OVERHEAD,
 };

@@ -625,6 +625,24 @@ pub struct LaneRow {
     dst: Box<[u16]>,
     latency_ms: Box<[u16]>,
     liveness_loss: Box<[u8]>,
+    /// The origin's row sequence number (0 = unversioned legacy row).
+    /// Bumped by the origin on retraction events; the store refuses to
+    /// replace a versioned row with a strictly older one, so delayed or
+    /// replayed frames can never resurrect a withdrawn link.
+    seqno: u16,
+    /// Destinations the origin explicitly withdrew at this seqno,
+    /// strictly ascending — a fourth lane alongside the live-entry
+    /// lanes. Retraction is stronger than mere absence: receivers
+    /// propagate it into their feasibility tables.
+    retracted: Box<[u16]>,
+}
+
+/// Is `b` strictly newer than `a` under the RFC 8966 circular 16-bit
+/// comparison? Sequence numbers wrap, so "newer" means the forward
+/// distance `b − a (mod 2¹⁶)` lands in the first half of the circle.
+#[must_use]
+pub fn seqno_newer(a: u16, b: u16) -> bool {
+    b != a && b.wrapping_sub(a) < 0x8000
 }
 
 impl LaneRow {
@@ -664,7 +682,32 @@ impl LaneRow {
             dst: dst.into_boxed_slice(),
             latency_ms: latency_ms.into_boxed_slice(),
             liveness_loss: liveness_loss.into_boxed_slice(),
+            seqno: 0,
+            retracted: Box::default(),
         }
+    }
+
+    /// Stamp the row with the origin's seqno and retraction lane
+    /// (strictly ascending destinations, debug-asserted).
+    #[must_use]
+    pub fn with_version(mut self, seqno: u16, retracted: &[u16]) -> Self {
+        debug_assert!(retracted.windows(2).all(|w| w[0] < w[1]));
+        self.seqno = seqno;
+        self.retracted = retracted.into();
+        self
+    }
+
+    /// The origin's row sequence number (0 = unversioned).
+    #[must_use]
+    pub fn seqno(&self) -> u16 {
+        self.seqno
+    }
+
+    /// The retraction lane: destinations the origin explicitly
+    /// withdrew, strictly ascending.
+    #[must_use]
+    pub fn retracted(&self) -> &[u16] {
+        &self.retracted
     }
 
     /// Number of (live) entries stored.
@@ -765,6 +808,59 @@ pub trait LinkStateStore {
     /// Panics if `origin ≥ len()` or any `dst ≥ len()`; ordering is
     /// debug-asserted.
     fn update_row_sparse(&mut self, origin: usize, entries: &[(u16, LinkEntry)], now: f64);
+
+    /// Replace row `origin` like
+    /// [`update_row`](LinkStateStore::update_row), carrying the route
+    /// discipline: the origin's `seqno` and explicit `retractions`.
+    /// Returns `false` (row unchanged) when the held row is versioned
+    /// and strictly newer than the incoming one — the stale-replay
+    /// guard. A zero `seqno` on either side is unversioned and always
+    /// accepted. The default ignores versioning (dense baseline stores
+    /// keep their legacy behavior).
+    fn update_row_versioned(
+        &mut self,
+        origin: usize,
+        entries: &[LinkEntry],
+        seqno: u16,
+        retractions: &[u16],
+        now: f64,
+    ) -> bool {
+        let _ = (seqno, retractions);
+        self.update_row(origin, entries, now);
+        true
+    }
+
+    /// [`update_row_sparse`](LinkStateStore::update_row_sparse) with the
+    /// route discipline; same acceptance rule as
+    /// [`update_row_versioned`](LinkStateStore::update_row_versioned).
+    fn update_row_sparse_versioned(
+        &mut self,
+        origin: usize,
+        entries: &[(u16, LinkEntry)],
+        seqno: u16,
+        retractions: &[u16],
+        now: f64,
+    ) -> bool {
+        let _ = (seqno, retractions);
+        self.update_row_sparse(origin, entries, now);
+        true
+    }
+
+    /// The held seqno of row `origin` (0 = absent or unversioned).
+    fn row_seqno(&self, _origin: usize) -> u16 {
+        0
+    }
+
+    /// Did row `origin` explicitly retract `dst` at its current seqno?
+    fn row_retracts(&self, _origin: usize, _dst: usize) -> bool {
+        false
+    }
+
+    /// The full retraction lane of row `origin`, ascending (empty when
+    /// the row is absent or the store does not track versions).
+    fn row_retractions(&self, _origin: usize) -> Vec<u16> {
+        Vec::new()
+    }
 
     /// Update a single entry of a row (used for the node's own row,
     /// which its probers refresh incrementally). Creates the row (all
@@ -930,6 +1026,94 @@ pub trait LinkStateStore {
             out.push((h, f64::from(leg1 + leg2)));
         }
         out.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap().then(x.0.cmp(&y.0)));
+        out
+    }
+
+    /// Generalized §4.2 scavenging: candidate detours `a → r₁ → … → b`
+    /// through up to `max_hops` intermediate relays (`max_hops == 1`
+    /// reproduces [`one_hop_options`](LinkStateStore::one_hop_options)
+    /// exactly, entry for entry). Only present, *fresh* relay rows
+    /// participate — `O(√n)` relays for a quorum node — and paths are
+    /// simple by construction, so a candidate can never revisit a node.
+    ///
+    /// Returns one option per viable first relay: the full path
+    /// (`path[0] == a`, `path.last() == b`), its total cost, and the
+    /// *remaining* cost after the first leg — the cost the first relay
+    /// effectively advertises for the rest of the path, which is what
+    /// the feasibility discipline compares against its feasibility
+    /// distance. Sorted by total cost, lowest first-relay index on
+    /// ties. The hop-layered relaxation runs `O(k·√n·√n)` integer
+    /// additions off the per-tick hot path (failover only); the
+    /// per-tick round-two kernel is untouched.
+    fn k_hop_options(
+        &self,
+        a: usize,
+        b: usize,
+        max_hops: usize,
+        now: f64,
+        max_age: f64,
+    ) -> Vec<(Vec<usize>, Cost, Cost)> {
+        if a == b || max_hops == 0 || !self.row_fresh(a, now, max_age) {
+            return Vec::new();
+        }
+        let relays: Vec<usize> = self
+            .present_rows()
+            .into_iter()
+            .filter(|&r| r != a && r != b && self.row_fresh(r, now, max_age))
+            .collect();
+        // best[i]: cheapest known tail `relays[i] → … → b` and its cost,
+        // grown one relay per layer (classic hop-bounded relaxation).
+        let mut best: Vec<Option<(u32, Vec<usize>)>> = relays
+            .iter()
+            .map(|&r| {
+                let c = self.entry(r, b).cost_u32();
+                (c != INFINITE_COST_U32).then(|| (c, vec![r, b]))
+            })
+            .collect();
+        for _ in 1..max_hops {
+            let prev = best.clone();
+            for (i, &r) in relays.iter().enumerate() {
+                let row_r = self.row_ref(r).expect("fresh row present");
+                let mut cur = row_r.cursor();
+                for (j, &s) in relays.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let Some((tail_cost, tail)) = &prev[j] else {
+                        continue;
+                    };
+                    let leg = cur.cost_u32(s);
+                    if leg == INFINITE_COST_U32 || tail.contains(&r) {
+                        continue;
+                    }
+                    let total = leg + tail_cost;
+                    if best[i].as_ref().is_none_or(|(c, _)| total < *c) {
+                        let mut path = Vec::with_capacity(tail.len() + 1);
+                        path.push(r);
+                        path.extend_from_slice(tail);
+                        debug_assert!(path.len() <= max_hops + 1);
+                        best[i] = Some((total, path));
+                    }
+                }
+            }
+        }
+        let row_a = self.row_ref(a).expect("fresh row present");
+        let mut cur_a = row_a.cursor();
+        let mut out = Vec::new();
+        for (i, &r) in relays.iter().enumerate() {
+            let Some((tail_cost, tail)) = &best[i] else {
+                continue;
+            };
+            let leg1 = cur_a.cost_u32(r);
+            if leg1 == INFINITE_COST_U32 {
+                continue;
+            }
+            let mut path = Vec::with_capacity(tail.len() + 1);
+            path.push(a);
+            path.extend_from_slice(tail);
+            out.push((path, f64::from(leg1 + tail_cost), f64::from(*tail_cost)));
+        }
+        out.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap().then(x.0[1].cmp(&y.0[1])));
         out
     }
 
@@ -1138,6 +1322,17 @@ impl RowStore {
 }
 
 impl RowStore {
+    /// The stale-replay guard: an incoming *versioned* row is rejected
+    /// when the held row is versioned and strictly newer. Zero seqnos
+    /// (legacy unversioned rows) always pass — no flag day.
+    fn replay_rejected(&self, origin: usize, incoming: u16) -> bool {
+        if incoming == 0 {
+            return false;
+        }
+        let held = self.rows.get(&origin).map_or(0, |s| s.lanes.seqno());
+        held != 0 && seqno_newer(incoming, held)
+    }
+
     /// Insert or replace a row already reduced to its live-entry lanes.
     fn put_row(&mut self, origin: usize, lanes: LaneRow, now: f64) {
         match self.rows.get_mut(&origin) {
@@ -1179,6 +1374,61 @@ impl LinkStateStore for RowStore {
             "sparse row destination out of range"
         );
         self.put_row(origin, LaneRow::from_pairs(entries), now);
+    }
+
+    fn update_row_versioned(
+        &mut self,
+        origin: usize,
+        entries: &[LinkEntry],
+        seqno: u16,
+        retractions: &[u16],
+        now: f64,
+    ) -> bool {
+        assert!(origin < self.n, "row {origin} out of range");
+        assert_eq!(entries.len(), self.n, "row must have n entries");
+        if self.replay_rejected(origin, seqno) {
+            return false;
+        }
+        let lanes = LaneRow::from_dense(entries).with_version(seqno, retractions);
+        self.put_row(origin, lanes, now);
+        true
+    }
+
+    fn update_row_sparse_versioned(
+        &mut self,
+        origin: usize,
+        entries: &[(u16, LinkEntry)],
+        seqno: u16,
+        retractions: &[u16],
+        now: f64,
+    ) -> bool {
+        assert!(origin < self.n, "row {origin} out of range");
+        assert!(
+            entries.last().is_none_or(|&(d, _)| (d as usize) < self.n),
+            "sparse row destination out of range"
+        );
+        if self.replay_rejected(origin, seqno) {
+            return false;
+        }
+        let lanes = LaneRow::from_pairs(entries).with_version(seqno, retractions);
+        self.put_row(origin, lanes, now);
+        true
+    }
+
+    fn row_seqno(&self, origin: usize) -> u16 {
+        self.rows.get(&origin).map_or(0, |s| s.lanes.seqno())
+    }
+
+    fn row_retracts(&self, origin: usize, dst: usize) -> bool {
+        self.rows
+            .get(&origin)
+            .is_some_and(|s| s.lanes.retracted().binary_search(&(dst as u16)).is_ok())
+    }
+
+    fn row_retractions(&self, origin: usize) -> Vec<u16> {
+        self.rows
+            .get(&origin)
+            .map_or_else(Vec::new, |s| s.lanes.retracted().to_vec())
     }
 
     fn update_entry(&mut self, origin: usize, dst: usize, entry: LinkEntry, now: f64) {
@@ -1524,6 +1774,108 @@ mod tests {
         assert_eq!(view.get(0), LinkEntry::decode(row[0].encode()));
         assert_eq!(view.get(0).latency_ms, u16::MAX - 1);
         assert_eq!(view.get(1), LinkEntry::dead());
+    }
+
+    #[test]
+    fn seqno_comparison_is_circular() {
+        assert!(seqno_newer(1, 2));
+        assert!(!seqno_newer(2, 1));
+        assert!(!seqno_newer(5, 5));
+        // Wrap-around: 2 is newer than 65535, not 32767 behind it.
+        assert!(seqno_newer(u16::MAX, 2));
+        assert!(!seqno_newer(2, u16::MAX));
+    }
+
+    #[test]
+    fn versioned_updates_reject_stale_replays() {
+        let n = 4;
+        let mut s = RowStore::new(n);
+        assert!(s.update_row_versioned(0, &live_row(&[0, 10, 20, 30]), 5, &[], 1.0));
+        assert_eq!(s.row_seqno(0), 5);
+        // Same seqno refreshes (periodic re-announcement), newer advances.
+        assert!(s.update_row_versioned(0, &live_row(&[0, 11, 20, 30]), 5, &[], 2.0));
+        assert_eq!(s.row_time(0), Some(2.0));
+        assert!(s.update_row_sparse_versioned(0, &[(1, LinkEntry::live(9, 0.0))], 6, &[2], 3.0));
+        assert_eq!(s.row_seqno(0), 6);
+        assert!(s.row_retracts(0, 2));
+        assert!(!s.row_retracts(0, 1));
+        // A delayed replay of the older row must not resurrect dst 2.
+        assert!(!s.update_row_versioned(0, &live_row(&[0, 10, 20, 30]), 5, &[], 4.0));
+        assert_eq!(s.row_seqno(0), 6);
+        assert_eq!(s.row_time(0), Some(3.0), "rejected replay leaves the row");
+        assert!(!s.entry(0, 2).alive);
+        // Unversioned rows (seqno 0) always pass — no flag day.
+        assert!(s.update_row_versioned(0, &live_row(&[0, 10, 20, 30]), 0, &[], 5.0));
+        assert_eq!(s.row_seqno(0), 0);
+        assert!(!s.row_retracts(0, 2));
+    }
+
+    /// `k_hop_options` with one hop is `one_hop_options`, option for
+    /// option; with more hops it splices paths scavenging can't see.
+    #[test]
+    fn k_hop_options_generalize_one_hop() {
+        let n = 5;
+        let mut s = RowStore::new(n);
+        // A chain 0 → 1 → 2 → 3 → 4 plus a dead-end shortcut 0 → 2.
+        let inf = u16::MAX;
+        let rows: &[&[u16]] = &[
+            &[0, 10, 50, inf, inf],
+            &[10, 0, 10, inf, inf],
+            &[50, 10, 0, 10, inf],
+            &[inf, inf, 10, 0, 10],
+            &[inf, inf, inf, 10, 0],
+        ];
+        for (origin, costs) in rows.iter().enumerate() {
+            let entries: Vec<LinkEntry> = costs
+                .iter()
+                .map(|&c| {
+                    if c == inf {
+                        LinkEntry::dead()
+                    } else {
+                        LinkEntry::live(c, 0.0)
+                    }
+                })
+                .collect();
+            s.update_row(origin, &entries, 10.0);
+        }
+        // k = 1 parity with the scavenging kernel.
+        for (a, b) in [(0, 2), (0, 4), (1, 3), (2, 0)] {
+            let one: Vec<(usize, Cost)> = s.one_hop_options(a, b, 10.5, 45.0);
+            let k: Vec<(usize, Cost)> = s
+                .k_hop_options(a, b, 1, 10.5, 45.0)
+                .into_iter()
+                .map(|(path, cost, _)| {
+                    assert_eq!(path.len(), 3);
+                    assert_eq!((path[0], path[2]), (a, b));
+                    (path[1], cost)
+                })
+                .collect();
+            assert_eq!(one, k, "pair ({a},{b})");
+        }
+        // 0 → 4 needs at least two intermediate relays; 1-hop scavenging
+        // finds nothing, 2-hop pays the expensive 0 → 2 link, 3-hop
+        // routes around it.
+        assert!(s.k_hop_options(0, 4, 1, 10.5, 45.0).is_empty());
+        let two = s.k_hop_options(0, 4, 2, 10.5, 45.0);
+        assert_eq!(two[0].0, vec![0, 2, 3, 4]);
+        assert_eq!(two[0].1, 70.0);
+        let opts = s.k_hop_options(0, 4, 3, 10.5, 45.0);
+        let (path, cost, remaining) = &opts[0];
+        assert_eq!(path, &[0, 1, 2, 3, 4]);
+        assert_eq!(*cost, 40.0);
+        assert_eq!(*remaining, 30.0, "cost the first relay advertises");
+        // Wider budgets don't invent longer paths when shorter ones win.
+        assert_eq!(
+            s.k_hop_options(0, 4, 8, 10.5, 45.0)[0].0,
+            vec![0, 1, 2, 3, 4]
+        );
+        // Paths are simple: no candidate revisits a node.
+        for (path, _, _) in s.k_hop_options(0, 4, 8, 10.5, 45.0) {
+            let mut seen = path.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), path.len(), "path {path:?} revisits a node");
+        }
     }
 
     #[test]

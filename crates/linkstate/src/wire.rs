@@ -63,6 +63,72 @@ const TI_GAUGE: u8 = 3;
 /// frames without the bit are bit-identical to the legacy format.
 pub const PROBE_FLAG_TRACE: u8 = 0x01;
 
+/// Link-state flags bit (dense and sparse frames) marking a trailing
+/// *route-discipline* section after the entry list: the origin's row
+/// sequence number (`u16`) plus an explicit retraction list (`u16`
+/// count, then that many strictly-ascending destination indices the
+/// origin withdraws). Like [`PROBE_FLAG_TRACE`], presence is signalled
+/// in the header, so truncating a versioned frame at any byte fails to
+/// decode, and frames without the bit — seqno 0, no retractions — are
+/// bit-identical to the legacy format (old captures need no flag day).
+pub const LS_FLAG_SEQNO: u16 = 0x0001;
+
+/// Fixed bytes of the seqno trailer before the retraction list
+/// (`seqno: u16` + `count: u16`); each retraction adds 2 bytes.
+pub const LS_SEQNO_TRAILER_BASE: usize = 4;
+
+/// Bytes the route-discipline trailer adds to a link-state frame with
+/// sequence number `seqno` and `retractions` withdrawn destinations:
+/// zero for the legacy flagless form (seqno 0, nothing retracted).
+#[must_use]
+pub fn ls_trailer_size(seqno: u16, retractions: &[u16]) -> usize {
+    if seqno == 0 && retractions.is_empty() {
+        0
+    } else {
+        LS_SEQNO_TRAILER_BASE + 2 * retractions.len()
+    }
+}
+
+/// Encode the route-discipline trailer (callers gate on
+/// [`ls_trailer_size`] being nonzero).
+fn put_ls_trailer(b: &mut BytesMut, seqno: u16, retractions: &[u16]) {
+    b.put_u16(seqno);
+    b.put_u16(retractions.len() as u16);
+    for &dst in retractions {
+        b.put_u16(dst);
+    }
+}
+
+/// Decode the route-discipline trailer: consumes the rest of `b`, which
+/// must contain exactly the trailer. Retractions must be strictly
+/// ascending and `< width`; a canonical frame never carries an empty
+/// trailer (that form encodes flagless).
+fn get_ls_trailer(b: &mut &[u8], width: u16) -> Result<(u16, Vec<u16>), WireError> {
+    if b.remaining() < LS_SEQNO_TRAILER_BASE {
+        return Err(WireError::Truncated);
+    }
+    let seqno = b.get_u16();
+    let count = b.get_u16() as usize;
+    if b.remaining() != count * 2 {
+        return Err(WireError::BadLength);
+    }
+    let mut retractions = Vec::with_capacity(count);
+    let mut prev: Option<u16> = None;
+    for _ in 0..count {
+        let dst = b.get_u16();
+        if dst >= width || prev.is_some_and(|p| dst <= p) {
+            return Err(WireError::BadLength);
+        }
+        prev = Some(dst);
+        retractions.push(dst);
+    }
+    if seqno == 0 && retractions.is_empty() {
+        // Non-canonical: the legacy-identical form must be flagless.
+        return Err(WireError::BadLength);
+    }
+    Ok((seqno, retractions))
+}
+
 /// Errors from [`Message::decode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -190,6 +256,15 @@ pub struct LinkStateMsg {
     pub basis_ms: u32,
     /// One entry per grid index (length = view size).
     pub entries: Vec<LinkEntry>,
+    /// Origin's row sequence number ([`LS_FLAG_SEQNO`] trailer). Zero
+    /// means unversioned (the legacy flagless form); a versioned origin
+    /// bumps it on retraction events so stale row replays can never
+    /// resurrect a withdrawn link.
+    pub seqno: u16,
+    /// Destinations the origin explicitly withdraws, strictly ascending
+    /// and `< entries.len()`. Unlike mere entry death, a retraction is a
+    /// deliberate signal receivers may propagate (feasibility reset).
+    pub retractions: Vec<u16>,
 }
 
 /// A round-one link-state message carrying only the *live* entries of
@@ -215,6 +290,12 @@ pub struct SparseLinkStateMsg {
     pub width: u16,
     /// The live entries, ascending by destination index.
     pub entries: Vec<(u16, LinkEntry)>,
+    /// Origin's row sequence number ([`LS_FLAG_SEQNO`] trailer); zero
+    /// means unversioned (legacy flagless form).
+    pub seqno: u16,
+    /// Destinations the origin explicitly withdraws, strictly ascending
+    /// and `< width`.
+    pub retractions: Vec<u16>,
 }
 
 /// One best-hop recommendation: "to reach `dst`, forward via `hop`"
@@ -409,10 +490,14 @@ impl Message {
                 b.put_u16(m.entries.len() as u16);
                 b.put_u32(m.basis_ms);
                 b.put_u16(m.width);
-                b.put_u16(0); // flags
+                let versioned = ls_trailer_size(m.seqno, &m.retractions) != 0;
+                b.put_u16(if versioned { LS_FLAG_SEQNO } else { 0 });
                 for &(dst, e) in &m.entries {
                     b.put_u16(dst);
                     b.put_slice(&e.encode());
+                }
+                if versioned {
+                    put_ls_trailer(&mut b, m.seqno, &m.retractions);
                 }
             }
             Message::LinkState(m) => {
@@ -423,9 +508,13 @@ impl Message {
                 b.put_u32(m.round);
                 b.put_u16(m.entries.len() as u16);
                 b.put_u32(m.basis_ms);
-                b.put_u16(0); // flags
+                let versioned = ls_trailer_size(m.seqno, &m.retractions) != 0;
+                b.put_u16(if versioned { LS_FLAG_SEQNO } else { 0 });
                 for e in &m.entries {
                     b.put_slice(&e.encode());
+                }
+                if versioned {
+                    put_ls_trailer(&mut b, m.seqno, &m.retractions);
                 }
             }
             Message::Recommendations(m) => {
@@ -608,8 +697,14 @@ impl Message {
                 let count = b.get_u16() as usize;
                 let basis_ms = b.get_u32();
                 let width = b.get_u16();
-                let _flags = b.get_u16();
-                if b.remaining() != count * (2 + LinkEntry::WIRE_SIZE) {
+                let flags = b.get_u16();
+                let versioned = flags & LS_FLAG_SEQNO != 0;
+                let body = count * (2 + LinkEntry::WIRE_SIZE);
+                if versioned {
+                    if b.remaining() < body {
+                        return Err(WireError::Truncated);
+                    }
+                } else if b.remaining() != body {
                     return Err(WireError::BadLength);
                 }
                 let mut entries = Vec::with_capacity(count);
@@ -625,6 +720,11 @@ impl Message {
                     let raw = [b.get_u8(), b.get_u8(), b.get_u8()];
                     entries.push((dst, LinkEntry::decode(raw)));
                 }
+                let (seqno, retractions) = if versioned {
+                    get_ls_trailer(&mut b, width)?
+                } else {
+                    (0, Vec::new())
+                };
                 Ok(Message::LinkStateSparse(SparseLinkStateMsg {
                     from,
                     to,
@@ -633,6 +733,8 @@ impl Message {
                     basis_ms,
                     width,
                     entries,
+                    seqno,
+                    retractions,
                 }))
             }
             T_LINKSTATE => {
@@ -643,8 +745,14 @@ impl Message {
                 let round = b.get_u32();
                 let count = b.get_u16() as usize;
                 let basis_ms = b.get_u32();
-                let _flags = b.get_u16();
-                if b.remaining() != count * LinkEntry::WIRE_SIZE {
+                let flags = b.get_u16();
+                let versioned = flags & LS_FLAG_SEQNO != 0;
+                let body = count * LinkEntry::WIRE_SIZE;
+                if versioned {
+                    if b.remaining() < body {
+                        return Err(WireError::Truncated);
+                    }
+                } else if b.remaining() != body {
                     return Err(WireError::BadLength);
                 }
                 let mut entries = Vec::with_capacity(count);
@@ -652,6 +760,11 @@ impl Message {
                     let raw = [b.get_u8(), b.get_u8(), b.get_u8()];
                     entries.push(LinkEntry::decode(raw));
                 }
+                let (seqno, retractions) = if versioned {
+                    get_ls_trailer(&mut b, count as u16)?
+                } else {
+                    (0, Vec::new())
+                };
                 Ok(Message::LinkState(LinkStateMsg {
                     from,
                     to,
@@ -659,6 +772,8 @@ impl Message {
                     round,
                     basis_ms,
                     entries,
+                    seqno,
+                    retractions,
                 }))
             }
             T_RECOMMENDATIONS => {
@@ -734,9 +849,15 @@ impl Message {
             Message::ProbeBatch(m) => {
                 PROBE_BATCH_HEADER_SIZE + m.items.iter().map(|i| i.wire_size()).sum::<usize>()
             }
-            Message::LinkState(m) => LINKSTATE_HEADER_SIZE + m.entries.len() * LinkEntry::WIRE_SIZE,
+            Message::LinkState(m) => {
+                LINKSTATE_HEADER_SIZE
+                    + m.entries.len() * LinkEntry::WIRE_SIZE
+                    + ls_trailer_size(m.seqno, &m.retractions)
+            }
             Message::LinkStateSparse(m) => {
-                SPARSE_LINKSTATE_HEADER_SIZE + m.entries.len() * (2 + LinkEntry::WIRE_SIZE)
+                SPARSE_LINKSTATE_HEADER_SIZE
+                    + m.entries.len() * (2 + LinkEntry::WIRE_SIZE)
+                    + ls_trailer_size(m.seqno, &m.retractions)
             }
             Message::Recommendations(m) => REC_HEADER_SIZE + m.recs.len() * m.format.entry_size(),
             Message::Join { .. } | Message::Leave { .. } => 5,
@@ -807,6 +928,8 @@ mod tests {
             round: 99,
             basis_ms: 1_000_000,
             entries,
+            seqno: 0,
+            retractions: vec![],
         });
         // 21 + 3·140 = 441 bytes: the paper's "at most 3·n bytes" payload.
         assert_eq!(m.wire_size(), 21 + 3 * n);
@@ -1033,6 +1156,8 @@ mod tests {
                 (64, LinkEntry::live(120, 0.0)),
                 (4095, LinkEntry::live(7, 0.0)),
             ],
+            seqno: 0,
+            retractions: vec![],
         });
         // 23 + 5·k: at n = 4096 a 130-live-entry row costs 673 B sparse
         // vs 12 309 B dense.
@@ -1051,6 +1176,8 @@ mod tests {
                 basis_ms: 0,
                 width: 100,
                 entries,
+                seqno: 0,
+                retractions: vec![],
             })
             .encode()
         };
@@ -1090,6 +1217,8 @@ mod tests {
             round: 0,
             basis_ms: 0,
             entries: vec![LinkEntry::live(5, 0.0); 10],
+            seqno: 0,
+            retractions: vec![],
         });
         let bytes = m.encode();
         for cut in 1..bytes.len() {
@@ -1116,6 +1245,96 @@ mod tests {
         let mut bytes = m.encode().to_vec();
         bytes.extend_from_slice(&[0, 0]); // trailing junk
         assert_eq!(Message::decode(&bytes), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn versioned_linkstate_roundtrips_and_rejects_truncation() {
+        let m = Message::LinkState(LinkStateMsg {
+            from: NodeId(5),
+            to: NodeId(17),
+            view: 2,
+            round: 99,
+            basis_ms: 1_000_000,
+            entries: vec![LinkEntry::live(40, 0.0); 12],
+            seqno: 7,
+            retractions: vec![2, 5, 11],
+        });
+        // Legacy body plus the 4-byte trailer base and 2 bytes/retraction.
+        assert_eq!(m.wire_size(), 21 + 3 * 12 + 4 + 2 * 3);
+        assert_eq!(roundtrip(&m), m);
+        let bytes = m.encode();
+        assert_eq!(
+            u16::from_be_bytes([bytes[19], bytes[20]]) & LS_FLAG_SEQNO,
+            LS_FLAG_SEQNO
+        );
+        for cut in 1..bytes.len() {
+            assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte versioned prefix should fail"
+            );
+        }
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(Message::decode(&long).is_err());
+    }
+
+    #[test]
+    fn versioned_sparse_linkstate_roundtrips_and_validates_retractions() {
+        let mk = |seqno: u16, retractions: Vec<u16>| {
+            Message::LinkStateSparse(SparseLinkStateMsg {
+                from: NodeId(0),
+                to: NodeId(1),
+                view: 0,
+                round: 3,
+                basis_ms: 0,
+                width: 100,
+                entries: vec![(4, LinkEntry::live(9, 0.0)), (40, LinkEntry::live(2, 0.0))],
+                seqno,
+                retractions,
+            })
+        };
+        let m = mk(1, vec![7, 90]);
+        assert_eq!(m.wire_size(), 23 + 5 * 2 + 4 + 2 * 2);
+        assert_eq!(roundtrip(&m), m);
+        // A seqno with no retractions is still a valid trailer.
+        let bumped = mk(9, vec![]);
+        assert_eq!(bumped.wire_size(), 23 + 5 * 2 + 4);
+        assert_eq!(roundtrip(&bumped), bumped);
+        // Retractions must be ascending, unique, and < width.
+        for bad in [vec![90u16, 7], vec![7, 7], vec![100]] {
+            assert_eq!(
+                Message::decode(&mk(1, bad).encode()),
+                Err(WireError::BadLength)
+            );
+        }
+        for cut in 1..m.encode().len() {
+            assert!(Message::decode(&m.encode()[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn unversioned_linkstate_is_bit_identical_to_legacy() {
+        // seqno 0 + no retractions must encode the pre-seqno format
+        // byte for byte: flags word zero, no trailer, old sizes.
+        let m = Message::LinkState(LinkStateMsg {
+            from: NodeId(1),
+            to: NodeId(2),
+            view: 4,
+            round: 9,
+            basis_ms: 77,
+            entries: vec![LinkEntry::live(10, 0.0), LinkEntry::dead()],
+            seqno: 0,
+            retractions: vec![],
+        });
+        assert_eq!(m.wire_size(), LINKSTATE_HEADER_SIZE + 2 * 3);
+        let bytes = m.encode();
+        assert_eq!(u16::from_be_bytes([bytes[19], bytes[20]]), 0);
+        // A flagged frame with an empty trailer is non-canonical: the
+        // same logical row must have exactly one encoding.
+        let mut forged = bytes.to_vec();
+        forged[20] |= LS_FLAG_SEQNO as u8;
+        forged.extend_from_slice(&[0, 0, 0, 0]); // seqno 0, count 0
+        assert_eq!(Message::decode(&forged), Err(WireError::BadLength));
     }
 
     /// The bandwidth-formula calibration (section 6): with the default

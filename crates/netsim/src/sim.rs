@@ -677,6 +677,36 @@ mod tests {
     }
 
     #[test]
+    fn directed_loss_only_drops_one_direction() {
+        // Kill only the 1 → 0 direction: the ping still reaches the
+        // echoer, the echo never makes it back.
+        let mut m = LatencyMatrix::uniform(2, 10.0);
+        m.set_loss_directed(1, 0, 1.0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(m, FailureParams::none(2, 1e6), no_jitter_config(3));
+        sim.add_node(
+            Box::new(Pinger {
+                peer: 1,
+                sent_at: 0.0,
+                log: Rc::clone(&log),
+            }),
+            0.0,
+        );
+        sim.add_node(Box::new(Echoer), 0.0);
+        sim.run_until(10.0);
+        assert!(log.borrow().is_empty(), "echo direction is fully lossy");
+        // The forward direction delivered: the echoer received the ping.
+        assert_eq!(
+            sim.stats()
+                .total_bytes(1, &[TrafficClass::Probing], &[Direction::In], 0.0, 10.0),
+            32
+        );
+        // And the loss was billed to node 1, the sender of the echo.
+        assert_eq!(drop_counts(&sim, 1), [0, 0, 1, 0, 0]);
+        assert_eq!(drop_counts(&sim, 0), [0, 0, 0, 0, 0]);
+    }
+
+    #[test]
     fn unreachable_pair_never_delivers() {
         let m = LatencyMatrix::unreachable(2);
         let log = Rc::new(RefCell::new(Vec::new()));

@@ -22,7 +22,9 @@ use apor_linkstate::{Message, ProbeBatchMsg, ProbeItem, ProbeMsg, ProbeReplyMsg}
 use apor_membership::{wire as swim_wire, Swim, SwimMsg};
 use apor_netsim::TrafficClass;
 use apor_quorum::NodeId;
-use apor_routing::{FullMeshRouter, ProbeAction, Prober, QuorumRouter, RoutingAlgorithm};
+use apor_routing::{
+    FullMeshRouter, ProbeAction, Prober, QuorumRouter, RouteDecision, RoutingAlgorithm,
+};
 use apor_telemetry::{EventKind, Histogram, Severity, SpanKind, Telemetry, TraceCtx, Tracer};
 
 /// The concrete router running inside a node.
@@ -551,6 +553,29 @@ impl OverlayNode {
         view.id_of(hop)
     }
 
+    /// The full relay path towards `dst` when the current route is a
+    /// source-routed spliced detour (identity space, `[me, …, dst]`).
+    ///
+    /// `None` whenever forwarding is single-hop — a recommendation,
+    /// the direct link, or a 1-hop scavenge, where each relay
+    /// re-decides from its own tables — or when there is no route at
+    /// all. Spliced detours are the exception: the source commits to
+    /// the chain it derived from its own rows, so the carried path is
+    /// what the packet follows.
+    #[must_use]
+    pub fn detour_path(&self, dst: NodeId, now: f64) -> Option<Vec<NodeId>> {
+        let view = self.view.as_ref()?;
+        let idx = view.index_of(dst)?;
+        match self.quorum_router()?.route_decision(idx, now)? {
+            RouteDecision::Spliced(d) => d
+                .path
+                .iter()
+                .map(|&i| view.id_of(i))
+                .collect::<Option<Vec<_>>>(),
+            RouteDecision::Hop(_) => None,
+        }
+    }
+
     /// Seconds since the last routing information about `dst` arrived.
     #[must_use]
     pub fn route_age(&self, dst: NodeId, now: f64) -> Option<f64> {
@@ -728,9 +753,18 @@ impl OverlayNode {
             // than the 3-interval window) are dropped here; the
             // router's own entitlement filter drops rows whose origin
             // is no longer a rendezvous client in the new grid.
-            if let (Some(old_view), Some(old_router)) = (&old, &old_router) {
-                let exported = old_router.as_dyn().export_rows();
-                let carried = crate::remap::remap_rows(
+            if let (Some(old_view), Some(mut old_router)) = (&old, old_router) {
+                // Routes whose destination or recommended hop departed
+                // are explicitly retracted (counted in
+                // `routing/routes_retracted`) rather than silently
+                // dropped with the old router.
+                if let RouterBox::Quorum(q) = &mut old_router {
+                    let survives =
+                        |idx: usize| old_view.id_of(idx).is_some_and(|id| view.contains(id));
+                    q.retract_departed_routes(&survives);
+                }
+                let exported = old_router.as_dyn().export_rows_versioned();
+                let carried = crate::remap::remap_rows_versioned(
                     &exported,
                     old_view,
                     &view,
@@ -738,10 +772,8 @@ impl OverlayNode {
                     self.cfg.protocol.staleness_s(),
                 );
                 let carried_rows = carried.len();
-                for (origin, received_at, entries) in carried {
-                    router
-                        .as_dyn_mut()
-                        .import_row(origin, &entries, received_at);
+                for row in &carried {
+                    router.as_dyn_mut().import_row_versioned(row);
                 }
                 if let Some(ctx) = episode_ctx {
                     #[allow(clippy::cast_possible_truncation)]
@@ -895,6 +927,17 @@ impl OverlayNode {
                     });
                     out.sends
                         .push((to_id, class_of(&msg), msg.encode_traced(batch_ctx.as_ref())));
+                }
+            }
+        }
+        // Links the 5-failure rule just declared dead retract their
+        // routes now (seqno bump + feasibility withdrawal) instead of
+        // waiting for the next routing tick's own-row diff.
+        if let Some(prober) = &mut self.prober {
+            let losses = prober.take_link_losses();
+            if let Some(RouterBox::Quorum(q)) = &mut self.router {
+                for peer in losses {
+                    q.on_link_loss(peer, now);
                 }
             }
         }
@@ -1146,6 +1189,8 @@ mod tests {
             round: 1,
             basis_ms: 0,
             entries: vec![apor_linkstate::LinkEntry::dead(); 4],
+            seqno: 0,
+            retractions: vec![],
         });
         let mut out = Outbox::default();
         node.on_packet(1.0, &bogus.encode(), &mut out);

@@ -27,6 +27,7 @@
 
 use crate::membership::MembershipView;
 use apor_linkstate::LinkEntry;
+use apor_routing::VersionedRow;
 
 /// One surviving row, translated into the new view's index space:
 /// `(new origin index, original receipt time, full-width entries)`.
@@ -43,34 +44,83 @@ pub fn remap_rows(
     now: f64,
     max_age: f64,
 ) -> Vec<RemappedRow> {
+    let rows: Vec<VersionedRow> = exported
+        .iter()
+        .map(|(origin, received_at, entries)| VersionedRow {
+            origin: *origin,
+            received_at: *received_at,
+            seqno: 0,
+            retractions: Vec::new(),
+            entries: entries.clone(),
+        })
+        .collect();
+    remap_rows_versioned(&rows, old_view, new_view, now, max_age)
+        .into_iter()
+        .map(|r| (r.origin, r.received_at, r.entries))
+        .collect()
+}
+
+/// [`remap_rows`] carrying the route discipline: each row's origin
+/// seqno survives the relabeling verbatim (a carried row must keep
+/// shadowing delayed replays of older frames), and the retraction lane
+/// is translated destination by destination — a retraction aimed at a
+/// departed member leaves with it, everything else moves to the
+/// destination's new index and is re-sorted.
+#[must_use]
+pub fn remap_rows_versioned(
+    exported: &[VersionedRow],
+    old_view: &MembershipView,
+    new_view: &MembershipView,
+    now: f64,
+    max_age: f64,
+) -> Vec<VersionedRow> {
     let n_new = new_view.len();
-    // Precompute new index → old index once (O(n) lookups instead of a
+    // Precompute the index translations once (O(n) lookups instead of a
     // binary search per entry).
     let new_to_old: Vec<Option<usize>> = new_view
         .members
         .iter()
         .map(|&id| old_view.index_of(id))
         .collect();
+    let old_to_new: Vec<Option<usize>> = old_view
+        .members
+        .iter()
+        .map(|&id| new_view.index_of(id))
+        .collect();
     let mut out = Vec::new();
-    for (old_origin, received_at, entries) in exported {
-        if now - received_at > max_age {
+    for row in exported {
+        if now - row.received_at > max_age {
             continue; // 3-interval freshness rule: stale rows are dropped
         }
-        let Some(origin_id) = old_view.id_of(*old_origin) else {
+        let Some(origin_id) = old_view.id_of(row.origin) else {
             continue;
         };
         let Some(new_origin) = new_view.index_of(origin_id) else {
             continue; // origin departed
         };
-        if entries.len() != old_view.len() {
+        if row.entries.len() != old_view.len() {
             continue; // malformed export; never expected
         }
-        let row: Vec<LinkEntry> = (0..n_new)
+        let entries: Vec<LinkEntry> = (0..n_new)
             .map(|new_dst| {
-                new_to_old[new_dst].map_or_else(LinkEntry::dead, |old_dst| entries[old_dst])
+                new_to_old[new_dst].map_or_else(LinkEntry::dead, |old_dst| row.entries[old_dst])
             })
             .collect();
-        out.push((new_origin, *received_at, row));
+        #[allow(clippy::cast_possible_truncation)]
+        let mut retractions: Vec<u16> = row
+            .retractions
+            .iter()
+            .filter_map(|&d| old_to_new.get(usize::from(d)).copied().flatten())
+            .map(|new_dst| new_dst as u16)
+            .collect();
+        retractions.sort_unstable();
+        out.push(VersionedRow {
+            origin: new_origin,
+            received_at: row.received_at,
+            seqno: row.seqno,
+            retractions,
+            entries,
+        });
     }
     out
 }
@@ -141,5 +191,31 @@ mod tests {
         let remapped = remap_rows(&exported, &old, &new, 70.0, 45.0);
         assert_eq!(remapped.len(), 1);
         assert_eq!(remapped[0].0, 1);
+    }
+
+    #[test]
+    fn versioned_remap_translates_the_retraction_lane() {
+        // Old view {1, 5, 9}: node 1's row retracts 5 (index 1) and 9
+        // (index 2) at seqno 7. Node 5 leaves, node 3 joins.
+        let old = view(1, &[1, 5, 9]);
+        let new = view(2, &[1, 3, 9]);
+        let exported = vec![VersionedRow {
+            origin: 0,
+            received_at: 10.0,
+            seqno: 7,
+            retractions: vec![1, 2],
+            entries: row(&[0, 50, 70]),
+        }];
+        let remapped = remap_rows_versioned(&exported, &old, &new, 12.0, 45.0);
+        assert_eq!(remapped.len(), 1);
+        let r = &remapped[0];
+        assert_eq!(r.origin, 0, "node 1 keeps index 0");
+        assert_eq!(r.seqno, 7, "seqno survives verbatim");
+        assert_eq!(
+            r.retractions,
+            vec![2],
+            "retraction against departed 5 dropped; 9 stays at index 2"
+        );
+        assert_eq!(r.received_at, 10.0);
     }
 }

@@ -273,6 +273,8 @@ fn view_change_preserves_routes_end_to_end() {
         round: 1,
         basis_ms: 0,
         entries: row1,
+        seqno: 0,
+        retractions: vec![],
     });
     let mut out = Outbox::default();
     node.on_packet(5.0, &ls.encode(), &mut out);
@@ -341,6 +343,8 @@ fn view_change_drops_stale_rows() {
         round: 1,
         basis_ms: 0,
         entries: vec![LinkEntry::live(40, 0.0); 4],
+        seqno: 0,
+        retractions: vec![],
     });
     let mut out = Outbox::default();
     node.on_packet(5.0, &ls.encode(), &mut out);

@@ -66,6 +66,10 @@ pub struct ProtocolConfig {
     /// [`ProbePolicy::Entitled`]. A constant (not `O(√n)`) budget keeps
     /// per-node probe bytes strictly sub-linear in `n`.
     pub probe_sample_budget: usize,
+    /// Maximum intermediate relays a feasibility-checked detour may
+    /// splice when both recommendations and 1-hop scavenging fail
+    /// (1 = the paper's behaviour, 1-hop detours only; capped at 8).
+    pub max_detour_hops: usize,
 }
 
 /// Which peers a node probes.
@@ -121,7 +125,17 @@ impl ProtocolConfig {
             probe_snap_frac: 0.3,
             probe_policy: ProbePolicy::FullMesh,
             probe_sample_budget: 16,
+            max_detour_hops: 1,
         }
+    }
+
+    /// Allow feasibility-checked detours through up to `hops`
+    /// intermediate relays (clamped to the 1..=8 range the loop-freedom
+    /// proptest covers).
+    #[must_use]
+    pub fn with_detour_hops(mut self, hops: usize) -> Self {
+        self.max_detour_hops = hops.clamp(1, 8);
+        self
     }
 
     /// Enable the sub-quadratic probing plane: entitled + sampled
@@ -182,6 +196,10 @@ impl ProtocolConfig {
         assert!(self.probe_backoff > 1.0, "backoff must grow the interval");
         assert!(self.probe_snap_frac > 0.0);
         assert!(self.probe_sample_budget >= 1);
+        assert!(
+            (1..=8).contains(&self.max_detour_hops),
+            "detour splicing is bounded to 8 relays"
+        );
     }
 }
 
@@ -217,6 +235,16 @@ mod tests {
     fn default_configs_validate() {
         ProtocolConfig::ron().validate();
         ProtocolConfig::quorum().validate();
+    }
+
+    #[test]
+    fn detour_hops_clamp_to_the_proptested_range() {
+        assert_eq!(ProtocolConfig::quorum().max_detour_hops, 1);
+        let c = ProtocolConfig::quorum().with_detour_hops(0);
+        assert_eq!(c.max_detour_hops, 1);
+        let c = ProtocolConfig::quorum().with_detour_hops(20);
+        assert_eq!(c.max_detour_hops, 8);
+        c.validate();
     }
 
     #[test]

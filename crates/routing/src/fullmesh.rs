@@ -76,6 +76,8 @@ impl<S: LinkStateStore> RoutingAlgorithm for FullMeshRouter<S> {
                     round: self.round,
                     basis_ms: (now * 1000.0) as u32,
                     entries: own_row.to_vec(),
+                    seqno: 0,
+                    retractions: vec![],
                 })
             })
             .collect()

@@ -24,6 +24,14 @@
 //!   recovery trick, plus its communication accounting.
 //! * [`onehop`] — offline reference computations for the figure 1 detour
 //!   study (best one-hop, best-after-excluding-top-n%).
+//! * [`feasibility`] — the Babel-style route discipline (RFC 8966) the
+//!   k-hop detour layer runs under: per-destination feasibility
+//!   distances, seqno-gated acceptance, explicit retraction, and the
+//!   loop-freedom argument that lets the overlay splice detours from
+//!   live rows without a consistent snapshot. The whole discipline —
+//!   wire trailer, feasibility rules, source-routed splices, measured
+//!   recovery wins — is documented in `docs/ROUTING.md` at the
+//!   repository root.
 
 #![forbid(unsafe_code)]
 // The numeric kernels index several arrays with one loop counter;
@@ -33,6 +41,7 @@
 
 pub mod adaptive;
 pub mod config;
+pub mod feasibility;
 pub mod fullmesh;
 pub mod multihop;
 pub mod onehop;
@@ -41,12 +50,31 @@ pub mod quorum_router;
 
 pub use adaptive::{AdaptiveProbeRate, RateSample};
 pub use config::{ProbePolicy, ProtocolConfig};
+pub use feasibility::{select_detour, Detour, FeasEntry, FeasibilityTable};
 pub use fullmesh::FullMeshRouter;
 pub use multihop::{multihop_routes, MultiHopResult};
 pub use prober::{ProbeAction, Prober};
-pub use quorum_router::QuorumRouter;
+pub use quorum_router::{QuorumRouter, RouteDecision};
 
 use apor_linkstate::Message;
+
+/// One exported link-state row together with its route-discipline
+/// version: what the overlay carries across a membership change so the
+/// rebuilt router keeps both the measurements *and* the seqno guard
+/// (a carried row must not be replayable over a newer one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionedRow {
+    /// Row origin (grid index in the view the row was exported from).
+    pub origin: usize,
+    /// Original receipt time, seconds (freshness keeps applying).
+    pub received_at: f64,
+    /// The origin's row seqno (0 = unversioned).
+    pub seqno: u16,
+    /// Destinations the origin explicitly retracted at this seqno.
+    pub retractions: Vec<u16>,
+    /// The row entries, full width.
+    pub entries: Vec<apor_linkstate::LinkEntry>,
+}
 
 /// The routing-side behaviour shared by the full-mesh baseline and the
 /// quorum router, so the overlay node runtime is algorithm-agnostic.
@@ -96,4 +124,28 @@ pub trait RoutingAlgorithm {
         entries: &[apor_linkstate::LinkEntry],
         received_at: f64,
     );
+
+    /// [`export_rows`](RoutingAlgorithm::export_rows) carrying the
+    /// route discipline: each row's origin seqno and retraction lane
+    /// ride along. The default wraps the unversioned export (seqno 0,
+    /// nothing retracted) so baseline algorithms need no changes.
+    fn export_rows_versioned(&self) -> Vec<VersionedRow> {
+        self.export_rows()
+            .into_iter()
+            .map(|(origin, received_at, entries)| VersionedRow {
+                origin,
+                received_at,
+                seqno: 0,
+                retractions: Vec::new(),
+                entries,
+            })
+            .collect()
+    }
+
+    /// [`import_row`](RoutingAlgorithm::import_row) carrying the route
+    /// discipline. The default drops the version (baseline algorithms
+    /// store rows unversioned).
+    fn import_row_versioned(&mut self, row: &VersionedRow) {
+        self.import_row(row.origin, &row.entries, row.received_at);
+    }
 }

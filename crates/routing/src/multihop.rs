@@ -214,6 +214,28 @@ mod tests {
     }
 
     #[test]
+    fn path_detects_forwarding_loop() {
+        // A corrupted table: 0 → 2 forwards via 1, which forwards back
+        // via 0, yet the advertised cost is finite. path() must bail out
+        // with None instead of walking forever.
+        let n = 3;
+        let mut next_hop: Vec<usize> = (0..n * n).map(|i| i % n).collect();
+        next_hop[2] = 1; // next_of(0, 2) = 1
+        next_hop[n + 2] = 0; // next_of(1, 2) = 0
+        let r = MultiHopResult {
+            n,
+            iterations: 1,
+            max_hops: 2,
+            cost: vec![10.0; n * n],
+            next_hop,
+            bytes_sent: vec![0; n],
+        };
+        assert_eq!(r.path(0, 2), None, "loop must be reported, not followed");
+        assert_eq!(r.path(1, 2), None, "same loop seen from the other side");
+        assert!(r.path(2, 1).is_some(), "untouched routes still resolve");
+    }
+
+    #[test]
     fn one_iteration_matches_best_one_hop() {
         let m = line(5);
         let r = multihop_routes(&m, 2);

@@ -98,6 +98,9 @@ pub struct Prober {
     /// after it records a `Reprobe` span and clears the context, and
     /// outgoing batches carry it on the wire until then.
     trace_ctx: Option<TraceCtx>,
+    /// Peers whose links transitioned alive → dead since the last
+    /// [`Prober::take_link_losses`] drain (the 5-failure rule firing).
+    link_losses: Vec<usize>,
 }
 
 impl Prober {
@@ -122,6 +125,7 @@ impl Prober {
             probe_sampled: None,
             tracer: Tracer::disabled(),
             trace_ctx: None,
+            link_losses: Vec::new(),
             config,
         };
         match prober.config.probe_policy {
@@ -273,7 +277,13 @@ impl Prober {
             // re-arm a zero-delay timer forever.
             if let Some(p) = t.pending {
                 if now >= p.sent_at + self.config.probe_timeout_s {
+                    let was_alive = t.estimator.alive();
                     t.estimator.record(ProbeOutcome::Timeout);
+                    if was_alive && !t.estimator.alive() {
+                        // The 5-failure rule just declared this link
+                        // dead; queue it for the route-retraction drain.
+                        self.link_losses.push(t.peer);
+                    }
                     t.rate.on_sample(RateSample::Loss);
                     t.pending = None;
                     // Rapid failure detection: re-probe quickly while the
@@ -331,6 +341,15 @@ impl Prober {
                 .instant(SpanKind::Reprobe, c.episode, 0, actions.len() as u32, now);
         }
         (actions, ctx)
+    }
+
+    /// Drain the peers whose direct links have transitioned alive → dead
+    /// since the last call. The overlay feeds these into
+    /// [`QuorumRouter::on_link_loss`](crate::QuorumRouter::on_link_loss)
+    /// so the retraction (and seqno bump) propagates on the very next
+    /// routing tick instead of waiting for the row diff to notice.
+    pub fn take_link_losses(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.link_losses)
     }
 
     /// Record a probe reply from `peer` carrying `seq`, received at `now`.
@@ -595,6 +614,27 @@ mod tests {
         }
         assert!(p.alive(1), "link must recover once replies resume");
         assert_eq!(p.concurrent_failures(), 0);
+    }
+
+    /// The loss drain reports each alive → dead transition exactly once,
+    /// even across a death-recovery-death cycle.
+    #[test]
+    fn link_loss_drain_fires_once_per_death() {
+        let mut p = Prober::new(0, 2, quorum_cfg(), 0.0);
+        let mut losses = Vec::new();
+        let mut t = 0.0;
+        // Alive, silent (death 1), alive again, silent again (death 2).
+        while t < 700.0 {
+            for (_, seq) in send_probes(&p.poll(t)) {
+                if !(60.0..=150.0).contains(&t) && !(400.0..=500.0).contains(&t) {
+                    p.on_reply(1, seq, t + 0.02);
+                }
+            }
+            losses.extend(p.take_link_losses());
+            t += 0.5;
+        }
+        assert_eq!(losses, vec![1, 1], "two transitions, two drain entries");
+        assert!(p.take_link_losses().is_empty(), "drain empties the queue");
     }
 
     #[test]

@@ -33,7 +33,8 @@
 //!   the best of the `2√n` neighbour tables the node already holds.
 
 use crate::config::ProtocolConfig;
-use crate::RoutingAlgorithm;
+use crate::feasibility::{select_detour, Detour, FeasibilityTable};
+use crate::{RoutingAlgorithm, VersionedRow};
 use apor_linkstate::{
     LinkEntry, LinkStateMsg, LinkStateStore, Message, RecEntry, RecommendationMsg, RowStore,
     SparseLinkStateMsg,
@@ -55,6 +56,34 @@ pub struct RouteEntry {
     pub received_at: f64,
     /// Path cost as computed by the server, ms (`u16::MAX` = not on wire).
     pub cost_ms: u16,
+}
+
+/// How this node forwards towards a destination right now.
+///
+/// [`RouteDecision::Hop`] is the paper's forwarding mode — a fresh
+/// recommendation, the direct link, or a 1-hop scavenge; each relay
+/// re-decides from its own tables. [`RouteDecision::Spliced`] is the
+/// feasibility-gated k-hop fallback: the source commits to the whole
+/// relay chain and the packet is source-routed along it, because the
+/// intermediate relays were chosen from rows *this* node holds — their
+/// own stores need not contain the rows that justified the splice.
+#[derive(Debug, Clone)]
+pub enum RouteDecision {
+    /// Forward to this first hop; downstream nodes re-decide.
+    Hop(usize),
+    /// Source-route along the spliced detour's full path.
+    Spliced(Detour),
+}
+
+impl RouteDecision {
+    /// The first hop either way — what the wire forwards to next.
+    #[must_use]
+    pub fn first_hop(&self) -> usize {
+        match self {
+            Self::Hop(h) => *h,
+            Self::Spliced(d) => d.path[1],
+        }
+    }
 }
 
 /// Per-destination failover state (section 4.1).
@@ -146,6 +175,19 @@ pub struct QuorumRouter<S: LinkStateStore = RowStore> {
     serving_since: Vec<f64>,
     /// Per-destination failover machinery.
     failover: Vec<FailoverState>,
+    /// My row's sequence number: 0 until the first retraction event
+    /// (frames stay bit-identical to the legacy format), then bumped on
+    /// every tick that withdraws at least one link, so receivers'
+    /// replay guards and feasibility resets key off it.
+    own_seqno: u16,
+    /// Links withdrawn recently: destination → round of withdrawal.
+    /// Advertised in the link-state retraction lane for a few rounds,
+    /// dropped as soon as the link recovers.
+    retractions: BTreeMap<u16, u32>,
+    /// The route discipline for k-hop detour splicing (section 4.2
+    /// generalized): per-destination feasibility distances and the
+    /// detour-layer telemetry.
+    feasibility: FeasibilityTable,
     /// Registry-backed event counters (see [`QuorumMetrics`]).
     counters: RouterCounters,
     tracer: Tracer,
@@ -218,6 +260,9 @@ impl<S: LinkStateStore> QuorumRouter<S> {
             rec_seen: vec![BTreeMap::new(); n],
             serving_since: vec![NEVER; n],
             failover: vec![FailoverState::default(); n],
+            own_seqno: 0,
+            retractions: BTreeMap::new(),
+            feasibility: FeasibilityTable::new(),
             counters: RouterCounters::new(&Telemetry::disabled()),
             tracer: Tracer::disabled(),
             trace_ctx: None,
@@ -235,6 +280,7 @@ impl<S: LinkStateStore> QuorumRouter<S> {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.counters = RouterCounters::new(telemetry);
+        self.feasibility = FeasibilityTable::with_telemetry(telemetry);
         self
     }
 
@@ -296,6 +342,170 @@ impl<S: LinkStateStore> QuorumRouter<S> {
         let (sparse, dense) = self.rec_seen_bytes();
         self.counters.rec_seen_bytes.set(sparse);
         self.counters.rec_seen_bytes_dense.set(dense);
+    }
+
+    /// The route-discipline state (feasibility distances, detour
+    /// telemetry).
+    #[must_use]
+    pub fn feasibility(&self) -> &FeasibilityTable {
+        &self.feasibility
+    }
+
+    /// My row's current sequence number (0 = no retraction event yet).
+    #[must_use]
+    pub fn own_seqno(&self) -> u16 {
+        self.own_seqno
+    }
+
+    /// Decide how to forward towards `dst` right now.
+    ///
+    /// Preference order: a fresh recommendation over a live first leg,
+    /// then the §4.2 1-hop scavenge (direct link included), then — only
+    /// when configured past the paper's 1-hop behaviour and everything
+    /// above is gone — a feasibility-gated spliced detour, which is
+    /// source-routed (see [`RouteDecision`]).
+    #[must_use]
+    pub fn route_decision(&self, dst: usize, now: f64) -> Option<RouteDecision> {
+        if dst == self.me || dst >= self.n {
+            return None;
+        }
+        // Fresh recommendation wins — but only over a live first leg: a
+        // hop my own probes have since declared dead cannot forward, so
+        // a stale recommendation no longer shadows the scavenge paths.
+        if let Some(r) = self.routes[dst] {
+            if now - r.received_at <= self.config.route_expiry_s() && self.own_row[r.hop].alive {
+                return Some(RouteDecision::Hop(r.hop));
+            }
+        }
+        // §4.2: scavenge from the neighbour tables we already hold.
+        let max_age = self.config.staleness_s();
+        let direct = if self.own_row[dst].alive {
+            self.own_row[dst].cost()
+        } else {
+            f64::INFINITY
+        };
+        let mut best = (dst, direct);
+        for (h, c) in self.table.one_hop_options(self.me, dst, now, max_age) {
+            if c < best.1 {
+                best = (h, c);
+            }
+        }
+        if best.1.is_finite() {
+            return Some(RouteDecision::Hop(best.0));
+        }
+        // The generalized scavenge: splice a feasibility-checked k-hop
+        // detour from the live rows. Off unless configured past the
+        // paper's 1-hop behaviour, and only reached when both the
+        // recommendation and every 1-hop option are gone — never on the
+        // steady-state hot path.
+        if self.config.max_detour_hops > 1 {
+            if let Some(d) = select_detour(
+                &self.table,
+                &self.feasibility,
+                self.me,
+                dst,
+                self.config.max_detour_hops,
+                now,
+                max_age,
+            ) {
+                return Some(RouteDecision::Spliced(d));
+            }
+        }
+        None
+    }
+
+    /// The next seqno after `s`, skipping the unversioned sentinel 0.
+    fn next_seqno(s: u16) -> u16 {
+        let n = s.wrapping_add(1);
+        if n == 0 {
+            1
+        } else {
+            n
+        }
+    }
+
+    /// Withdraw my link to `dst`: record the retraction (bumping my
+    /// seqno on the transition) and mark the route infeasible until the
+    /// destination announces a newer seqno. The prober calls this the
+    /// moment its 5-failure rule declares the link dead, so retraction
+    /// propagates a routing tick earlier than the own-row refresh
+    /// would.
+    pub fn on_link_loss(&mut self, dst: usize, now: f64) {
+        if dst >= self.n || dst == self.me {
+            return;
+        }
+        if self.retractions.insert(dst as u16, self.round).is_none() {
+            self.own_seqno = Self::next_seqno(self.own_seqno);
+        }
+        self.feasibility.retract(dst, self.table.row_seqno(dst));
+        self.own_row[dst] = LinkEntry::dead();
+        self.table
+            .update_entry(self.me, dst, LinkEntry::dead(), now);
+    }
+
+    /// Retract (rather than silently drop) every established route that
+    /// cannot carry into a new membership view: destinations or
+    /// recommended hops whose identity `survives` rejects. Called on
+    /// the *outgoing* router during view install; the counts land in
+    /// the shared `routing/routes_retracted` cell. Returns how many
+    /// routes were withdrawn.
+    pub fn retract_departed_routes(&mut self, survives: &dyn Fn(usize) -> bool) -> usize {
+        let mut count = 0;
+        for dst in 0..self.n {
+            if let Some(r) = self.routes[dst] {
+                if !survives(dst) || !survives(r.hop) {
+                    self.feasibility.retract(dst, self.table.row_seqno(dst));
+                    self.routes[dst] = None;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The retraction lane advertised this round, ascending.
+    fn retraction_lane(&self) -> Vec<u16> {
+        self.retractions.keys().copied().collect()
+    }
+
+    /// Record a `RowImport` span when a view-install episode context is
+    /// armed (see [`QuorumRouter::note_episode`]); budget-bounded.
+    fn trace_row_import(&mut self, origin: usize, received_at: f64) {
+        if let Some((ctx, budget)) = self.trace_ctx {
+            #[allow(clippy::cast_possible_truncation)]
+            self.tracer.instant(
+                SpanKind::RowImport,
+                ctx.episode,
+                0,
+                origin as u32,
+                received_at,
+            );
+            self.trace_ctx = if budget > 1 {
+                Some((ctx, budget - 1))
+            } else {
+                None
+            };
+        }
+    }
+
+    /// React to an *accepted* versioned row from `from`: a nonzero seqno
+    /// releases feasibility constraints keyed to older ones, and every
+    /// destination the row explicitly retracts is withdrawn if this node
+    /// was routing to it *through* `from` (the first leg just vanished).
+    fn note_row_version(&mut self, from: usize, seqno: u16, retractions: &[u16]) {
+        if seqno != 0 {
+            self.feasibility.note_seqno(from, seqno);
+        }
+        for &r in retractions {
+            let dst = usize::from(r);
+            if dst >= self.n || dst == self.me {
+                continue;
+            }
+            if self.routes[dst].is_some_and(|e| e.hop == from) {
+                self.routes[dst] = None;
+                self.feasibility.retract(dst, self.table.row_seqno(dst));
+            }
+        }
     }
 
     /// The latest recommendation stored for `dst`.
@@ -450,6 +660,8 @@ impl<S: LinkStateStore> QuorumRouter<S> {
                 basis_ms: (now * 1000.0) as u32,
                 width: self.n as u16,
                 entries,
+                seqno: self.own_seqno,
+                retractions: self.retraction_lane(),
             })
         } else {
             Message::LinkState(LinkStateMsg {
@@ -459,6 +671,8 @@ impl<S: LinkStateStore> QuorumRouter<S> {
                 round: self.round,
                 basis_ms: (now * 1000.0) as u32,
                 entries: self.own_row.clone(),
+                seqno: self.own_seqno,
+                retractions: self.retraction_lane(),
             })
         }
     }
@@ -547,9 +761,43 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
         rng: &mut ChaCha8Rng,
     ) -> Vec<Message> {
         assert_eq!(own_row.len(), self.n);
-        self.own_row.copy_from_slice(own_row);
-        self.table.update_row(self.me, own_row, now);
         self.round += 1;
+        // Route discipline bookkeeping: diff the fresh row against the
+        // previous one. Newly dead links become retraction events (my
+        // seqno bumps once per tick that has any), recovered links leave
+        // the lane immediately, and stale lane entries age out after a
+        // few rounds of advertisement.
+        let mut new_deaths = false;
+        for dst in 0..self.n {
+            if dst == self.me {
+                continue;
+            }
+            if own_row[dst].alive {
+                self.retractions.remove(&(dst as u16));
+            } else if self.own_row[dst].alive
+                && self.retractions.insert(dst as u16, self.round).is_none()
+            {
+                new_deaths = true;
+            }
+        }
+        if new_deaths {
+            self.own_seqno = Self::next_seqno(self.own_seqno);
+        }
+        let round = self.round;
+        self.retractions.retain(|_, r| round - *r < 3);
+        self.own_row.copy_from_slice(own_row);
+        let lane = self.retraction_lane();
+        self.table
+            .update_row_versioned(self.me, own_row, self.own_seqno, &lane, now);
+        // Acting on a live direct link ratchets that destination's
+        // feasibility distance: a detour must strictly beat what this
+        // node can already do on its own.
+        for dst in 0..self.n {
+            if dst != self.me && own_row[dst].alive {
+                self.feasibility
+                    .advance(dst, self.table.row_seqno(dst), own_row[dst].cost());
+            }
+        }
 
         // Section 4.1 failover management happens before round one so a
         // freshly selected failover gets link state in this very tick.
@@ -577,8 +825,15 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
                     && ls.entries.len() == self.n
                     && from < self.n
                     && from != self.me
+                    && self.table.update_row_versioned(
+                        from,
+                        &ls.entries,
+                        ls.seqno,
+                        &ls.retractions,
+                        now,
+                    )
                 {
-                    self.table.update_row(from, &ls.entries, now);
+                    self.note_row_version(from, ls.seqno, &ls.retractions);
                 }
                 Vec::new()
             }
@@ -588,8 +843,15 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
                     && usize::from(ls.width) == self.n
                     && from < self.n
                     && from != self.me
+                    && self.table.update_row_sparse_versioned(
+                        from,
+                        &ls.entries,
+                        ls.seqno,
+                        &ls.retractions,
+                        now,
+                    )
                 {
-                    self.table.update_row_sparse(from, &ls.entries, now);
+                    self.note_row_version(from, ls.seqno, &ls.retractions);
                 }
                 Vec::new()
             }
@@ -614,6 +876,16 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
                             received_at: now,
                             cost_ms: rec.cost_ms,
                         });
+                        // Acting on a costed recommendation ratchets the
+                        // feasibility distance (the compact format carries
+                        // no cost and leaves the constraint untouched).
+                        if rec.cost_ms != u16::MAX {
+                            self.feasibility.advance(
+                                dst,
+                                self.table.row_seqno(dst),
+                                f64::from(rec.cost_ms),
+                            );
+                        }
                     }
                 }
                 self.update_rec_seen_gauges();
@@ -624,29 +896,7 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
     }
 
     fn best_hop(&self, dst: usize, now: f64) -> Option<usize> {
-        if dst == self.me || dst >= self.n {
-            return None;
-        }
-        // Fresh recommendation wins.
-        if let Some(r) = self.routes[dst] {
-            if now - r.received_at <= self.config.route_expiry_s() {
-                return Some(r.hop);
-            }
-        }
-        // §4.2: scavenge from the neighbour tables we already hold.
-        let max_age = self.config.staleness_s();
-        let direct = if self.own_row[dst].alive {
-            self.own_row[dst].cost()
-        } else {
-            f64::INFINITY
-        };
-        let mut best = (dst, direct);
-        for (h, c) in self.table.one_hop_options(self.me, dst, now, max_age) {
-            if c < best.1 {
-                best = (h, c);
-            }
-        }
-        best.1.is_finite().then_some(best.0)
+        self.route_decision(dst, now).map(|d| d.first_hop())
     }
 
     fn route_age(&self, dst: usize, now: f64) -> Option<f64> {
@@ -683,21 +933,42 @@ impl<S: LinkStateStore> RoutingAlgorithm for QuorumRouter<S> {
             return;
         }
         self.table.update_row(origin, entries, received_at);
-        if let Some((ctx, budget)) = self.trace_ctx {
-            #[allow(clippy::cast_possible_truncation)]
-            self.tracer.instant(
-                SpanKind::RowImport,
-                ctx.episode,
-                0,
-                origin as u32,
-                received_at,
-            );
-            self.trace_ctx = if budget > 1 {
-                Some((ctx, budget - 1))
-            } else {
-                None
-            };
+        self.trace_row_import(origin, received_at);
+    }
+
+    fn export_rows_versioned(&self) -> Vec<VersionedRow> {
+        self.table
+            .present_rows()
+            .into_iter()
+            .filter_map(|origin| {
+                let received_at = self.table.row_time(origin)?;
+                Some(VersionedRow {
+                    origin,
+                    received_at,
+                    seqno: self.table.row_seqno(origin),
+                    retractions: self.table.row_retractions(origin),
+                    entries: self.table.row_dense(origin)?,
+                })
+            })
+            .collect()
+    }
+
+    fn import_row_versioned(&mut self, row: &VersionedRow) {
+        if row.origin >= self.n || row.entries.len() != self.n {
+            return;
         }
+        // Same entitlement rule as the unversioned import.
+        if row.origin != self.me && !self.grid.serves(row.origin, self.me) {
+            return;
+        }
+        self.table.update_row_versioned(
+            row.origin,
+            &row.entries,
+            row.seqno,
+            &row.retractions,
+            row.received_at,
+        );
+        self.trace_row_import(row.origin, row.received_at);
     }
 }
 
@@ -1170,9 +1441,307 @@ mod tests {
                 round: 1,
                 basis_ms: 0,
                 entries: row1,
+                seqno: 0,
+                retractions: vec![],
             }),
         );
         assert_eq!(me.best_hop(8, 2.0), Some(1), "scavenged route via 1");
+    }
+
+    /// Two-relay splice helper: node 0 only reaches 1, 1 only reaches 2,
+    /// 2 reaches 8 — invisible to 1-hop scavenging, found by k-hop.
+    fn chain_to_eight(cfg: ProtocolConfig) -> QuorumRouter {
+        let n = 9;
+        let mut me = QuorumRouter::new(0, n, 0, cfg);
+        let mut own = vec![LinkEntry::dead(); n];
+        own[0] = LinkEntry::live(0, 0.0);
+        own[1] = LinkEntry::live(10, 0.0);
+        let _ = me.on_routing_tick(0.0, &own, &mut rng());
+        for (from, reaches) in [(1usize, 2usize), (2, 8)] {
+            let row: Vec<LinkEntry> = (0..n)
+                .map(|j| {
+                    if j == from {
+                        LinkEntry::live(0, 0.0)
+                    } else if j == reaches || (from == 1 && j == 0) {
+                        LinkEntry::live(10, 0.0)
+                    } else {
+                        LinkEntry::dead()
+                    }
+                })
+                .collect();
+            let _ = me.on_message(
+                1.0,
+                &Message::LinkState(LinkStateMsg {
+                    from: NodeId::from_index(from),
+                    to: NodeId(0),
+                    view: 0,
+                    round: 1,
+                    basis_ms: 0,
+                    entries: row,
+                    seqno: 0,
+                    retractions: vec![],
+                }),
+            );
+        }
+        me
+    }
+
+    #[test]
+    fn k_hop_detours_recover_where_one_hop_scavenging_fails() {
+        // Paper behaviour (1 hop): the chain is invisible.
+        let me = chain_to_eight(ProtocolConfig::quorum());
+        assert_eq!(me.best_hop(8, 2.0), None, "1-hop scavenge cannot splice");
+        // k ≤ 4: the feasible detour 0→1→2→8 is spliced from live rows.
+        let me = chain_to_eight(ProtocolConfig::quorum().with_detour_hops(4));
+        assert_eq!(me.best_hop(8, 2.0), Some(1), "k-hop detour via 1");
+        assert_eq!(me.feasibility().loops_detected(), 0);
+    }
+
+    #[test]
+    fn route_decision_distinguishes_hops_from_spliced_detours() {
+        let me = chain_to_eight(ProtocolConfig::quorum().with_detour_hops(4));
+        // A live direct link is a plain hop: relays re-decide.
+        match me.route_decision(1, 2.0) {
+            Some(RouteDecision::Hop(1)) => {}
+            other => panic!("direct link must be Hop(1), got {other:?}"),
+        }
+        // The chain to 8 needs a splice: the full committed path rides
+        // with the decision so the packet can be source-routed.
+        match me.route_decision(8, 2.0) {
+            Some(RouteDecision::Spliced(d)) => {
+                assert_eq!(d.path, vec![0, 1, 2, 8]);
+                assert_eq!(d.path[1], me.best_hop(8, 2.0).unwrap());
+            }
+            other => panic!("chain must be Spliced, got {other:?}"),
+        }
+        // Out-of-range and self queries decide nothing.
+        assert!(me.route_decision(0, 2.0).is_none());
+        assert!(me.route_decision(99, 2.0).is_none());
+    }
+
+    #[test]
+    fn incoming_retractions_withdraw_acted_on_routes() {
+        let n = 9;
+        let cfg = ProtocolConfig::quorum();
+        let mut me = QuorumRouter::new(0, n, 0, cfg);
+        let mut own = vec![LinkEntry::dead(); n];
+        own[0] = LinkEntry::live(0, 0.0);
+        own[4] = LinkEntry::live(10, 0.0);
+        let _ = me.on_routing_tick(0.0, &own, &mut rng());
+        let _ = me.on_message(
+            1.0,
+            &Message::Recommendations(RecommendationMsg {
+                from: NodeId(2),
+                to: NodeId(0),
+                view: 0,
+                round: 1,
+                basis_ms: 0,
+                format: apor_linkstate::RecFormat::WithCost,
+                recs: vec![RecEntry {
+                    dst: NodeId(8),
+                    hop: NodeId(4),
+                    cost_ms: 30,
+                }],
+            }),
+        );
+        assert_eq!(me.best_hop(8, 2.0), Some(4));
+        // Node 4 retracts its link to 8 at seqno 2: the route through it
+        // is withdrawn, not kept until expiry.
+        let row4: Vec<LinkEntry> = (0..n)
+            .map(|j| {
+                if j == 4 {
+                    LinkEntry::live(0, 0.0)
+                } else if j == 0 {
+                    LinkEntry::live(10, 0.0)
+                } else {
+                    LinkEntry::dead()
+                }
+            })
+            .collect();
+        let _ = me.on_message(
+            2.0,
+            &Message::LinkState(LinkStateMsg {
+                from: NodeId(4),
+                to: NodeId(0),
+                view: 0,
+                round: 2,
+                basis_ms: 0,
+                entries: row4.clone(),
+                seqno: 2,
+                retractions: vec![8],
+            }),
+        );
+        assert!(
+            me.route_entry(8).is_none(),
+            "retraction withdraws the route"
+        );
+        assert_eq!(me.feasibility().routes_retracted(), 1);
+        assert_eq!(me.best_hop(8, 2.5), None);
+        // A delayed replay of 4's older row (seqno 1, link to 8 alive)
+        // must not resurrect the route.
+        let mut stale = row4;
+        stale[8] = LinkEntry::live(5, 0.0);
+        let _ = me.on_message(
+            3.0,
+            &Message::LinkState(LinkStateMsg {
+                from: NodeId(4),
+                to: NodeId(0),
+                view: 0,
+                round: 1,
+                basis_ms: 0,
+                entries: stale,
+                seqno: 1,
+                retractions: vec![],
+            }),
+        );
+        assert_eq!(me.table().row_seqno(4), 2, "stale replay rejected");
+        assert!(me.table().row_retracts(4, 8));
+        assert_eq!(me.best_hop(8, 3.5), None);
+    }
+
+    #[test]
+    fn own_link_death_bumps_seqno_and_advertises_retraction() {
+        let n = 9;
+        let mut me = QuorumRouter::new(0, n, 0, ProtocolConfig::quorum());
+        let mut own: Vec<LinkEntry> = (0..n).map(|_| LinkEntry::live(50, 0.0)).collect();
+        own[0] = LinkEntry::live(0, 0.0);
+        let mut g = rng();
+        let msgs = me.on_routing_tick(0.0, &own, &mut g);
+        assert_eq!(me.own_seqno(), 0, "no retraction event yet");
+        let Some(Message::LinkState(ls)) = msgs.iter().find(|m| matches!(m, Message::LinkState(_)))
+        else {
+            panic!("expected dense link state");
+        };
+        assert_eq!((ls.seqno, ls.retractions.as_slice()), (0, &[][..]));
+        // Link to 3 dies: seqno bumps once, the lane advertises dst 3.
+        own[3] = LinkEntry::dead();
+        let msgs = me.on_routing_tick(15.0, &own, &mut g);
+        assert_eq!(me.own_seqno(), 1);
+        let Some(Message::LinkState(ls)) = msgs.iter().find(|m| matches!(m, Message::LinkState(_)))
+        else {
+            panic!("expected dense link state");
+        };
+        assert_eq!((ls.seqno, ls.retractions.as_slice()), (1, &[3u16][..]));
+        // The lane ages out after three rounds of advertisement…
+        let _ = me.on_routing_tick(30.0, &own, &mut g);
+        let _ = me.on_routing_tick(45.0, &own, &mut g);
+        let msgs = me.on_routing_tick(60.0, &own, &mut g);
+        let Some(Message::LinkState(ls)) = msgs.iter().find(|m| matches!(m, Message::LinkState(_)))
+        else {
+            panic!("expected dense link state");
+        };
+        assert_eq!(ls.retractions, Vec::<u16>::new(), "lane aged out");
+        assert_eq!(me.own_seqno(), 1, "seqno sticks");
+        // …and a recovery drops a fresh lane entry immediately.
+        own[5] = LinkEntry::dead();
+        let _ = me.on_routing_tick(75.0, &own, &mut g);
+        assert_eq!(me.own_seqno(), 2);
+        own[5] = LinkEntry::live(50, 0.0);
+        let msgs = me.on_routing_tick(90.0, &own, &mut g);
+        let Some(Message::LinkState(ls)) = msgs.iter().find(|m| matches!(m, Message::LinkState(_)))
+        else {
+            panic!("expected dense link state");
+        };
+        assert_eq!(ls.retractions, Vec::<u16>::new(), "recovered link leaves");
+    }
+
+    #[test]
+    fn link_loss_hook_and_departure_retraction() {
+        let n = 9;
+        let mut me = QuorumRouter::new(0, n, 0, ProtocolConfig::quorum());
+        let mut own = vec![LinkEntry::dead(); n];
+        own[0] = LinkEntry::live(0, 0.0);
+        own[4] = LinkEntry::live(10, 0.0);
+        own[5] = LinkEntry::live(10, 0.0);
+        let _ = me.on_routing_tick(0.0, &own, &mut rng());
+        for dst in [7usize, 8] {
+            let _ = me.on_message(
+                1.0,
+                &Message::Recommendations(RecommendationMsg {
+                    from: NodeId(2),
+                    to: NodeId(0),
+                    view: 0,
+                    round: 1,
+                    basis_ms: 0,
+                    format: apor_linkstate::RecFormat::WithCost,
+                    recs: vec![RecEntry {
+                        dst: NodeId::from_index(dst),
+                        hop: NodeId(if dst == 7 { 4 } else { 5 }),
+                        cost_ms: 30,
+                    }],
+                }),
+            );
+        }
+        // Prober-declared loss of the link to 4: seqno bumps out of band.
+        me.on_link_loss(4, 2.0);
+        assert_eq!(me.own_seqno(), 1);
+        assert!(!me.table().entry(0, 4).alive);
+        assert_eq!(me.feasibility().routes_retracted(), 1);
+        // View change: node 5 does not survive → its route is retracted.
+        let retracted = me.retract_departed_routes(&|id| id != 5);
+        assert_eq!(retracted, 1);
+        assert!(me.route_entry(8).is_none());
+        assert!(me.route_entry(7).is_some(), "surviving route kept");
+        assert_eq!(me.feasibility().routes_retracted(), 2);
+    }
+
+    #[test]
+    fn versioned_export_import_preserves_the_replay_guard() {
+        // Node 1 is in node 0's grid row, so 0 is entitled to its row in
+        // both views.
+        let n = 9;
+        let mut a = QuorumRouter::new(0, n, 0, ProtocolConfig::quorum());
+        let row1: Vec<LinkEntry> = (0..n)
+            .map(|j| {
+                if j == 1 {
+                    LinkEntry::live(0, 0.0)
+                } else {
+                    LinkEntry::live(10, 0.0)
+                }
+            })
+            .collect();
+        let _ = a.on_message(
+            1.0,
+            &Message::LinkState(LinkStateMsg {
+                from: NodeId(1),
+                to: NodeId(0),
+                view: 0,
+                round: 1,
+                basis_ms: 0,
+                entries: row1,
+                seqno: 9,
+                retractions: vec![6],
+            }),
+        );
+        let rows = a.export_rows_versioned();
+        let carried = rows.iter().find(|r| r.origin == 1).expect("row exported");
+        assert_eq!(
+            (carried.seqno, carried.retractions.as_slice()),
+            (9, &[6u16][..])
+        );
+        // A rebuilt router importing the carried row keeps the guard: a
+        // delayed older frame from 1 is still rejected after the carry.
+        let mut b = QuorumRouter::new(0, n, 1, ProtocolConfig::quorum());
+        b.import_row_versioned(carried);
+        assert_eq!(b.table().row_seqno(1), 9);
+        assert!(b.table().row_retracts(1, 6));
+        let mut stale = carried.entries.clone();
+        stale[6] = LinkEntry::live(5, 0.0);
+        let _ = b.on_message(
+            2.0,
+            &Message::LinkState(LinkStateMsg {
+                from: NodeId(1),
+                to: NodeId(0),
+                view: 1,
+                round: 1,
+                basis_ms: 0,
+                entries: stale,
+                seqno: 8,
+                retractions: vec![],
+            }),
+        );
+        assert_eq!(b.table().row_seqno(1), 9, "older frame rejected");
+        assert!(b.table().row_retracts(1, 6));
     }
 
     #[test]
@@ -1180,6 +1749,11 @@ mod tests {
         let cfg = ProtocolConfig::quorum();
         let mut me = QuorumRouter::new(0, 9, 0, cfg);
         assert_eq!(me.route_age(8, 10.0), None);
+        // A recommendation is only usable over a live first leg, so give
+        // node 0 a measured link to the hop it is about to be recommended.
+        let mut own = vec![LinkEntry::dead(); 9];
+        own[4] = LinkEntry::live(10, 0.0);
+        let _ = me.on_routing_tick(0.0, &own, &mut rng());
         let rec = Message::Recommendations(RecommendationMsg {
             from: NodeId(2),
             to: NodeId(0),
@@ -1298,6 +1872,8 @@ mod tests {
                     round: 1,
                     basis_ms: 0,
                     entries: row(from as u16 * 10),
+                    seqno: 0,
+                    retractions: vec![],
                 }),
             );
         }

@@ -172,6 +172,8 @@ proptest! {
             round: 3,
             basis_ms: 250,
             entries: row.clone(),
+            seqno: 0,
+            retractions: vec![],
         });
         let Ok(Message::LinkState(decoded)) = Message::decode(&msg.encode()) else {
             panic!("dense wire round trip failed");
@@ -192,6 +194,8 @@ proptest! {
             basis_ms: 250,
             width: 64,
             entries: pairs.clone(),
+            seqno: 0,
+            retractions: vec![],
         });
         let Ok(Message::LinkStateSparse(sdec)) = Message::decode(&smsg.encode()) else {
             panic!("sparse wire round trip failed");

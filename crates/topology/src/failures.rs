@@ -118,6 +118,34 @@ impl FailureParams {
         self
     }
 
+    /// Schedule a correlated *row blackout*: every member of `members`
+    /// (typically one grid row of the quorum overlay — a shared rack,
+    /// AS, or region) goes fully dark during `[start_s, end_s)`. Unlike
+    /// [`FailureParams::with_partition`], the members do not keep an
+    /// overlay among themselves: each one is a whole-node outage, so
+    /// all of its links (including to the other blacked-out members)
+    /// are down — the scenario `experiments::detour` recovers from.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range or duplicated member index, or an
+    /// empty window.
+    #[must_use]
+    pub fn with_row_blackout(mut self, members: &[usize], start_s: f64, end_s: f64) -> Self {
+        assert!(start_s < end_s, "empty blackout window");
+        let mut seen = vec![false; self.n];
+        for &m in members {
+            assert!(m < self.n, "blackout member {m} out of range");
+            assert!(!seen[m], "duplicate blackout member {m}");
+            seen[m] = true;
+            self.node_outages.push(NodeOutage {
+                node: m,
+                start_s,
+                end_s,
+            });
+        }
+        self
+    }
+
     /// A schedule with no failures at all (steady-state experiments).
     #[must_use]
     pub fn none(n: usize, duration_s: f64) -> FailureSchedule {
@@ -456,6 +484,39 @@ mod tests {
             assert!(!s.is_link_up(j, 2, 150.0));
         }
         assert!(s.concurrent_failures(0, 150.0) >= 1);
+    }
+
+    #[test]
+    fn row_blackout_darkens_every_member_link() {
+        let mut p = FailureParams::with_n(9).with_row_blackout(&[3, 4, 5], 100.0, 200.0);
+        p.median_concurrent = 0.0001; // effectively no background failures
+        let s = FailureSchedule::generate(&p);
+        for &m in &[3usize, 4, 5] {
+            assert!(s.is_node_up(m, 50.0), "node {m} up before the window");
+            assert!(!s.is_node_up(m, 150.0), "node {m} dark in the window");
+            assert!(s.is_node_up(m, 250.0), "node {m} back after the window");
+        }
+        // Unlike a partition, blacked-out members cannot even reach each
+        // other: the row keeps no overlay of its own.
+        assert!(!s.is_link_up(3, 4, 150.0));
+        assert!(!s.is_link_up(4, 5, 150.0));
+        // Links to the rest of the overlay are down too.
+        assert!(!s.is_link_up(0, 3, 150.0));
+        assert!(!s.is_link_up(5, 8, 150.0));
+        // Survivors keep their links.
+        assert!(s.is_link_up(0, 1, 150.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate blackout member")]
+    fn row_blackout_rejects_duplicates() {
+        let _ = FailureParams::with_n(9).with_row_blackout(&[3, 3], 100.0, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_blackout_rejects_out_of_range() {
+        let _ = FailureParams::with_n(9).with_row_blackout(&[9], 100.0, 200.0);
     }
 
     /// Figure 8 calibration: per-node mean concurrent failures must have a

@@ -124,6 +124,16 @@ impl LatencyMatrix {
         self.loss[j * self.n + i] = loss;
     }
 
+    /// Set an asymmetric one-direction loss probability (lossy-WAN and
+    /// asymmetry ablations; the reverse direction is untouched).
+    ///
+    /// # Panics
+    /// Panics unless `loss ∈ [0, 1]`.
+    pub fn set_loss_directed(&mut self, i: usize, j: usize, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.loss[i * self.n + j] = loss;
+    }
+
     /// Iterate over all ordered pairs `(i, j, rtt)` with `i != j`.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.n).flat_map(move |i| {
@@ -291,6 +301,25 @@ mod tests {
         m.set_rtt(1, 3, 100.0);
         m.set_rtt(2, 3, 90.0);
         m
+    }
+
+    #[test]
+    fn directed_loss_leaves_reverse_untouched() {
+        let mut m = sample();
+        m.set_loss(0, 1, 0.05);
+        m.set_loss_directed(0, 1, 0.4);
+        assert!((m.loss(0, 1) - 0.4).abs() < 1e-12);
+        assert!(
+            (m.loss(1, 0) - 0.05).abs() < 1e-12,
+            "reverse direction kept"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a probability")]
+    fn directed_loss_rejects_non_probability() {
+        let mut m = sample();
+        m.set_loss_directed(0, 1, 1.5);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Property-based tests on the wire format: arbitrary messages round-trip
-//! exactly; arbitrary bytes never panic the decoder.
+//! exactly; arbitrary bytes never panic the decoder; the seqno +
+//! retraction trailer is strictly additive (flagless frames stay
+//! bit-identical to the pre-versioning format).
 
 use allpairs_overlay::linkstate::{
-    LinkEntry, LinkStateMsg, Message, ProbeMsg, ProbeReplyMsg, RecEntry, RecFormat,
-    RecommendationMsg,
+    ls_trailer_size, LinkEntry, LinkStateMsg, Message, ProbeMsg, ProbeReplyMsg, RecEntry,
+    RecFormat, RecommendationMsg, SparseLinkStateMsg, LINKSTATE_HEADER_SIZE,
+    SPARSE_LINKSTATE_HEADER_SIZE,
 };
 use allpairs_overlay::quorum::NodeId;
 use proptest::prelude::*;
@@ -16,6 +19,25 @@ fn arb_entry() -> impl Strategy<Value = LinkEntry> {
             LinkEntry::dead()
         }
     })
+}
+
+/// Reduce raw picks to a canonical retraction lane: strictly ascending,
+/// every destination `< width`. An empty width forces an empty lane.
+fn canonical_retractions(raw: &[u16], width: usize) -> Vec<u16> {
+    if width == 0 {
+        return Vec::new();
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let mut lane: Vec<u16> = raw.iter().map(|&r| r % width as u16).collect();
+    lane.sort_unstable();
+    lane.dedup();
+    lane
+}
+
+/// Raw material for the versioned trailer: a seqno and unreduced
+/// retraction picks (canonicalized against the row width in `prop_map`).
+fn arb_trailer_raw() -> impl Strategy<Value = (u16, Vec<u16>)> {
+    (any::<u16>(), prop::collection::vec(any::<u16>(), 0..8))
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -58,8 +80,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
         any::<u32>(),
         any::<u32>(),
         prop::collection::vec(arb_entry(), 0..300),
+        arb_trailer_raw(),
     )
-        .prop_map(|(f, t, v, r, b, entries)| {
+        .prop_map(|(f, t, v, r, b, entries, (seqno, raw))| {
+            let retractions = canonical_retractions(&raw, entries.len());
             Message::LinkState(LinkStateMsg {
                 from: NodeId(f),
                 to: NodeId(t),
@@ -67,6 +91,39 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 round: r,
                 basis_ms: b,
                 entries,
+                seqno,
+                retractions,
+            })
+        });
+    let sparse = (
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        1u16..300,
+        prop::collection::vec((any::<u16>(), arb_entry()), 0..40),
+        arb_trailer_raw(),
+    )
+        .prop_map(|(f, t, v, r, b, width, raw_entries, (seqno, raw))| {
+            // Sparse rows demand strictly ascending in-range dsts.
+            let mut entries: Vec<(u16, LinkEntry)> = raw_entries
+                .into_iter()
+                .map(|(d, e)| (d % width, e))
+                .collect();
+            entries.sort_unstable_by_key(|&(d, _)| d);
+            entries.dedup_by_key(|&mut (d, _)| d);
+            let retractions = canonical_retractions(&raw, usize::from(width));
+            Message::LinkStateSparse(SparseLinkStateMsg {
+                from: NodeId(f),
+                to: NodeId(t),
+                view: v,
+                round: r,
+                basis_ms: b,
+                width,
+                entries,
+                seqno,
+                retractions,
             })
         });
     let recs = (
@@ -123,7 +180,27 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 members: members.into_iter().map(NodeId).collect(),
             })
         });
-    prop_oneof![probe, reply, linkstate, recs, join, view]
+    prop_oneof![probe, reply, linkstate, sparse, recs, join, view]
+}
+
+/// Strip a versioned link-state frame down to its flagless twin: same
+/// message, seqno 0, nothing retracted.
+fn flagless_twin(msg: &Message) -> Option<(Message, usize)> {
+    match msg {
+        Message::LinkState(m) => {
+            let mut twin = m.clone();
+            twin.seqno = 0;
+            twin.retractions.clear();
+            Some((Message::LinkState(twin), LINKSTATE_HEADER_SIZE))
+        }
+        Message::LinkStateSparse(m) => {
+            let mut twin = m.clone();
+            twin.seqno = 0;
+            twin.retractions.clear();
+            Some((Message::LinkStateSparse(twin), SPARSE_LINKSTATE_HEADER_SIZE))
+        }
+        _ => None,
+    }
 }
 
 proptest! {
@@ -157,6 +234,35 @@ proptest! {
             let cut = ((bytes.len() as f64) * cut_frac) as usize;
             let cut = cut.clamp(0, bytes.len() - 1);
             prop_assert!(Message::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// The route-discipline trailer is strictly additive: zeroing the
+    /// seqno and retraction lane of any link-state frame changes only
+    /// the flags word and drops exactly the trailer bytes. Seqno-free
+    /// frames therefore stay bit-identical to the pre-versioning
+    /// format — old captures parse unchanged and pay nothing.
+    #[test]
+    fn flagless_frames_bit_identical(msg in arb_message()) {
+        if let Some((twin, header)) = flagless_twin(&msg) {
+            let versioned = msg.encode();
+            let flagless = twin.encode();
+            let (seqno, retractions) = match &msg {
+                Message::LinkState(m) => (m.seqno, m.retractions.as_slice()),
+                Message::LinkStateSparse(m) => (m.seqno, m.retractions.as_slice()),
+                _ => unreachable!(),
+            };
+            let trailer = ls_trailer_size(seqno, retractions);
+            prop_assert_eq!(versioned.len(), flagless.len() + trailer);
+            // Bytes agree everywhere but the 2-byte flags word that
+            // closes the header.
+            let fo = header - 2;
+            prop_assert_eq!(&versioned[..fo], &flagless[..fo]);
+            prop_assert_eq!(&flagless[fo..header], &[0u8, 0u8][..]);
+            prop_assert_eq!(&versioned[header..flagless.len()], &flagless[header..]);
+            if trailer == 0 {
+                prop_assert_eq!(&versioned[..], &flagless[..]);
+            }
         }
     }
 }
